@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: every bench binary
+ * first regenerates its paper table/figure (printed to stdout),
+ * then runs its google-benchmark microbenchmarks.
+ */
+
+#ifndef AW_BENCH_COMMON_HH
+#define AW_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+/** Print a figure/table banner. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n================================================"
+                "====================\n%s\n"
+                "================================================"
+                "====================\n\n",
+                title);
+}
+
+/**
+ * Standard main: print the reproduction first, then run the
+ * registered microbenchmarks.
+ */
+#define AW_BENCH_MAIN(reproduce_fn)                                  \
+    int main(int argc, char **argv)                                  \
+    {                                                                \
+        reproduce_fn();                                              \
+        benchmark::Initialize(&argc, argv);                          \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))      \
+            return 1;                                                \
+        benchmark::RunSpecifiedBenchmarks();                         \
+        benchmark::Shutdown();                                       \
+        return 0;                                                    \
+    }
+
+#endif // AW_BENCH_COMMON_HH

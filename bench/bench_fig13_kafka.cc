@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fig 13 reproduction (Kafka, low/high request rates):
+ *  (a) baseline (C1+C6) residency,
+ *  (b) residency with C6 disabled,
+ *  (c) latency improvement from disabling C6,
+ *  (d) AW C6A average power reduction vs the C6-disabled config.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "server/server_sim.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace aw;
+using cstate::CStateId;
+
+const char *kLevels[] = {"low", "high"};
+
+void
+reproduce()
+{
+    const auto profile = workload::WorkloadProfile::kafka();
+    const auto &rates = profile.rateLevels();
+    const auto dur = sim::fromSec(10.0);
+    const auto warm = sim::fromSec(1.0);
+
+    const auto base = server::sweepRates(
+        server::ServerConfig::legacyC1C6(), profile, rates, dur,
+        warm);
+    const auto no_c6 = server::sweepRates(
+        server::ServerConfig::legacyC1Only(), profile, rates, dur,
+        warm);
+    const auto agile = server::sweepRates(
+        server::ServerConfig::awC6aOnly(), profile, rates, dur,
+        warm);
+
+    banner("Fig 13(a): baseline (C1+C6) residency (%)");
+    analysis::TableWriter ta({"rate", "C0", "C1", "C6"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const auto &r = base[i].residency;
+        ta.addRow({kLevels[i],
+                   analysis::cell("%.1f",
+                                  100 * r.shareOf(CStateId::C0)),
+                   analysis::cell("%.1f",
+                                  100 * r.shareOf(CStateId::C1)),
+                   analysis::cell("%.1f",
+                                  100 * r.shareOf(CStateId::C6))});
+    }
+    ta.print();
+    std::printf("\npaper: >60%% C6 residency at the low rate; "
+                "no C6 at the high rate\n");
+
+    banner("Fig 13(b): residency with C6 disabled (%)");
+    analysis::TableWriter tb({"rate", "C0", "C1"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const auto &r = no_c6[i].residency;
+        tb.addRow({kLevels[i],
+                   analysis::cell("%.1f",
+                                  100 * r.shareOf(CStateId::C0)),
+                   analysis::cell("%.1f",
+                                  100 * r.shareOf(CStateId::C1))});
+    }
+    tb.print();
+
+    banner("Fig 13(c): latency improvement from disabling C6");
+    analysis::TableWriter tc({"rate", "avg lat red.",
+                              "tail lat red."});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        tc.addRow({kLevels[i],
+                   analysis::cell("%.1f%%",
+                                  100 * (1.0 -
+                                         no_c6[i].avgLatencyUs /
+                                             base[i].avgLatencyUs)),
+                   analysis::cell(
+                       "%.1f%%",
+                       100 * (1.0 - no_c6[i].p99LatencyUs /
+                                        base[i].p99LatencyUs))});
+    }
+    tc.print();
+    std::printf("\npaper: 4-5%% at the low rate; none at the high "
+                "rate (no C6 entries to avoid)\n");
+
+    banner("Fig 13(d): AW C6A AvgP reduction vs C6-disabled");
+    analysis::TableWriter td({"rate", "No_C6 W/core", "C6A W/core",
+                              "AvgP reduction"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        td.addRow({kLevels[i],
+                   analysis::cell("%.3f", no_c6[i].avgCorePower),
+                   analysis::cell("%.3f", agile[i].avgCorePower),
+                   analysis::cell(
+                       "%.1f%%",
+                       100 * (1.0 - agile[i].avgCorePower /
+                                        no_c6[i].avgCorePower))});
+    }
+    td.print();
+    std::printf("\npaper: >56%% average power reduction at both "
+                "rates\n");
+}
+
+void
+BM_KafkaPoint(benchmark::State &state)
+{
+    const auto profile = workload::WorkloadProfile::kafka();
+    for (auto _ : state) {
+        server::ServerSim srv(server::ServerConfig::legacyC1C6(),
+                              profile, profile.rateLevels()[0]);
+        benchmark::DoNotOptimize(
+            srv.run(sim::fromSec(1.0), sim::fromMs(100.0)));
+    }
+}
+BENCHMARK(BM_KafkaPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AW_BENCH_MAIN(reproduce)

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fig 9 reproduction: the three tuned legacy configurations
+ * (NT_Baseline, NT_No_C6, NT_No_C6,No_C1E) across the Memcached
+ * rate sweep -- average latency, tail latency, package power and
+ * C-state residency.
+ */
+
+#include "bench_common.hh"
+
+#include <vector>
+
+#include "analysis/table.hh"
+#include "server/server_sim.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace aw;
+using cstate::CStateId;
+
+void
+reproduce()
+{
+    const auto profile = workload::WorkloadProfile::memcached();
+    const auto &rates = profile.rateLevels();
+    const std::vector<server::ServerConfig> configs = {
+        server::ServerConfig::ntBaseline(),
+        server::ServerConfig::ntNoC6(),
+        server::ServerConfig::ntNoC6NoC1e(),
+    };
+
+    std::vector<std::vector<server::RunResult>> runs;
+    for (const auto &cfg : configs)
+        runs.push_back(server::sweepRates(cfg, profile, rates));
+
+    banner("Fig 9(a): average latency (us)");
+    analysis::TableWriter ta({"KQPS", configs[0].name,
+                              configs[1].name, configs[2].name});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        ta.addRow({analysis::cell("%.0f", rates[i] / 1e3),
+                   analysis::cell("%.1f", runs[0][i].avgLatencyUs),
+                   analysis::cell("%.1f", runs[1][i].avgLatencyUs),
+                   analysis::cell("%.1f",
+                                  runs[2][i].avgLatencyUs)});
+    }
+    ta.print();
+
+    banner("Fig 9(b): tail (p99) latency (us)");
+    analysis::TableWriter tb({"KQPS", configs[0].name,
+                              configs[1].name, configs[2].name});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        tb.addRow({analysis::cell("%.0f", rates[i] / 1e3),
+                   analysis::cell("%.1f", runs[0][i].p99LatencyUs),
+                   analysis::cell("%.1f", runs[1][i].p99LatencyUs),
+                   analysis::cell("%.1f",
+                                  runs[2][i].p99LatencyUs)});
+    }
+    tb.print();
+
+    banner("Fig 9(c): package power (W)");
+    analysis::TableWriter tpow({"KQPS", configs[0].name,
+                                configs[1].name, configs[2].name});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        tpow.addRow({analysis::cell("%.0f", rates[i] / 1e3),
+                     analysis::cell("%.1f",
+                                    runs[0][i].packagePower),
+                     analysis::cell("%.1f",
+                                    runs[1][i].packagePower),
+                     analysis::cell("%.1f",
+                                    runs[2][i].packagePower)});
+    }
+    tpow.print();
+
+    banner("Fig 9(d): C-state residency (%) per config");
+    analysis::TableWriter tres({"KQPS", "config", "C0", "C1",
+                                "C1E", "C6"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const auto &r = runs[c][i].residency;
+            tres.addRow(
+                {analysis::cell("%.0f", rates[i] / 1e3),
+                 configs[c].name,
+                 analysis::cell("%.1f",
+                                100 * r.shareOf(CStateId::C0)),
+                 analysis::cell("%.1f",
+                                100 * r.shareOf(CStateId::C1)),
+                 analysis::cell("%.1f",
+                                100 * r.shareOf(CStateId::C1E)),
+                 analysis::cell("%.1f",
+                                100 * r.shareOf(CStateId::C6))});
+        }
+    }
+    tres.print();
+
+    std::printf("\npaper shape: disabling C1E lowers latency "
+                "(no 10 us transitions) but raises power\n(time "
+                "moves to C1 at 1.44 W, ~63%% above C1E).\n");
+}
+
+void
+BM_TunedConfigPoint(benchmark::State &state)
+{
+    const auto profile = workload::WorkloadProfile::memcached();
+    for (auto _ : state) {
+        server::ServerSim srv(server::ServerConfig::ntNoC6(),
+                              profile, 200e3);
+        benchmark::DoNotOptimize(
+            srv.run(sim::fromMs(100.0), sim::fromMs(10.0)));
+    }
+}
+BENCHMARK(BM_TunedConfigPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AW_BENCH_MAIN(reproduce)

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Domain scenario: datacenter operational-cost planning (Sec 7.6).
+ * Sweeps the Memcached load levels, computes the AgileWatts power
+ * savings at each, and projects yearly fleet savings at a
+ * configurable electricity price and PUE.
+ */
+
+#include <cstdio>
+
+#include "analysis/cost_model.hh"
+#include "analysis/table.hh"
+#include "server/server_sim.hh"
+#include "workload/profiles.hh"
+
+int
+main()
+{
+    using namespace aw;
+
+    const auto profile = workload::WorkloadProfile::memcached();
+
+    analysis::CostModel::Params params;
+    params.usdPerKwh = 0.125;
+    params.pue = 1.5; // typical enterprise datacenter
+    params.servers = 100e3;
+    const analysis::CostModel cost(params);
+
+    std::printf("Yearly savings per %.0fK servers "
+                "($%.3f/kWh, PUE %.1f)\n\n",
+                params.servers / 1e3, params.usdPerKwh, params.pue);
+
+    analysis::TableWriter table({"QPS", "baseline W/core",
+                                 "AW W/core", "savings ($M/yr)"});
+    for (const double qps : profile.rateLevels()) {
+        server::ServerSim base(server::ServerConfig::baseline(),
+                               profile, qps);
+        const auto b = base.run();
+        server::ServerSim agile(server::ServerConfig::awBaseline(),
+                                profile, qps);
+        const auto a = agile.run();
+
+        // Whole-CPU savings: 10 cores per socket.
+        const double usd = cost.yearlySavingsUsd(
+            b.avgCorePower * 10.0, a.avgCorePower * 10.0);
+        table.addRow({analysis::cell("%.0fK", qps / 1e3),
+                      analysis::cell("%.3f", b.avgCorePower),
+                      analysis::cell("%.3f", a.avgCorePower),
+                      analysis::cell("%.2f", usd / 1e6)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: simulate a Memcached-like service on a 10-core server
+ * with the legacy C-state hierarchy and with AgileWatts, and compare
+ * power and latency.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "analysis/power_model.hh"
+#include "analysis/table.hh"
+#include "server/server_sim.hh"
+#include "workload/profiles.hh"
+
+int
+main()
+{
+    using namespace aw;
+
+    const double qps = 100e3; // 100 KQPS offered load
+    const auto profile = workload::WorkloadProfile::memcached();
+
+    std::printf("AgileWatts quickstart: %s @ %.0f KQPS, 10 cores\n\n",
+                profile.name().c_str(), qps / 1e3);
+
+    // --- Baseline: C1/C1E/C6, Turbo on, P-states off ------------
+    server::ServerSim baseline(server::ServerConfig::baseline(),
+                               profile, qps);
+    const auto base = baseline.run();
+
+    // --- AgileWatts: C1->C6A, C1E->C6AE ------------------------
+    server::ServerSim agile(server::ServerConfig::awBaseline(),
+                            profile, qps);
+    const auto aw_run = agile.run();
+
+    analysis::TableWriter table({"metric", "baseline", "agilewatts"});
+    table.addRow({"avg core power (W)",
+                  analysis::cell("%.3f", base.avgCorePower),
+                  analysis::cell("%.3f", aw_run.avgCorePower)});
+    table.addRow({"package power (W)",
+                  analysis::cell("%.1f", base.packagePower),
+                  analysis::cell("%.1f", aw_run.packagePower)});
+    table.addRow({"avg latency (us)",
+                  analysis::cell("%.1f", base.avgLatencyUs),
+                  analysis::cell("%.1f", aw_run.avgLatencyUs)});
+    table.addRow({"p99 latency (us)",
+                  analysis::cell("%.1f", base.p99LatencyUs),
+                  analysis::cell("%.1f", aw_run.p99LatencyUs)});
+    table.addRow({"C0 residency",
+                  analysis::cell("%.1f%%",
+                                 100 * base.residency.shareOf(
+                                           cstate::CStateId::C0)),
+                  analysis::cell("%.1f%%",
+                                 100 * aw_run.residency.shareOf(
+                                           cstate::CStateId::C0))});
+    table.print();
+
+    const double savings =
+        1.0 - aw_run.avgCorePower / base.avgCorePower;
+    std::printf("\nAgileWatts core power savings: %.1f%%\n",
+                100.0 * savings);
+
+    // The paper-style analytical estimate (Eq. 4) from the
+    // baseline residencies alone:
+    core::AwCoreModel aw_model;
+    analysis::CStatePowerModel model(
+        server::StatePowers::fromModels(aw_model.ppa()));
+    std::printf("analytical estimate (Eq. 4):   %.1f%%\n",
+                100.0 * model.awSavingsVsMeasured(
+                            base.residency, base.avgCorePower));
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Domain scenario: C-state transition anatomy. Prints the derived
+ * entry/exit latency of every state across core frequencies and
+ * cache dirtiness, then executes the C6A PMA state machine event by
+ * event and dumps the phase trace -- the <100 ns round trip that is
+ * the paper's headline mechanism.
+ */
+
+#include <cstdio>
+
+#include "analysis/table.hh"
+#include "core/aw_core.hh"
+#include "cstate/transition.hh"
+#include "sim/event_queue.hh"
+
+int
+main()
+{
+    using namespace aw;
+
+    core::AwCoreModel model;
+    auto engine = model.makeTransitionEngine();
+
+    // --- Latency vs frequency -----------------------------------
+    std::printf("Derived C-state transition latencies "
+                "(sw+hw, us)\n\n");
+    analysis::TableWriter table({"state", "0.8 GHz", "2.2 GHz",
+                                 "3.0 GHz"});
+    const cstate::CStateId states[] = {
+        cstate::CStateId::C1, cstate::CStateId::C1E,
+        cstate::CStateId::C6A, cstate::CStateId::C6AE,
+        cstate::CStateId::C6};
+    for (const auto id : states) {
+        std::vector<std::string> row{cstate::name(id)};
+        for (const double ghz : {0.8, 2.2, 3.0}) {
+            const auto lat =
+                engine.latency(id, sim::Frequency::ghz(ghz));
+            row.push_back(
+                analysis::cell("%.2f", sim::toUs(lat.total())));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    // --- Flush cost vs dirtiness --------------------------------
+    std::printf("\nC6 entry flush cost at 2.2 GHz vs dirty "
+                "fraction\n\n");
+    analysis::TableWriter flush({"dirty", "flush (us)"});
+    for (const double dirty : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        model.caches().setDirtyFraction(dirty);
+        flush.addRow({analysis::cell("%.0f%%", dirty * 100),
+                      analysis::cell(
+                          "%.1f", sim::toUs(model.caches().flushTime(
+                                      sim::Frequency::ghz(2.2))))});
+    }
+    flush.print();
+
+    // --- PMA state machine trace --------------------------------
+    std::printf("\nC6A PMA flow, event by event (PMA @ 500 MHz)\n\n");
+    sim::Simulator simr;
+    auto &ctl = model.controller();
+    bool idle_reached = false;
+    ctl.runEntry(simr, [&]() { idle_reached = true; });
+    simr.run();
+    ctl.runExit(simr, [&]() {});
+    simr.run();
+
+    analysis::TableWriter trace({"phase", "start (ns)", "end (ns)",
+                                 "duration (ns)"});
+    for (const auto &rec : ctl.trace()) {
+        trace.addRow({core::name(rec.phase),
+                      analysis::cell("%.1f", sim::toNs(rec.start)),
+                      analysis::cell("%.1f", sim::toNs(rec.end)),
+                      analysis::cell("%.1f",
+                                     sim::toNs(rec.end - rec.start))});
+    }
+    trace.print();
+
+    std::printf("\nentry %.1f ns + exit %.1f ns = round trip "
+                "%.1f ns (paper: <100 ns)\n",
+                sim::toNs(ctl.entryLatency()),
+                sim::toNs(ctl.exitLatency()),
+                sim::toNs(ctl.roundTripLatency()));
+    return idle_reached ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Datacenter cost model (Sec 7.6 / Table 5): operational savings
+ * from lower average CPU power, scaled by fleet size and PUE.
+ */
+
+#ifndef AW_ANALYSIS_COST_MODEL_HH
+#define AW_ANALYSIS_COST_MODEL_HH
+
+#include "power/units.hh"
+
+namespace aw::analysis {
+
+/**
+ * Fleet-level energy cost accounting.
+ */
+class CostModel
+{
+  public:
+    struct Params
+    {
+        /** Electricity price ($/kWh); paper uses $0.125. */
+        double usdPerKwh = 0.125;
+
+        /** Power usage effectiveness multiplier (1.0 = IT power
+         *  only; savings grow proportionally to PUE). */
+        double pue = 1.0;
+
+        /** Fleet size (paper: per 100K servers). */
+        double servers = 100e3;
+
+        /** CPUs (sockets) per server. */
+        double socketsPerServer = 1.0;
+    };
+
+    explicit CostModel(Params params) : _params(params) {}
+
+    CostModel() : CostModel(Params{}) {}
+
+    const Params &params() const { return _params; }
+
+    /** Seconds in a (non-leap) year. */
+    static constexpr double kSecondsPerYear = 365.0 * 24 * 3600;
+
+    /** Dollars per joule at the configured price and PUE. */
+    double
+    usdPerJoule() const
+    {
+        return _params.usdPerKwh / 3.6e6 * _params.pue;
+    }
+
+    /**
+     * Yearly cost of running one CPU at @p avg_power continuously.
+     */
+    double
+    yearlyCostUsd(power::Watts avg_power) const
+    {
+        return avg_power * kSecondsPerYear * usdPerJoule();
+    }
+
+    /**
+     * Table 5: yearly fleet savings (in dollars) from reducing the
+     * average CPU power from @p baseline to @p with_aw.
+     */
+    double
+    yearlySavingsUsd(power::Watts baseline,
+                     power::Watts with_aw) const
+    {
+        const double per_cpu =
+            yearlyCostUsd(baseline) - yearlyCostUsd(with_aw);
+        return per_cpu * _params.servers * _params.socketsPerServer;
+    }
+
+  private:
+    Params _params;
+};
+
+} // namespace aw::analysis
+
+#endif // AW_ANALYSIS_COST_MODEL_HH

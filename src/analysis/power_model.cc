@@ -1,0 +1,146 @@
+#include "analysis/power_model.hh"
+
+#include <algorithm>
+
+#include "core/ufpg.hh"
+#include "sim/logging.hh"
+
+namespace aw::analysis {
+
+using cstate::CStateId;
+
+power::Watts
+CStatePowerModel::statePower(CStateId id) const
+{
+    if (id == CStateId::C0)
+        return _powers.activeP1;
+    return _powers.idle[cstate::index(id)];
+}
+
+power::Watts
+CStatePowerModel::baselineAvgPower(
+    const cstate::ResidencySnapshot &r) const
+{
+    power::Watts avg = 0.0;
+    for (std::size_t i = 0; i < cstate::kNumCStates; ++i)
+        avg += r.share[i] * statePower(static_cast<CStateId>(i));
+    return avg;
+}
+
+cstate::ResidencySnapshot
+CStatePowerModel::remapForAw(const cstate::ResidencySnapshot &r,
+                             double scalability,
+                             double transitions_per_sec) const
+{
+    cstate::ResidencySnapshot out = r;
+
+    // (1) Move the C1/C1E shares onto C6A/C6AE.
+    auto move = [&out](CStateId from, CStateId to) {
+        out.share[cstate::index(to)] +=
+            out.share[cstate::index(from)];
+        out.share[cstate::index(from)] = 0.0;
+        out.entries[cstate::index(to)] +=
+            out.entries[cstate::index(from)];
+        out.entries[cstate::index(from)] = 0;
+    };
+    move(CStateId::C1, CStateId::C6A);
+    move(CStateId::C1E, CStateId::C6AE);
+
+    // (2) Frequency degradation: active time grows by the loss
+    // weighted by the workload's frequency scalability; the growth
+    // is stolen from the idle shares proportionally.
+    const double c0_growth = out.share[cstate::index(CStateId::C0)] *
+                             core::Ufpg::kFrequencyDegradation *
+                             scalability;
+
+    // (3) Extra transition latency: each transition spends an
+    // additional ~100 ns outside the idle state.
+    const double transition_growth =
+        transitions_per_sec *
+        sim::toSec(kAwTransitionDelta);
+
+    double steal = c0_growth + transition_growth;
+    double idle_total = 0.0;
+    for (std::size_t i = 0; i < cstate::kNumCStates; ++i) {
+        if (static_cast<CStateId>(i) != CStateId::C0)
+            idle_total += out.share[i];
+    }
+    if (idle_total > 0.0) {
+        steal = std::min(steal, idle_total);
+        for (std::size_t i = 0; i < cstate::kNumCStates; ++i) {
+            if (static_cast<CStateId>(i) == CStateId::C0)
+                continue;
+            out.share[i] -= steal * (out.share[i] / idle_total);
+        }
+        out.share[cstate::index(CStateId::C0)] += steal;
+    }
+    return out;
+}
+
+power::Watts
+CStatePowerModel::awAvgPower(
+    const cstate::ResidencySnapshot &remapped) const
+{
+    return baselineAvgPower(remapped);
+}
+
+double
+CStatePowerModel::awSavingsVsMeasured(
+    const cstate::ResidencySnapshot &r,
+    power::Watts measured_avg_power) const
+{
+    if (measured_avg_power <= 0.0)
+        sim::panic("awSavingsVsMeasured: bad measured power %f",
+                   measured_avg_power);
+    const double r_c1 = r.shareOf(CStateId::C1);
+    const double r_c1e = r.shareOf(CStateId::C1E);
+    const power::Watts savings =
+        r_c1 * (statePower(CStateId::C1) -
+                statePower(CStateId::C6A)) +
+        r_c1e * (statePower(CStateId::C1E) -
+                 statePower(CStateId::C6AE));
+    return savings / measured_avg_power;
+}
+
+double
+CStatePowerModel::idealDeepStateSavings(
+    const cstate::ResidencySnapshot &r) const
+{
+    const power::Watts baseline = baselineAvgPower(r);
+    if (baseline <= 0.0)
+        return 0.0;
+    const power::Watts savings =
+        r.shareOf(CStateId::C1) *
+        (statePower(CStateId::C1) - statePower(CStateId::C6));
+    return savings / baseline;
+}
+
+LatencyDegradation
+awLatencyDegradation(double avg_latency_us, double avg_service_us,
+                     double network_us, double scalability,
+                     double transitions_per_req)
+{
+    LatencyDegradation d;
+    if (avg_latency_us <= 0.0)
+        return d;
+
+    const double delta_us =
+        sim::toUs(CStatePowerModel::kAwTransitionDelta);
+    const double freq_term =
+        avg_service_us * core::Ufpg::kFrequencyDegradation *
+        scalability;
+
+    const double worst_added = delta_us + freq_term;
+    const double expected_added =
+        transitions_per_req * delta_us + freq_term;
+
+    d.worstCaseServerFrac = worst_added / avg_latency_us;
+    d.expectedServerFrac = expected_added / avg_latency_us;
+    d.worstCaseE2eFrac =
+        worst_added / (avg_latency_us + network_us);
+    d.expectedE2eFrac =
+        expected_added / (avg_latency_us + network_us);
+    return d;
+}
+
+} // namespace aw::analysis

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The paper's analytical core-power model (Sec 6.2, Eqs. 1-4).
+ *
+ * Average core power is the residency-weighted sum of per-state
+ * powers. The AgileWatts estimate re-maps the C1/C1E residencies
+ * onto C6A/C6AE, after scaling the residencies for (i) the ~1%
+ * power-gate frequency loss weighted by the workload's frequency
+ * scalability and (ii) the extra ~100 ns per C-state transition.
+ */
+
+#ifndef AW_ANALYSIS_POWER_MODEL_HH
+#define AW_ANALYSIS_POWER_MODEL_HH
+
+#include "cstate/residency.hh"
+#include "power/units.hh"
+#include "server/core_sim.hh"
+#include "sim/types.hh"
+
+namespace aw::analysis {
+
+/**
+ * Analytical C-state power model.
+ */
+class CStatePowerModel
+{
+  public:
+    explicit CStatePowerModel(server::StatePowers powers)
+        : _powers(powers)
+    {}
+
+    const server::StatePowers &powers() const { return _powers; }
+
+    /**
+     * Eq. 2: baseline average core power from residencies.
+     * C0 is charged at the active P1 power.
+     */
+    power::Watts
+    baselineAvgPower(const cstate::ResidencySnapshot &r) const;
+
+    /**
+     * The residency re-mapping of Sec 6.2: replace C1 -> C6A and
+     * C1E -> C6AE, inflate C0 by the frequency-degradation term and
+     * charge the extra transition latency against the idle shares.
+     *
+     * @param r                    baseline residencies
+     * @param scalability          workload frequency scalability
+     *                             (Fig 8d), in [0, 1]
+     * @param transitions_per_sec  C-state transitions per second
+     */
+    cstate::ResidencySnapshot
+    remapForAw(const cstate::ResidencySnapshot &r, double scalability,
+               double transitions_per_sec) const;
+
+    /** Eq. 3: AW average core power from re-mapped residencies. */
+    power::Watts
+    awAvgPower(const cstate::ResidencySnapshot &remapped) const;
+
+    /**
+     * Eq. 4 (Turbo enabled): power savings from replacing C1/C1E
+     * with C6A/C6AE, relative to a *measured* baseline average
+     * power (RAPL in the paper, the energy meter here).
+     *
+     * @return savings fraction in [0, 1).
+     */
+    double
+    awSavingsVsMeasured(const cstate::ResidencySnapshot &r,
+                        power::Watts measured_avg_power) const;
+
+    /**
+     * Eq. 1: the motivational upper bound -- savings if C1 time
+     * became C6-power time with no transition cost.
+     */
+    double
+    idealDeepStateSavings(const cstate::ResidencySnapshot &r) const;
+
+    /** The extra transition latency of C6A/C6AE over C1/C1E. */
+    static constexpr sim::Tick kAwTransitionDelta =
+        100 * sim::kTicksPerNs;
+
+  private:
+    power::Watts statePower(cstate::CStateId id) const;
+
+    server::StatePowers _powers;
+};
+
+/**
+ * AW latency-degradation model (Fig 8c): worst case assumes one
+ * C-state transition per query; expected case uses the observed
+ * transition rate.
+ */
+struct LatencyDegradation
+{
+    double worstCaseServerFrac = 0.0;
+    double expectedServerFrac = 0.0;
+    double worstCaseE2eFrac = 0.0;
+    double expectedE2eFrac = 0.0;
+};
+
+/**
+ * @param avg_latency_us      baseline server-side average latency
+ * @param avg_service_us      mean service time (frequency-scaled part)
+ * @param network_us          client-side network constant
+ * @param scalability         workload frequency scalability [0,1]
+ * @param transitions_per_req observed transitions per request
+ */
+LatencyDegradation
+awLatencyDegradation(double avg_latency_us, double avg_service_us,
+                     double network_us, double scalability,
+                     double transitions_per_req);
+
+} // namespace aw::analysis
+
+#endif // AW_ANALYSIS_POWER_MODEL_HH

@@ -1,0 +1,81 @@
+#include "analysis/table.hh"
+
+#include <algorithm>
+#include <cstdarg>
+
+#include "sim/logging.hh"
+
+namespace aw::analysis {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        sim::panic("TableWriter: need at least one column");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size()) {
+        sim::panic("TableWriter: row has %zu cells, expected %zu",
+                   cells.size(), _headers.size());
+    }
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TableWriter::render() const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto fmt_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size(), ' ');
+            if (c + 1 < row.size())
+                line += "  ";
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        line += '\n';
+        return line;
+    };
+
+    std::string out = fmt_row(_headers);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(rule, '-');
+    out += '\n';
+    for (const auto &row : _rows)
+        out += fmt_row(row);
+    return out;
+}
+
+void
+TableWriter::print(std::FILE *out) const
+{
+    const std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string
+cell(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = sim::vstrprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+} // namespace aw::analysis

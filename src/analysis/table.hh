@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table writer used by the benchmark harnesses to print
+ * the paper's tables/series with aligned columns.
+ */
+
+#ifndef AW_ANALYSIS_TABLE_HH
+#define AW_ANALYSIS_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace aw::analysis {
+
+/**
+ * Column-aligned text table.
+ */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append a row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string. */
+    std::string render() const;
+
+    /** Print to @p out (defaults to stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    std::size_t rows() const { return _rows.size(); }
+    std::size_t columns() const { return _headers.size(); }
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** printf-convenience for building cells. */
+std::string cell(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace aw::analysis
+
+#endif // AW_ANALYSIS_TABLE_HH

@@ -1,0 +1,66 @@
+#include "analysis/validation.hh"
+
+#include <cmath>
+
+namespace aw::analysis {
+
+double
+ValidationPoint::accuracyPercent() const
+{
+    if (measured <= 0.0)
+        return 0.0;
+    return 100.0 * (1.0 - std::abs(estimated - measured) / measured);
+}
+
+double
+ValidationSummary::meanAccuracyPercent() const
+{
+    if (points.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &p : points)
+        sum += p.accuracyPercent();
+    return sum / static_cast<double>(points.size());
+}
+
+double
+ValidationSummary::worstAccuracyPercent() const
+{
+    if (points.empty())
+        return 0.0;
+    double worst = 100.0;
+    for (const auto &p : points)
+        worst = std::min(worst, p.accuracyPercent());
+    return worst;
+}
+
+ValidationPoint
+validateRun(const CStatePowerModel &model,
+            const server::RunResult &run)
+{
+    ValidationPoint p;
+    p.workload = run.workloadName;
+    p.qps = run.offeredQps;
+    p.measured = run.avgCorePower;
+    p.estimated = model.baselineAvgPower(run.residency);
+    return p;
+}
+
+ValidationSummary
+validateWorkload(const server::ServerConfig &cfg,
+                 const workload::WorkloadProfile &profile)
+{
+    ValidationSummary summary;
+    summary.workload = profile.name();
+    const auto results =
+        server::sweepRates(cfg, profile, profile.rateLevels());
+    // All cores share the same constants; build the model once.
+    core::AwCoreModel aw;
+    const CStatePowerModel model(
+        server::StatePowers::fromModels(aw.ppa()));
+    for (const auto &run : results)
+        summary.points.push_back(validateRun(model, run));
+    return summary;
+}
+
+} // namespace aw::analysis

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Power-model validation (Sec 6.3): compare the analytical model's
+ * average-power estimate against the "measured" (simulated energy
+ * meter) value for a run, and report accuracy.
+ */
+
+#ifndef AW_ANALYSIS_VALIDATION_HH
+#define AW_ANALYSIS_VALIDATION_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/power_model.hh"
+#include "server/server_sim.hh"
+
+namespace aw::analysis {
+
+/** One validation data point. */
+struct ValidationPoint
+{
+    std::string workload;
+    double qps = 0.0;
+    power::Watts measured = 0.0;
+    power::Watts estimated = 0.0;
+
+    /** Accuracy in percent: 100 * (1 - |est - meas| / meas). */
+    double accuracyPercent() const;
+};
+
+/** Summary over a workload's sweep. */
+struct ValidationSummary
+{
+    std::string workload;
+    std::vector<ValidationPoint> points;
+
+    double meanAccuracyPercent() const;
+    double worstAccuracyPercent() const;
+};
+
+/**
+ * Validate the analytical model against one run result.
+ */
+ValidationPoint validateRun(const CStatePowerModel &model,
+                            const server::RunResult &run);
+
+/**
+ * Run a config across a workload's rate levels and validate each
+ * point.
+ */
+ValidationSummary
+validateWorkload(const server::ServerConfig &cfg,
+                 const workload::WorkloadProfile &profile);
+
+} // namespace aw::analysis
+
+#endif // AW_ANALYSIS_VALIDATION_HH

@@ -1,0 +1,25 @@
+#include "core/aw_core.hh"
+
+namespace aw::core {
+
+AwCoreModel::AwCoreModel()
+{
+    _inventory = std::make_unique<uarch::UnitInventory>(
+        uarch::UnitInventory::skylakeServer());
+    _caches = std::make_unique<uarch::PrivateCaches>(
+        uarch::PrivateCaches::skylakeServer());
+    _context = std::make_unique<uarch::CoreContext>();
+    _ufpg = std::make_unique<Ufpg>(Ufpg::skylakeServer(*_inventory));
+    _ccsm = std::make_unique<Ccsm>(Ccsm::skylakeServer(*_caches));
+    _controller = std::make_unique<C6aController>(*_ufpg, *_ccsm);
+    _ppa = std::make_unique<AwPpaModel>(*_ufpg, *_ccsm);
+}
+
+cstate::TransitionEngine
+AwCoreModel::makeTransitionEngine() const
+{
+    return cstate::TransitionEngine(*_caches, *_context,
+                                    _controller->awLatencies());
+}
+
+} // namespace aw::core

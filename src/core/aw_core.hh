@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Convenience aggregate: one object owning the full AgileWatts stack
+ * for a Skylake-like core (inventory, caches, context, UFPG, CCSM,
+ * PMA controller, PPA model) wired together with the calibrated
+ * paper constants. Examples and the server simulator build one of
+ * these per core (or share a const instance where only constants
+ * are read).
+ */
+
+#ifndef AW_CORE_AW_CORE_HH
+#define AW_CORE_AW_CORE_HH
+
+#include <memory>
+
+#include "core/ccsm.hh"
+#include "core/pma.hh"
+#include "core/ppa.hh"
+#include "core/ufpg.hh"
+#include "cstate/transition.hh"
+#include "uarch/cache.hh"
+#include "uarch/context.hh"
+#include "uarch/core_units.hh"
+
+namespace aw::core {
+
+/**
+ * A fully-wired AgileWatts core model.
+ */
+class AwCoreModel
+{
+  public:
+    AwCoreModel();
+
+    const uarch::UnitInventory &inventory() const { return *_inventory; }
+    uarch::PrivateCaches &caches() { return *_caches; }
+    const uarch::PrivateCaches &caches() const { return *_caches; }
+    const uarch::CoreContext &context() const { return *_context; }
+    const Ufpg &ufpg() const { return *_ufpg; }
+    const Ccsm &ccsm() const { return *_ccsm; }
+    const C6aController &controller() const { return *_controller; }
+    C6aController &controller() { return *_controller; }
+    const AwPpaModel &ppa() const { return *_ppa; }
+
+    /** A transition engine bound to this core's models, with the AW
+     *  hardware latencies installed. */
+    cstate::TransitionEngine makeTransitionEngine() const;
+
+  private:
+    std::unique_ptr<uarch::UnitInventory> _inventory;
+    std::unique_ptr<uarch::PrivateCaches> _caches;
+    std::unique_ptr<uarch::CoreContext> _context;
+    std::unique_ptr<Ufpg> _ufpg;
+    std::unique_ptr<Ccsm> _ccsm;
+    std::unique_ptr<C6aController> _controller;
+    std::unique_ptr<AwPpaModel> _ppa;
+};
+
+} // namespace aw::core
+
+#endif // AW_CORE_AW_CORE_HH

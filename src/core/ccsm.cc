@@ -1,0 +1,35 @@
+#include "core/ccsm.hh"
+
+namespace aw::core {
+
+Ccsm::Ccsm(const uarch::PrivateCaches &caches,
+           power::SramSleepMode arrays, power::Watts rest_power_p1,
+           power::Watts rest_power_pn)
+    : _caches(caches), _arrays(std::move(arrays)),
+      _restPowerP1(rest_power_p1), _restPowerPn(rest_power_pn)
+{
+}
+
+Ccsm
+Ccsm::skylakeServer(const uarch::PrivateCaches &caches)
+{
+    // Data arrays: derived from the 2.5 MB 22 nm L3 slice reference,
+    // scaled by capacity to ~1.1 MB and by 0.7x to 14 nm -> ~55 mW
+    // at the P1 voltage; the higher LVR efficiency at the Pn voltage
+    // leaves ~40 mW (Sec 5.1.2). The SramSleepMode::skylakeL1L2
+    // instance carries exactly these anchors.
+    //
+    // Controllers/tags: same method gives ~55 mW at P1 / ~33 mW at
+    // Pn (Table 3).
+    return Ccsm(caches, power::SramSleepMode::skylakeL1L2(),
+                power::milliwatts(55.0), power::milliwatts(33.0));
+}
+
+power::Interval
+Ccsm::sleepAreaOverheadOfCore(double cache_area_fraction) const
+{
+    return power::SramSleepMode::kAreaOverhead *
+           (cache_area_fraction * kDataArrayAreaFraction);
+}
+
+} // namespace aw::core

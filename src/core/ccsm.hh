@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cache Coherence and Sleep Mode (CCSM), Sec 4.2 / 5.1.2.
+ *
+ * In C6A/C6AE the private caches stay power-ungated (no flush) but
+ * clock-gated, with the SRAM data arrays held at retention voltage
+ * through sleep transistors. A tiny always-on detector watches for
+ * snoops; on arrival the PMA wakes the cache domain (clock ungate +
+ * sleep exit), serves the probes, and rolls back.
+ */
+
+#ifndef AW_CORE_CCSM_HH
+#define AW_CORE_CCSM_HH
+
+#include <cstdint>
+
+#include "power/sram_sleep.hh"
+#include "power/units.hh"
+#include "sim/types.hh"
+#include "uarch/cache.hh"
+
+namespace aw::core {
+
+/**
+ * The CCSM subsystem of one core.
+ */
+class Ccsm
+{
+  public:
+    /**
+     * @param caches        the core's private caches
+     * @param arrays        sleep-mode model of the L1/L2 data arrays
+     * @param rest_power_p1 sleep power of the rest of the ungated
+     *                      memory subsystem (controllers, tags) at P1
+     * @param rest_power_pn ... at Pn
+     */
+    Ccsm(const uarch::PrivateCaches &caches,
+         power::SramSleepMode arrays, power::Watts rest_power_p1,
+         power::Watts rest_power_pn);
+
+    /** The paper's Skylake instance: 55+55 mW at P1, 40+33 at Pn. */
+    static Ccsm skylakeServer(const uarch::PrivateCaches &caches);
+
+    /** Sleep power of the data arrays (C6A / P1 voltage). */
+    power::Watts arrayPowerP1() const
+    {
+        return _arrays.sleepPowerAtP1();
+    }
+
+    /** Sleep power of the data arrays (C6AE / Pn voltage). */
+    power::Watts arrayPowerPn() const
+    {
+        return _arrays.sleepPowerAtPn();
+    }
+
+    /** Sleep power of controllers/tags at P1. */
+    power::Watts restPowerP1() const { return _restPowerP1; }
+
+    /** Sleep power of controllers/tags at Pn. */
+    power::Watts restPowerPn() const { return _restPowerPn; }
+
+    /** Total CCSM power in C6A. */
+    power::Watts
+    totalPowerP1() const
+    {
+        return arrayPowerP1() + restPowerP1();
+    }
+
+    /** Total CCSM power in C6AE. */
+    power::Watts
+    totalPowerPn() const
+    {
+        return arrayPowerPn() + restPowerPn();
+    }
+
+    /** Area overhead of the sleep transistors over the core: the
+     *  data array is ~90% of the cache area. */
+    power::Interval sleepAreaOverheadOfCore(
+        double cache_area_fraction) const;
+
+    /** @{ Snoop-path power deltas (Sec 7.5).
+     *  While actively serving snoops, the baseline C1 core pays
+     *  ~50 mW to clock-ungate the L1/L2 subsystem; a C6A core pays
+     *  ~120 mW to additionally raise the arrays out of sleep. */
+    static constexpr power::Watts kSnoopServiceDeltaC1 =
+        power::milliwatts(50.0);
+    static constexpr power::Watts kSnoopServiceDeltaC6a =
+        power::milliwatts(120.0);
+    /** @} */
+
+    /** @{ Sleep-mode transition cycle counts (PMA cycles). */
+    static constexpr std::uint64_t kSleepEntryCycles =
+        power::SramSleepMode::kEntryCycles;
+    static constexpr std::uint64_t kSleepExitCycles =
+        power::SramSleepMode::kExitCycles;
+    /** @} */
+
+    /** Fraction of cache area occupied by the data arrays. */
+    static constexpr double kDataArrayAreaFraction = 0.90;
+
+    const power::SramSleepMode &arrays() const { return _arrays; }
+    const uarch::PrivateCaches &caches() const { return _caches; }
+
+  private:
+    const uarch::PrivateCaches &_caches;
+    power::SramSleepMode _arrays;
+    power::Watts _restPowerP1;
+    power::Watts _restPowerPn;
+};
+
+} // namespace aw::core
+
+#endif // AW_CORE_CCSM_HH

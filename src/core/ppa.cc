@@ -1,0 +1,160 @@
+#include "core/ppa.hh"
+
+namespace aw::core {
+
+using power::Interval;
+
+AwPpaModel::AwPpaModel(const Ufpg &ufpg, const Ccsm &ccsm,
+                       power::Adpll adpll, power::Fivr fivr)
+    : _ufpg(ufpg), _ccsm(ccsm), _adpll(adpll), _fivr(fivr)
+{
+}
+
+Interval
+AwPpaModel::ufpgGatePowerC6a() const
+{
+    return _ufpg.residualPowerP1();
+}
+
+Interval
+AwPpaModel::ufpgGatePowerC6ae() const
+{
+    return _ufpg.residualPowerPn();
+}
+
+Interval
+AwPpaModel::contextPowerC6a() const
+{
+    return Interval::point(_ufpg.contextPowerP1());
+}
+
+Interval
+AwPpaModel::contextPowerC6ae() const
+{
+    return Interval::point(_ufpg.contextPowerPn());
+}
+
+Interval
+AwPpaModel::ccsmCachePowerC6a() const
+{
+    return Interval::point(_ccsm.arrayPowerP1());
+}
+
+Interval
+AwPpaModel::ccsmCachePowerC6ae() const
+{
+    return Interval::point(_ccsm.arrayPowerPn());
+}
+
+Interval
+AwPpaModel::ccsmRestPowerC6a() const
+{
+    return Interval::point(_ccsm.restPowerP1());
+}
+
+Interval
+AwPpaModel::ccsmRestPowerC6ae() const
+{
+    return Interval::point(_ccsm.restPowerPn());
+}
+
+Interval
+AwPpaModel::pmaPowerC6a() const
+{
+    return Interval::point(C6aController::kControllerPower);
+}
+
+Interval
+AwPpaModel::adpllPower() const
+{
+    return Interval::point(power::Adpll::kPower);
+}
+
+Interval
+AwPpaModel::fivrConversionLossC6a() const
+{
+    const Interval load = ufpgGatePowerC6a() + contextPowerC6a() +
+                          ccsmCachePowerC6a() + ccsmRestPowerC6a();
+    return _fivr.conversionLoss(load);
+}
+
+Interval
+AwPpaModel::fivrConversionLossC6ae() const
+{
+    const Interval load = ufpgGatePowerC6ae() + contextPowerC6ae() +
+                          ccsmCachePowerC6ae() + ccsmRestPowerC6ae();
+    return _fivr.conversionLoss(load);
+}
+
+Interval
+AwPpaModel::fivrStaticLoss() const
+{
+    return Interval::point(_fivr.staticLoss());
+}
+
+Interval
+AwPpaModel::totalPowerC6a() const
+{
+    return ufpgGatePowerC6a() + contextPowerC6a() +
+           ccsmCachePowerC6a() + ccsmRestPowerC6a() +
+           pmaPowerC6a() + adpllPower() + fivrConversionLossC6a() +
+           fivrStaticLoss();
+}
+
+Interval
+AwPpaModel::totalPowerC6ae() const
+{
+    return ufpgGatePowerC6ae() + contextPowerC6ae() +
+           ccsmCachePowerC6ae() + ccsmRestPowerC6ae() +
+           pmaPowerC6a() + adpllPower() + fivrConversionLossC6ae() +
+           fivrStaticLoss();
+}
+
+Interval
+AwPpaModel::totalAreaFractionOfCore() const
+{
+    // UFPG gates: 2-6% of the gated ~70% of core area.
+    Interval total = _ufpg.gateAreaOverheadOfCore();
+    // Context retention: <1% of the (small) context area; carried
+    // as up to 0.5% of core to cover isolation cells and routing.
+    total += Interval(0.0, 0.005);
+    // Cache sleep transistors: 2-6% of the data-array area.
+    const double cache_frac = _ufpg.inventory().areaFraction(
+        uarch::PowerDomain::CacheSleep);
+    total += _ccsm.sleepAreaOverheadOfCore(cache_frac);
+    // C6A controller: up to 5% of the PMA, itself a small uncore
+    // block; bounded by 0.5% of core area equivalent.
+    total += Interval(0.0, 0.005);
+    return total;
+}
+
+std::vector<PpaRow>
+AwPpaModel::rows() const
+{
+    std::vector<PpaRow> rows;
+    rows.push_back({"UFPG", "Unit power-gates (~70% of core)",
+                    "2-6% of power-gated area", ufpgGatePowerC6a(),
+                    ufpgGatePowerC6ae()});
+    rows.push_back({"UFPG", "In-place context (regs/SRPG/SRAM)",
+                    "<1% of retained context area",
+                    contextPowerC6a(), contextPowerC6ae()});
+    rows.push_back({"CCSM", "L1/L2 caches in sleep-mode",
+                    "2-6% of private cache area",
+                    ccsmCachePowerC6a(), ccsmCachePowerC6ae()});
+    rows.push_back({"CCSM", "Rest of the memory subsystem",
+                    "<1% of the ungated units", ccsmRestPowerC6a(),
+                    ccsmRestPowerC6ae()});
+    rows.push_back({"PMA flow", "C6A controller (uncore)",
+                    "<5% of core PMA", pmaPowerC6a(),
+                    pmaPowerC6a()});
+    rows.push_back({"ADPLL & FIVR", "ADPLL", "0%", adpllPower(),
+                    adpllPower()});
+    rows.push_back({"ADPLL & FIVR", "Core FIVR inefficiency", "0%",
+                    fivrConversionLossC6a(),
+                    fivrConversionLossC6ae()});
+    rows.push_back({"ADPLL & FIVR", "FIVR static losses", "0%",
+                    fivrStaticLoss(), fivrStaticLoss()});
+    return rows;
+}
+
+} // namespace aw::core

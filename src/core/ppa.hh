@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The AgileWatts power-performance-area (PPA) rollup: Table 3.
+ *
+ * Every row is computed from the underlying component models
+ * (UFPG residual leakage, context retention, CCSM sleep power, PMA
+ * controller, ADPLL, FIVR losses) with the paper's uncertainty
+ * ranges propagated as intervals, so the totals come out as the
+ * same lo-hi ranges the paper prints (C6A 290-315 mW, C6AE
+ * 227-243 mW, 3-7% core area).
+ */
+
+#ifndef AW_CORE_PPA_HH
+#define AW_CORE_PPA_HH
+
+#include <string>
+#include <vector>
+
+#include "core/ccsm.hh"
+#include "core/pma.hh"
+#include "core/ufpg.hh"
+#include "power/regulators.hh"
+#include "power/units.hh"
+
+namespace aw::core {
+
+/** One Table 3 row. */
+struct PpaRow
+{
+    std::string component;
+    std::string subComponent;
+    std::string areaRequirement;  //!< human-readable, as in Table 3
+    power::Interval powerC6a;     //!< watts
+    power::Interval powerC6ae;    //!< watts
+};
+
+/**
+ * The full PPA model.
+ */
+class AwPpaModel
+{
+  public:
+    AwPpaModel(const Ufpg &ufpg, const Ccsm &ccsm,
+               power::Adpll adpll = power::Adpll(),
+               power::Fivr fivr = power::Fivr());
+
+    /** All Table 3 rows, in the paper's order. */
+    std::vector<PpaRow> rows() const;
+
+    /** @{ Aggregates. */
+    power::Interval totalPowerC6a() const;
+    power::Interval totalPowerC6ae() const;
+
+    /** Total extra core area, as a fraction of core area. */
+    power::Interval totalAreaFractionOfCore() const;
+    /** @} */
+
+    /** @{ Individual terms (used by tests and the C-state glue). */
+    power::Interval ufpgGatePowerC6a() const;
+    power::Interval ufpgGatePowerC6ae() const;
+    power::Interval contextPowerC6a() const;
+    power::Interval contextPowerC6ae() const;
+    power::Interval ccsmCachePowerC6a() const;
+    power::Interval ccsmCachePowerC6ae() const;
+    power::Interval ccsmRestPowerC6a() const;
+    power::Interval ccsmRestPowerC6ae() const;
+    power::Interval pmaPowerC6a() const;
+    power::Interval adpllPower() const;
+
+    /**
+     * FIVR conversion loss: applies to the power actually delivered
+     * through the core rail (UFPG residual + context + CCSM); the
+     * PMA lives in the uncore and the ADPLL has its own supply.
+     */
+    power::Interval fivrConversionLossC6a() const;
+    power::Interval fivrConversionLossC6ae() const;
+    power::Interval fivrStaticLoss() const;
+    /** @} */
+
+    /**
+     * The midpoint C6A/C6AE core power used by the average-power
+     * model when a single number is needed (paper headline: ~0.3 W
+     * and ~0.23 W).
+     */
+    power::Watts c6aPowerMid() const
+    {
+        return totalPowerC6a().mid();
+    }
+
+    power::Watts c6aePowerMid() const
+    {
+        return totalPowerC6ae().mid();
+    }
+
+  private:
+    const Ufpg &_ufpg;
+    const Ccsm &_ccsm;
+    power::Adpll _adpll;
+    power::Fivr _fivr;
+};
+
+} // namespace aw::core
+
+#endif // AW_CORE_PPA_HH

@@ -1,0 +1,37 @@
+#include "core/schemes.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::core {
+
+std::vector<PowerGatingScheme>
+powerGatingSchemes(const C6aController &controller)
+{
+    std::vector<PowerGatingScheme> rows;
+    rows.push_back({"Roy et al. [109]", "In-order CPU", "Cache miss",
+                    "Register file", "5 cycles", 0});
+    rows.push_back({"MAPG [102]", "In-order CPU", "Cache miss",
+                    "Core", "10ns", 10 * sim::kTicksPerNs});
+    rows.push_back({"Hu et al. [47]", "OoO CPU",
+                    "Execution unit idle", "Execution units",
+                    "9 cycles", 0});
+    rows.push_back({"Battle et al. [110]", "OoO CPU",
+                    "Register file bank idle", "Register file bank",
+                    "17 cycles", 0});
+    rows.push_back({"GPU RF virt. [111]", "GPU",
+                    "Register subarray unused", "Register subarray",
+                    "10 cycles", 0});
+    rows.push_back({"IChannels [35]", "OoO CPU",
+                    "AVX execution unit idle",
+                    "Intel AVX execution unit", "~10-15ns",
+                    15 * sim::kTicksPerNs});
+
+    const sim::Tick aw_wake = controller.exitLatency();
+    rows.push_back({"AW (This work)", "OoO CPU", "Core idle",
+                    "Most of core units",
+                    sim::strprintf("~%.0fns", sim::toNs(aw_wake)),
+                    aw_wake});
+    return rows;
+}
+
+} // namespace aw::core

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Registry of core power-gating schemes (Table 4): prior work the
+ * paper positions AgileWatts against, plus the AW row computed from
+ * the live controller model.
+ */
+
+#ifndef AW_CORE_SCHEMES_HH
+#define AW_CORE_SCHEMES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/pma.hh"
+#include "sim/types.hh"
+
+namespace aw::core {
+
+/** One Table 4 row. */
+struct PowerGatingScheme
+{
+    std::string technique;   //!< citation tag or "AW (This work)"
+    std::string coreType;    //!< in-order / OoO CPU / GPU
+    std::string trigger;     //!< what initiates gating
+    std::string gatedBlocks; //!< what is gated
+    std::string wakeOverhead; //!< as reported by the source
+
+    /** Wake overhead in ticks where the source gives time (0 when
+     *  only cycle counts are reported). */
+    sim::Tick wakeOverheadTime = 0;
+};
+
+/**
+ * The Table 4 registry. The literature rows carry the published
+ * numbers; the AW row's wake overhead is computed from
+ * @p controller so it tracks the model.
+ */
+std::vector<PowerGatingScheme>
+powerGatingSchemes(const C6aController &controller);
+
+} // namespace aw::core
+
+#endif // AW_CORE_SCHEMES_HH

@@ -1,0 +1,59 @@
+#include "core/ufpg.hh"
+
+#include "cstate/cstate.hh"
+
+namespace aw::core {
+
+Ufpg::Ufpg(const uarch::UnitInventory &inventory,
+           power::Watts core_leakage_p1, power::Watts core_leakage_pn,
+           power::ContextRetention context)
+    : _inventory(inventory), _coreLeakageP1(core_leakage_p1),
+      _coreLeakagePn(core_leakage_pn), _context(context)
+{
+}
+
+Ufpg
+Ufpg::skylakeServer(const uarch::UnitInventory &inventory)
+{
+    // Core leakage ~= C1 power at P1 and ~= C1E power at Pn
+    // (clock gating removes the dynamic component only).
+    const power::Watts leak_p1 =
+        cstate::descriptor(cstate::CStateId::C1).corePower;
+    const power::Watts leak_pn =
+        cstate::descriptor(cstate::CStateId::C1E).corePower;
+    return Ufpg(inventory, leak_p1, leak_pn);
+}
+
+power::Watts
+Ufpg::gatedLeakageP1() const
+{
+    return _coreLeakageP1 *
+           _inventory.leakageFraction(uarch::PowerDomain::Ufpg);
+}
+
+power::Watts
+Ufpg::gatedLeakagePn() const
+{
+    return _coreLeakagePn *
+           _inventory.leakageFraction(uarch::PowerDomain::Ufpg);
+}
+
+power::Interval
+Ufpg::residualPowerP1() const
+{
+    return power::PowerGate(gatedLeakageP1(), 0.0).residualLeakage();
+}
+
+power::Interval
+Ufpg::residualPowerPn() const
+{
+    return power::PowerGate(gatedLeakagePn(), 0.0).residualLeakage();
+}
+
+power::Interval
+Ufpg::gateAreaOverheadOfCore() const
+{
+    return power::PowerGate::kAreaOverhead * gatedAreaFraction();
+}
+
+} // namespace aw::core

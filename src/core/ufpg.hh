@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Units' Fast Power-Gating (UFPG), Sec 4.1 / 5.1.1.
+ *
+ * Medium-grain power gates over ~70% of the core (everything except
+ * the private caches and their controllers) with in-place context
+ * retention, so entering/leaving the gated state costs cycles
+ * instead of the microseconds of the external save/restore path.
+ */
+
+#ifndef AW_CORE_UFPG_HH
+#define AW_CORE_UFPG_HH
+
+#include <cstdint>
+
+#include "power/power_gate.hh"
+#include "power/srpg.hh"
+#include "power/units.hh"
+#include "uarch/core_units.hh"
+
+namespace aw::core {
+
+/**
+ * The UFPG subsystem of one core.
+ *
+ * Power accounting follows the paper's derivation:
+ *  - the core's total leakage is approximated by the C1 power (C1
+ *    removes dynamic power only);
+ *  - the gated units contribute their leakage fraction (~70%) of
+ *    that;
+ *  - the gates keep 3-5% of the gated leakage;
+ *  - the retained ~8 KB context costs ~2 mW at the P1 voltage and
+ *    ~1 mW at Pn.
+ */
+class Ufpg
+{
+  public:
+    /**
+     * @param inventory       the core's unit inventory
+     * @param core_leakage_p1 total core leakage at P1 (~C1 power)
+     * @param core_leakage_pn total core leakage at Pn (~C1E power)
+     * @param context         in-place context retention model
+     */
+    Ufpg(const uarch::UnitInventory &inventory,
+         power::Watts core_leakage_p1, power::Watts core_leakage_pn,
+         power::ContextRetention context = power::ContextRetention());
+
+    /** The calibrated Skylake server instance (Table 1 anchors). */
+    static Ufpg skylakeServer(const uarch::UnitInventory &inventory);
+
+    /** Leakage of the gated domain when ungated, at P1. */
+    power::Watts gatedLeakageP1() const;
+
+    /** Leakage of the gated domain when ungated, at Pn. */
+    power::Watts gatedLeakagePn() const;
+
+    /** Residual power of the gated units in C6A (paper: 30-50 mW). */
+    power::Interval residualPowerP1() const;
+
+    /** Residual power of the gated units in C6AE (18-30 mW). */
+    power::Interval residualPowerPn() const;
+
+    /** Context retention power in C6A (~2 mW). */
+    power::Watts contextPowerP1() const
+    {
+        return _context.powerAtP1();
+    }
+
+    /** Context retention power in C6AE (~1 mW). */
+    power::Watts contextPowerPn() const
+    {
+        return _context.powerAtPn();
+    }
+
+    /** Area overhead of the gates relative to total core area. */
+    power::Interval gateAreaOverheadOfCore() const;
+
+    /** Fraction of core area under UFPG gates. */
+    double
+    gatedAreaFraction() const
+    {
+        return _inventory.areaFraction(uarch::PowerDomain::Ufpg);
+    }
+
+    /**
+     * Frequency degradation from the extra IR drop across the new
+     * gates; an x86 core power-gate implementation reports <1%
+     * loss, and the paper's model assumes 1%.
+     */
+    static constexpr double kFrequencyDegradation = 0.01;
+
+    /** @{ In-place save/restore timing (PMA cycles). */
+    static constexpr std::uint64_t kSaveCycles =
+        power::ContextRetention::kSaveCycles;
+    static constexpr std::uint64_t kRestoreCycles =
+        power::ContextRetention::kRestoreCycles;
+    /** @} */
+
+    const uarch::UnitInventory &inventory() const { return _inventory; }
+    const power::ContextRetention &context() const { return _context; }
+
+  private:
+    const uarch::UnitInventory &_inventory;
+    power::Watts _coreLeakageP1;
+    power::Watts _coreLeakagePn;
+    power::ContextRetention _context;
+};
+
+} // namespace aw::core
+
+#endif // AW_CORE_UFPG_HH

@@ -1,0 +1,114 @@
+#include "cstate/config.hh"
+
+#include <algorithm>
+
+namespace aw::cstate {
+
+std::vector<CStateId>
+CStateConfig::enabledStates() const
+{
+    std::vector<CStateId> out;
+    for (std::size_t i = 0; i < kNumCStates; ++i) {
+        const auto id = static_cast<CStateId>(i);
+        if (id == CStateId::C0 || !_enabled[i])
+            continue;
+        out.push_back(id);
+    }
+    std::sort(out.begin(), out.end(),
+              [](CStateId a, CStateId b) {
+                  return descriptor(a).depth < descriptor(b).depth;
+              });
+    return out;
+}
+
+CStateId
+CStateConfig::deepestEnabled() const
+{
+    const auto states = enabledStates();
+    return states.empty() ? CStateId::C0 : states.back();
+}
+
+CStateId
+CStateConfig::shallowestEnabled() const
+{
+    const auto states = enabledStates();
+    return states.empty() ? CStateId::C0 : states.front();
+}
+
+bool
+CStateConfig::anyEnabled() const
+{
+    return !enabledStates().empty();
+}
+
+bool
+CStateConfig::usesAgileWatts() const
+{
+    for (const auto id : enabledStates()) {
+        if (descriptor(id).isAgileWatts)
+            return true;
+    }
+    return false;
+}
+
+CStateConfig
+CStateConfig::legacyBaseline()
+{
+    return CStateConfig()
+        .set(CStateId::C1)
+        .set(CStateId::C1E)
+        .set(CStateId::C6);
+}
+
+CStateConfig
+CStateConfig::legacyNoC6()
+{
+    return CStateConfig().set(CStateId::C1).set(CStateId::C1E);
+}
+
+CStateConfig
+CStateConfig::legacyNoC6NoC1E()
+{
+    return CStateConfig().set(CStateId::C1);
+}
+
+CStateConfig
+CStateConfig::legacyC1C6()
+{
+    return CStateConfig().set(CStateId::C1).set(CStateId::C6);
+}
+
+CStateConfig
+CStateConfig::aw()
+{
+    return CStateConfig()
+        .set(CStateId::C6A)
+        .set(CStateId::C6AE)
+        .set(CStateId::C6);
+}
+
+CStateConfig
+CStateConfig::awNoC6()
+{
+    return CStateConfig().set(CStateId::C6A).set(CStateId::C6AE);
+}
+
+CStateConfig
+CStateConfig::awNoC6NoC1E()
+{
+    return CStateConfig().set(CStateId::C6A);
+}
+
+std::string
+CStateConfig::describe() const
+{
+    std::string out;
+    for (const auto id : enabledStates()) {
+        if (!out.empty())
+            out += "+";
+        out += name(id);
+    }
+    return out.empty() ? "none" : out;
+}
+
+} // namespace aw::cstate

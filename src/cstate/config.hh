@@ -1,0 +1,77 @@
+/**
+ * @file
+ * C-state configuration: which idle states the platform exposes.
+ *
+ * Mirrors the BIOS/OS knobs the paper's evaluation toggles
+ * (disabling C6, disabling C1E, replacing C1/C1E with C6A/C6AE).
+ */
+
+#ifndef AW_CSTATE_CONFIG_HH
+#define AW_CSTATE_CONFIG_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cstate/cstate.hh"
+
+namespace aw::cstate {
+
+/**
+ * The set of enabled idle states.
+ */
+class CStateConfig
+{
+  public:
+    CStateConfig() { _enabled.fill(false); }
+
+    /** Enable (or disable) one idle state. */
+    CStateConfig &
+    set(CStateId id, bool on = true)
+    {
+        _enabled.at(index(id)) = on;
+        return *this;
+    }
+
+    bool enabled(CStateId id) const { return _enabled.at(index(id)); }
+
+    /** All enabled idle states, shallowest first. */
+    std::vector<CStateId> enabledStates() const;
+
+    /** Deepest enabled idle state (C0 if none). */
+    CStateId deepestEnabled() const;
+
+    /** Shallowest enabled idle state (C0 if none). */
+    CStateId shallowestEnabled() const;
+
+    /** True if any idle state is enabled. */
+    bool anyEnabled() const;
+
+    /** True if an AgileWatts state is enabled. */
+    bool usesAgileWatts() const;
+
+    /** @{ Named presets used throughout the evaluation.
+     *
+     * Legacy = the Skylake hierarchy; Aw = C1/C1E replaced by
+     * C6A/C6AE. The No-suffix variants mirror the paper's tuned
+     * configurations (NT_No_C6 etc. combine these with the Turbo
+     * flag held by server::ServerConfig). */
+    static CStateConfig legacyBaseline();  //!< C1, C1E, C6
+    static CStateConfig legacyNoC6();      //!< C1, C1E
+    static CStateConfig legacyNoC6NoC1E(); //!< C1 only
+    static CStateConfig legacyC1C6();      //!< C1, C6 (MySQL/Kafka baseline)
+    static CStateConfig aw();              //!< C6A, C6AE, C6
+    static CStateConfig awNoC6();          //!< C6A, C6AE
+    static CStateConfig awNoC6NoC1E();     //!< C6A only
+    /** @} */
+
+    /** Human-readable list, e.g. "C1+C1E+C6". */
+    std::string describe() const;
+
+  private:
+    std::array<bool, kNumCStates> _enabled;
+};
+
+} // namespace aw::cstate
+
+#endif // AW_CSTATE_CONFIG_HH

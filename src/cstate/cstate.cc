@@ -1,0 +1,170 @@
+#include "cstate/cstate.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::cstate {
+
+const char *
+name(CStateId id)
+{
+    switch (id) {
+      case CStateId::C0: return "C0";
+      case CStateId::C1: return "C1";
+      case CStateId::C1E: return "C1E";
+      case CStateId::C6A: return "C6A";
+      case CStateId::C6AE: return "C6AE";
+      case CStateId::C6: return "C6";
+      default: return "?";
+    }
+}
+
+const char *
+name(ClockState s)
+{
+    return s == ClockState::Running ? "Running" : "Stopped";
+}
+
+const char *
+name(PllState s)
+{
+    return s == PllState::On ? "On" : "Off";
+}
+
+const char *
+name(CacheState s)
+{
+    return s == CacheState::Coherent ? "Coherent" : "Flushed";
+}
+
+const char *
+name(VoltageState s)
+{
+    switch (s) {
+      case VoltageState::Active: return "Active";
+      case VoltageState::MinVF: return "Min V/F";
+      case VoltageState::PgRetActive: return "PG/Ret/Active";
+      case VoltageState::PgRetMinVF: return "PG/Ret/Min V/F";
+      case VoltageState::ShutOff: return "Shut-off";
+      default: return "?";
+    }
+}
+
+const char *
+name(ContextState s)
+{
+    switch (s) {
+      case ContextState::Maintained: return "Maintained";
+      case ContextState::InPlaceSR: return "In-place S/R";
+      case ContextState::SramSR: return "S/R SRAM";
+      default: return "?";
+    }
+}
+
+namespace {
+
+std::array<CStateDescriptor, kNumCStates>
+makeDescriptors()
+{
+    std::array<CStateDescriptor, kNumCStates> d{};
+
+    auto &c0 = d[index(CStateId::C0)];
+    c0.id = CStateId::C0;
+    c0.clocks = ClockState::Running;
+    c0.pll = PllState::On;
+    c0.caches = CacheState::Coherent;
+    c0.voltage = VoltageState::Active;
+    c0.context = ContextState::Maintained;
+    c0.transitionTime = 0;
+    c0.targetResidency = 0;
+    c0.corePower = kC0PowerP1;
+    c0.depth = 0;
+
+    auto &c1 = d[index(CStateId::C1)];
+    c1.id = CStateId::C1;
+    c1.clocks = ClockState::Stopped;
+    c1.pll = PllState::On;
+    c1.caches = CacheState::Coherent;
+    c1.voltage = VoltageState::Active;
+    c1.context = ContextState::Maintained;
+    c1.transitionTime = sim::fromUs(2.0);
+    c1.targetResidency = sim::fromUs(2.0);
+    c1.corePower = 1.44;
+    c1.depth = 1;
+
+    auto &c1e = d[index(CStateId::C1E)];
+    c1e.id = CStateId::C1E;
+    c1e.clocks = ClockState::Stopped;
+    c1e.pll = PllState::On;
+    c1e.caches = CacheState::Coherent;
+    c1e.voltage = VoltageState::MinVF;
+    c1e.context = ContextState::Maintained;
+    c1e.transitionTime = sim::fromUs(10.0);
+    c1e.targetResidency = sim::fromUs(20.0);
+    c1e.corePower = 0.88;
+    c1e.atPn = true;
+    c1e.depth = 2;
+
+    auto &c6a = d[index(CStateId::C6A)];
+    c6a.id = CStateId::C6A;
+    c6a.clocks = ClockState::Stopped;
+    c6a.pll = PllState::On;
+    c6a.caches = CacheState::Coherent;
+    c6a.voltage = VoltageState::PgRetActive;
+    c6a.context = ContextState::InPlaceSR;
+    // Table 1 reports the same worst-case sw+hw envelope as the
+    // state it replaces (C1); the hardware-only latency is <100 ns
+    // and comes from core::C6aController.
+    c6a.transitionTime = sim::fromUs(2.0);
+    c6a.targetResidency = sim::fromUs(2.0);
+    c6a.corePower = 0.3;
+    c6a.isAgileWatts = true;
+    c6a.depth = 3;
+
+    auto &c6ae = d[index(CStateId::C6AE)];
+    c6ae.id = CStateId::C6AE;
+    c6ae.clocks = ClockState::Stopped;
+    c6ae.pll = PllState::On;
+    c6ae.caches = CacheState::Coherent;
+    c6ae.voltage = VoltageState::PgRetMinVF;
+    c6ae.context = ContextState::InPlaceSR;
+    c6ae.transitionTime = sim::fromUs(10.0);
+    c6ae.targetResidency = sim::fromUs(20.0);
+    c6ae.corePower = 0.23;
+    c6ae.atPn = true;
+    c6ae.isAgileWatts = true;
+    c6ae.depth = 4;
+
+    auto &c6 = d[index(CStateId::C6)];
+    c6.id = CStateId::C6;
+    c6.clocks = ClockState::Stopped;
+    c6.pll = PllState::Off;
+    c6.caches = CacheState::Flushed;
+    c6.voltage = VoltageState::ShutOff;
+    c6.context = ContextState::SramSR;
+    c6.transitionTime = sim::fromUs(133.0);
+    c6.targetResidency = sim::fromUs(600.0);
+    c6.corePower = 0.1;
+    c6.depth = 5;
+
+    return d;
+}
+
+} // namespace
+
+const std::array<CStateDescriptor, kNumCStates> &
+allDescriptors()
+{
+    static const auto descriptors = makeDescriptors();
+    return descriptors;
+}
+
+const CStateDescriptor &
+descriptor(CStateId id)
+{
+    if (id >= CStateId::NumStates)
+        sim::panic("descriptor: bad C-state id %d",
+                   static_cast<int>(id));
+    return allDescriptors()[index(id)];
+}
+
+} // namespace aw::cstate

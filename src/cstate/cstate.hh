@@ -1,0 +1,130 @@
+/**
+ * @file
+ * C-state identifiers and descriptors: the per-state attributes of
+ * Table 1 (latency, target residency, power) and Table 2 (component
+ * states), for both the legacy Skylake hierarchy and AgileWatts'
+ * C6A/C6AE.
+ */
+
+#ifndef AW_CSTATE_CSTATE_HH
+#define AW_CSTATE_CSTATE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "power/units.hh"
+#include "sim/types.hh"
+
+namespace aw::cstate {
+
+/**
+ * Core C-states. Order encodes depth: a numerically larger enum is
+ * a deeper (lower-power) state. C6A/C6AE slot between C1E and C6 in
+ * depth-of-savings but replace C1/C1E in the AW configuration.
+ */
+enum class CStateId : std::uint8_t
+{
+    C0 = 0,   //!< active
+    C1,       //!< clock-gated (halt)
+    C1E,      //!< clock-gated at minimum voltage/frequency
+    C6A,      //!< AW: power-gated w/ in-place retention (at P1)
+    C6AE,     //!< AW: C6A + minimum voltage/frequency
+    C6,       //!< power-gated, caches flushed, context in S/R SRAM
+    NumStates,
+};
+
+constexpr std::size_t kNumCStates =
+    static_cast<std::size_t>(CStateId::NumStates);
+
+/** Index helper for arrays over C-states. */
+constexpr std::size_t
+index(CStateId id)
+{
+    return static_cast<std::size_t>(id);
+}
+
+/** Printable name ("C0", "C1E", "C6A", ...). */
+const char *name(CStateId id);
+
+/** @{ Table 2 component-state attributes. */
+enum class ClockState { Running, Stopped };
+enum class PllState { On, Off };
+enum class CacheState { Coherent, Flushed };
+enum class VoltageState
+{
+    Active,        //!< nominal operating voltage
+    MinVF,         //!< minimum operational voltage/frequency (Pn)
+    PgRetActive,   //!< PG'd units + retention + active caches (C6A)
+    PgRetMinVF,    //!< PG'd units + retention + min V/F (C6AE)
+    ShutOff,       //!< core rail at 0V (C6)
+};
+enum class ContextState
+{
+    Maintained,    //!< live in flops
+    InPlaceSR,     //!< retained in place across power gating (AW)
+    SramSR,        //!< saved to the uncore S/R SRAM (C6)
+};
+
+const char *name(ClockState s);
+const char *name(PllState s);
+const char *name(CacheState s);
+const char *name(VoltageState s);
+const char *name(ContextState s);
+/** @} */
+
+/**
+ * Static description of one C-state.
+ */
+struct CStateDescriptor
+{
+    CStateId id = CStateId::C0;
+
+    /** @{ Table 2 columns. */
+    ClockState clocks = ClockState::Running;
+    PllState pll = PllState::On;
+    CacheState caches = CacheState::Coherent;
+    VoltageState voltage = VoltageState::Active;
+    ContextState context = ContextState::Maintained;
+    /** @} */
+
+    /**
+     * Worst-case software+hardware transition time (entry + exit to
+     * first instruction), as reported in Table 1.
+     */
+    sim::Tick transitionTime = 0;
+
+    /** Minimum residency for the transition to pay off (Table 1). */
+    sim::Tick targetResidency = 0;
+
+    /** Core power while resident in this state (Table 1). */
+    power::Watts corePower = 0.0;
+
+    /** True if the state runs (or idles) at the Pn voltage point. */
+    bool atPn = false;
+
+    /** True for the AgileWatts states. */
+    bool isAgileWatts = false;
+
+    /** Depth ordering key: higher saves more power. */
+    int depth = 0;
+};
+
+/**
+ * The descriptor set for the modeled Skylake server core, with the
+ * paper's Table 1 constants. AW state power is filled from the PPA
+ * model's midpoints by core::awCStateDescriptors(); the defaults
+ * here carry the paper's headline ~0.3 W / ~0.23 W.
+ */
+const CStateDescriptor &descriptor(CStateId id);
+
+/** All descriptors, indexed by index(id). */
+const std::array<CStateDescriptor, kNumCStates> &allDescriptors();
+
+/** Power of the active state at the two frequency points. */
+constexpr power::Watts kC0PowerP1 = 4.0;
+constexpr power::Watts kC0PowerPn = 1.0;
+
+} // namespace aw::cstate
+
+#endif // AW_CSTATE_CSTATE_HH

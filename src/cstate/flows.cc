@@ -1,0 +1,155 @@
+#include "cstate/flows.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::cstate {
+
+const char *
+name(LegacyPhase p)
+{
+    switch (p) {
+      case LegacyPhase::C0: return "C0";
+      case LegacyPhase::C1ClockGate: return "c1.clock_gate";
+      case LegacyPhase::C1Resident: return "c1.resident";
+      case LegacyPhase::C1SnoopServe: return "c1.snoop_serve";
+      case LegacyPhase::C1ClockUngate: return "c1.clock_ungate";
+      case LegacyPhase::C6SaveContext: return "c6.save_context";
+      case LegacyPhase::C6FlushCaches: return "c6.flush";
+      case LegacyPhase::C6GateAndOff: return "c6.gate_and_off";
+      case LegacyPhase::C6Resident: return "c6.resident";
+      case LegacyPhase::C6PowerOn: return "c6.power_on";
+      case LegacyPhase::C6RestoreContext: return "c6.restore";
+      case LegacyPhase::C6Resume: return "c6.resume";
+      default: return "?";
+    }
+}
+
+LegacyFlowEngine::LegacyFlowEngine(uarch::PrivateCaches &caches,
+                                   const uarch::CoreContext &context,
+                                   const TransitionEngine &engine)
+    : _caches(caches), _context(context), _engine(engine)
+{
+}
+
+void
+LegacyFlowEngine::advance(sim::Simulator &simr, LegacyPhase next)
+{
+    _trace.push_back(PhaseRecord{_phase, _phaseStart, simr.now()});
+    _phase = next;
+    _phaseStart = simr.now();
+}
+
+void
+LegacyFlowEngine::step(sim::Simulator &simr, LegacyPhase current,
+                       sim::Tick dur, LegacyPhase next,
+                       std::function<void()> cont)
+{
+    if (_phase != current) {
+        sim::panic("LegacyFlowEngine: expected phase %s, in %s",
+                   name(current), name(_phase));
+    }
+    simr.scheduleIn(dur, [this, &simr, next,
+                          cont = std::move(cont)]() mutable {
+        advance(simr, next);
+        if (cont)
+            cont();
+    });
+}
+
+void
+LegacyFlowEngine::runC1Entry(sim::Simulator &simr,
+                             sim::Frequency freq,
+                             std::function<void()> done)
+{
+    if (_phase != LegacyPhase::C0)
+        sim::panic("runC1Entry from phase %s", name(_phase));
+    _phaseStart = simr.now();
+    advance(simr, LegacyPhase::C1ClockGate);
+    const sim::Tick gate =
+        _engine.hardwareLatency(CStateId::C1, freq).entry;
+    _caches.setState(uarch::CacheDomainState::ClockGated);
+    step(simr, LegacyPhase::C1ClockGate, gate,
+         LegacyPhase::C1Resident, std::move(done));
+}
+
+void
+LegacyFlowEngine::runC1Exit(sim::Simulator &simr,
+                            sim::Frequency freq,
+                            std::function<void()> done)
+{
+    if (_phase != LegacyPhase::C1Resident)
+        sim::panic("runC1Exit from phase %s", name(_phase));
+    advance(simr, LegacyPhase::C1ClockUngate);
+    const sim::Tick ungate =
+        _engine.hardwareLatency(CStateId::C1, freq).exit;
+    _caches.setState(uarch::CacheDomainState::Active);
+    step(simr, LegacyPhase::C1ClockUngate, ungate, LegacyPhase::C0,
+         std::move(done));
+}
+
+void
+LegacyFlowEngine::runC1Snoop(sim::Simulator &simr,
+                             sim::Frequency freq,
+                             sim::Tick serve_time,
+                             std::function<void()> done)
+{
+    if (_phase != LegacyPhase::C1Resident)
+        sim::panic("runC1Snoop from phase %s", name(_phase));
+    advance(simr, LegacyPhase::C1SnoopServe);
+    // Clock-ungate L1/L2 (2 cycles), serve, re-gate (2 cycles).
+    const sim::Tick window =
+        freq.cycles(4) + serve_time;
+    step(simr, LegacyPhase::C1SnoopServe, window,
+         LegacyPhase::C1Resident, std::move(done));
+}
+
+void
+LegacyFlowEngine::runC6Entry(sim::Simulator &simr,
+                             sim::Frequency freq,
+                             std::function<void()> done)
+{
+    if (_phase != LegacyPhase::C0)
+        sim::panic("runC6Entry from phase %s", name(_phase));
+    _phaseStart = simr.now();
+    const auto breakdown = _engine.c6EntryBreakdown(freq);
+    advance(simr, LegacyPhase::C6SaveContext);
+    step(simr, LegacyPhase::C6SaveContext, breakdown.contextSave,
+         LegacyPhase::C6FlushCaches,
+         [this, &simr, breakdown, done = std::move(done)]() mutable {
+        _caches.flush();
+        step(simr, LegacyPhase::C6FlushCaches, breakdown.flush,
+             LegacyPhase::C6GateAndOff,
+             [this, &simr, breakdown,
+              done = std::move(done)]() mutable {
+            step(simr, LegacyPhase::C6GateAndOff,
+                 breakdown.controller, LegacyPhase::C6Resident,
+                 std::move(done));
+        });
+    });
+}
+
+void
+LegacyFlowEngine::runC6Exit(sim::Simulator &simr,
+                            sim::Frequency freq,
+                            std::function<void()> done)
+{
+    if (_phase != LegacyPhase::C6Resident)
+        sim::panic("runC6Exit from phase %s", name(_phase));
+    const auto breakdown = _engine.c6ExitBreakdown(freq);
+    advance(simr, LegacyPhase::C6PowerOn);
+    step(simr, LegacyPhase::C6PowerOn, breakdown.hwWake,
+         LegacyPhase::C6RestoreContext,
+         [this, &simr, breakdown, done = std::move(done)]() mutable {
+        step(simr, LegacyPhase::C6RestoreContext,
+             breakdown.contextRestore + breakdown.microcodeReinit,
+             LegacyPhase::C6Resume,
+             [this, &simr, breakdown,
+              done = std::move(done)]() mutable {
+            _caches.setState(uarch::CacheDomainState::Active);
+            step(simr, LegacyPhase::C6Resume, breakdown.resumeTail,
+                 LegacyPhase::C0, std::move(done));
+        });
+    });
+}
+
+} // namespace aw::cstate

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Event-driven legacy C-state entry/exit flows (Fig 3).
+ *
+ * The AgileWatts C6A flow has its own controller (core::C6aController,
+ * Fig 6); this engine gives the *legacy* states the same treatment:
+ * the C1/C1E and C6 flows execute phase by phase on the simulator,
+ * with a trace, and their end-to-end timing equals the
+ * TransitionEngine's hardware latencies by construction (asserted in
+ * tests). This is what Fig 3 depicts.
+ */
+
+#ifndef AW_CSTATE_FLOWS_HH
+#define AW_CSTATE_FLOWS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cstate/cstate.hh"
+#include "cstate/transition.hh"
+#include "sim/event_queue.hh"
+#include "uarch/cache.hh"
+#include "uarch/context.hh"
+
+namespace aw::cstate {
+
+/** Phases of the legacy flows (Fig 3a and 3b). */
+enum class LegacyPhase : std::uint8_t
+{
+    C0,
+    // --- C1/C1E (Fig 3a) ---
+    C1ClockGate,     //!< clock-gate all domains, keep PLL on
+    C1Resident,      //!< in C1/C1E
+    C1SnoopServe,    //!< clock-ungate L1/L2, handle snoops
+    C1ClockUngate,   //!< exit: clock-ungate all domains
+    // --- C6 (Fig 3b) ---
+    C6SaveContext,   //!< save context to the S/R SRAM
+    C6FlushCaches,   //!< flush L1/L2
+    C6GateAndOff,    //!< clock-gate, PLL off, voltage off
+    C6Resident,      //!< in C6
+    C6PowerOn,       //!< voltage on, PLL relock, reset units
+    C6RestoreContext,//!< restore from S/R SRAM + ucode re-init
+    C6Resume,        //!< resume microcode
+};
+
+const char *name(LegacyPhase p);
+
+/**
+ * Executes the Fig 3 flows on a simulator with phase tracing.
+ */
+class LegacyFlowEngine
+{
+  public:
+    struct PhaseRecord
+    {
+        LegacyPhase phase;
+        sim::Tick start;
+        sim::Tick end;
+    };
+
+    /**
+     * @param caches   the core's private caches (flushed by C6)
+     * @param context  the core's context (streamed by C6)
+     * @param engine   latency source (must outlive this object)
+     */
+    LegacyFlowEngine(uarch::PrivateCaches &caches,
+                     const uarch::CoreContext &context,
+                     const TransitionEngine &engine);
+
+    /** Run the C1 (or C1E) entry flow of Fig 3a. */
+    void runC1Entry(sim::Simulator &simr, sim::Frequency freq,
+                    std::function<void()> done);
+
+    /** Run the C1 exit flow. */
+    void runC1Exit(sim::Simulator &simr, sim::Frequency freq,
+                   std::function<void()> done);
+
+    /** Run the C1 snoop service loop (ungate, serve, re-gate). */
+    void runC1Snoop(sim::Simulator &simr, sim::Frequency freq,
+                    sim::Tick serve_time,
+                    std::function<void()> done);
+
+    /** Run the C6 entry flow of Fig 3b (flushes the caches). */
+    void runC6Entry(sim::Simulator &simr, sim::Frequency freq,
+                    std::function<void()> done);
+
+    /** Run the C6 exit flow of Fig 3b. */
+    void runC6Exit(sim::Simulator &simr, sim::Frequency freq,
+                   std::function<void()> done);
+
+    LegacyPhase phase() const { return _phase; }
+    const std::vector<PhaseRecord> &trace() const { return _trace; }
+    void clearTrace() { _trace.clear(); }
+
+  private:
+    void advance(sim::Simulator &simr, LegacyPhase next);
+    void step(sim::Simulator &simr, LegacyPhase current,
+              sim::Tick dur, LegacyPhase next,
+              std::function<void()> cont);
+
+    uarch::PrivateCaches &_caches;
+    const uarch::CoreContext &_context;
+    const TransitionEngine &_engine;
+    LegacyPhase _phase = LegacyPhase::C0;
+    sim::Tick _phaseStart = 0;
+    std::vector<PhaseRecord> _trace;
+};
+
+} // namespace aw::cstate
+
+#endif // AW_CSTATE_FLOWS_HH

@@ -1,0 +1,65 @@
+#include "cstate/governor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aw::cstate {
+
+sim::Tick
+IdlePredictor::predict() const
+{
+    if (!_seeded)
+        return 0;
+    const std::size_t n = std::min(_next, kWindow);
+    std::array<double, kWindow> vals{};
+    for (std::size_t i = 0; i < n; ++i)
+        vals[i] = static_cast<double>(_window[i]);
+    std::sort(vals.begin(), vals.begin() + n);
+
+    // Discard the largest samples while the remainder is still
+    // high-variance, but keep at least half the window.
+    std::size_t keep = n;
+    double mean = 0.0;
+    while (true) {
+        double sum = 0.0, sumsq = 0.0;
+        for (std::size_t i = 0; i < keep; ++i) {
+            sum += vals[i];
+            sumsq += vals[i] * vals[i];
+        }
+        mean = sum / static_cast<double>(keep);
+        const double var =
+            sumsq / static_cast<double>(keep) - mean * mean;
+        const double stddev = std::sqrt(std::max(0.0, var));
+        if (keep <= (n + 1) / 2 || keep <= 1 ||
+            (mean > 0.0 && stddev / mean <= _cvThreshold)) {
+            break;
+        }
+        --keep;
+    }
+
+    const auto typical = static_cast<sim::Tick>(mean);
+    return typical < _last ? typical : _last;
+}
+
+CStateId
+IdleGovernor::select() const
+{
+    return selectFor(_predictor.predict());
+}
+
+CStateId
+IdleGovernor::selectFor(sim::Tick predicted_idle) const
+{
+    const auto states = _config.enabledStates();
+    if (states.empty())
+        return CStateId::C0;
+
+    CStateId chosen = states.front();
+    for (const auto id : states) {
+        if (descriptor(id).targetResidency <= predicted_idle)
+            chosen = id;
+    }
+    return chosen;
+}
+
+} // namespace aw::cstate

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * OS idle governor: predicts the length of the next idle interval
+ * and selects the deepest enabled C-state whose target residency the
+ * prediction covers (Linux menu-governor in spirit).
+ */
+
+#ifndef AW_CSTATE_GOVERNOR_HH
+#define AW_CSTATE_GOVERNOR_HH
+
+#include <array>
+#include <cstddef>
+
+#include "cstate/config.hh"
+#include "cstate/cstate.hh"
+#include "sim/types.hh"
+
+namespace aw::cstate {
+
+/**
+ * Idle-interval predictor in the spirit of the Linux menu governor.
+ *
+ * Keeps the last eight observed idle intervals and derives a
+ * "typical interval": repeatedly discard the largest sample while
+ * the coefficient of variation stays high, then average what
+ * remains. The prediction is the minimum of the typical interval
+ * and the most recent observation. For the irregular (high-
+ * variance) request streams of latency-critical services this is
+ * deliberately pessimistic -- which is exactly why real servers
+ * "rarely enter a deep idle power state" (Sec 1): a deep entry that
+ * wakes immediately pays the full transition.
+ */
+class IdlePredictor
+{
+  public:
+    /** Window of retained observations (menu governor: 8). */
+    static constexpr std::size_t kWindow = 8;
+
+    /**
+     * @param cv_threshold  keep discarding the largest sample while
+     *                      stddev/mean exceeds this
+     */
+    explicit IdlePredictor(double cv_threshold = 0.5)
+        : _cvThreshold(cv_threshold)
+    {}
+
+    /** Record an observed idle interval. */
+    void
+    observe(sim::Tick idle)
+    {
+        _window[_next % kWindow] = idle;
+        ++_next;
+        _last = idle;
+        _seeded = true;
+    }
+
+    /** Predicted length of the next idle interval. */
+    sim::Tick predict() const;
+
+    bool seeded() const { return _seeded; }
+    double cvThreshold() const { return _cvThreshold; }
+
+    void
+    reset()
+    {
+        _seeded = false;
+        _next = 0;
+        _last = 0;
+    }
+
+  private:
+    double _cvThreshold;
+    std::array<sim::Tick, kWindow> _window{};
+    std::size_t _next = 0;
+    sim::Tick _last = 0;
+    bool _seeded = false;
+};
+
+/**
+ * The governor proper: state selection given a prediction.
+ */
+class IdleGovernor
+{
+  public:
+    explicit IdleGovernor(CStateConfig config,
+                          double cv_threshold = 0.5)
+        : _config(std::move(config)), _predictor(cv_threshold)
+    {}
+
+    const CStateConfig &config() const { return _config; }
+    IdlePredictor &predictor() { return _predictor; }
+
+    /**
+     * Select the idle state for a core going idle now.
+     *
+     * Deepest enabled state whose target residency is <= the
+     * predicted idle length; falls back to the shallowest enabled
+     * state (there is always something shallower than the
+     * prediction horizon to halt in), or C0 (poll) if no idle state
+     * is enabled.
+     */
+    CStateId select() const;
+
+    /** select() with an explicit prediction (for tests/model use). */
+    CStateId selectFor(sim::Tick predicted_idle) const;
+
+    /** Feed an observed idle interval back into the predictor. */
+    void
+    observeIdle(sim::Tick idle)
+    {
+        _predictor.observe(idle);
+    }
+
+  private:
+    CStateConfig _config;
+    IdlePredictor _predictor;
+};
+
+} // namespace aw::cstate
+
+#endif // AW_CSTATE_GOVERNOR_HH

@@ -1,0 +1,73 @@
+#include "cstate/residency.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::cstate {
+
+std::uint64_t
+ResidencySnapshot::idleTransitions() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kNumCStates; ++i) {
+        if (static_cast<CStateId>(i) != CStateId::C0)
+            total += entries[i];
+    }
+    return total;
+}
+
+double
+ResidencySnapshot::totalShare() const
+{
+    double total = 0.0;
+    for (const double s : share)
+        total += s;
+    return total;
+}
+
+void
+ResidencyCounters::reset(sim::Tick now, CStateId initial)
+{
+    _time.fill(0);
+    _entries.fill(0);
+    _current = initial;
+    _since = now;
+    _start = now;
+}
+
+void
+ResidencyCounters::recordEnter(CStateId state, sim::Tick now)
+{
+    if (now < _since)
+        sim::panic("ResidencyCounters: time went backwards");
+    _time[index(_current)] += now - _since;
+    _current = state;
+    _since = now;
+    ++_entries[index(state)];
+}
+
+sim::Tick
+ResidencyCounters::timeIn(CStateId state, sim::Tick now) const
+{
+    sim::Tick t = _time[index(state)];
+    if (state == _current && now > _since)
+        t += now - _since;
+    return t;
+}
+
+ResidencySnapshot
+ResidencyCounters::snapshot(sim::Tick now) const
+{
+    ResidencySnapshot snap;
+    snap.window = now > _start ? now - _start : 0;
+    snap.entries = _entries;
+    if (snap.window == 0)
+        return snap;
+    for (std::size_t i = 0; i < kNumCStates; ++i) {
+        const auto id = static_cast<CStateId>(i);
+        snap.share[i] = static_cast<double>(timeIn(id, now)) /
+                        static_cast<double>(snap.window);
+    }
+    return snap;
+}
+
+} // namespace aw::cstate

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-core C-state residency accounting -- the simulator's analogue
+ * of the hardware residency-reporting MSR counters the paper reads.
+ */
+
+#ifndef AW_CSTATE_RESIDENCY_HH
+#define AW_CSTATE_RESIDENCY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cstate/cstate.hh"
+#include "sim/types.hh"
+
+namespace aw::cstate {
+
+/**
+ * Residency snapshot: fraction of time per state plus transition
+ * counts.
+ */
+struct ResidencySnapshot
+{
+    std::array<double, kNumCStates> share{};
+    std::array<std::uint64_t, kNumCStates> entries{};
+    sim::Tick window = 0;
+
+    double
+    shareOf(CStateId id) const
+    {
+        return share[index(id)];
+    }
+
+    std::uint64_t
+    entriesOf(CStateId id) const
+    {
+        return entries[index(id)];
+    }
+
+    /** Total number of idle-state entries (transitions into any
+     *  non-C0 state). */
+    std::uint64_t idleTransitions() const;
+
+    /** Sum of all shares (~1.0 for a complete window). */
+    double totalShare() const;
+};
+
+/**
+ * Running residency counters.
+ *
+ * recordEnter(state, now) closes the previous state's interval and
+ * opens the new one; snapshot(now) reports shares over the window
+ * since the last reset.
+ */
+class ResidencyCounters
+{
+  public:
+    explicit ResidencyCounters(sim::Tick start = 0,
+                               CStateId initial = CStateId::C0)
+    {
+        reset(start, initial);
+    }
+
+    /** Restart accounting at @p now in state @p initial. */
+    void reset(sim::Tick now, CStateId initial = CStateId::C0);
+
+    /** Transition into @p state at time @p now. */
+    void recordEnter(CStateId state, sim::Tick now);
+
+    /** State currently being accumulated. */
+    CStateId current() const { return _current; }
+
+    /** Time accumulated in @p state up to @p now. */
+    sim::Tick timeIn(CStateId state, sim::Tick now) const;
+
+    /** Number of entries into @p state. */
+    std::uint64_t entries(CStateId state) const
+    {
+        return _entries[index(state)];
+    }
+
+    /** Residency shares over [start, now]. */
+    ResidencySnapshot snapshot(sim::Tick now) const;
+
+  private:
+    std::array<sim::Tick, kNumCStates> _time{};
+    std::array<std::uint64_t, kNumCStates> _entries{};
+    CStateId _current = CStateId::C0;
+    sim::Tick _since = 0;
+    sim::Tick _start = 0;
+};
+
+} // namespace aw::cstate
+
+#endif // AW_CSTATE_RESIDENCY_HH

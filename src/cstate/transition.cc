@@ -1,0 +1,102 @@
+#include "cstate/transition.hh"
+
+#include "power/regulators.hh"
+#include "sim/logging.hh"
+
+namespace aw::cstate {
+
+TransitionEngine::TransitionEngine(const uarch::PrivateCaches &caches,
+                                   const uarch::CoreContext &context,
+                                   std::optional<AwHardwareLatencies> aw)
+    : _caches(caches), _context(context), _aw(std::move(aw))
+{
+}
+
+TransitionEngine::C6EntryBreakdown
+TransitionEngine::c6EntryBreakdown(sim::Frequency freq) const
+{
+    C6EntryBreakdown b;
+    b.flush = _caches.flushTime(freq);
+    b.contextSave = _context.externalTransferTime(freq);
+    b.controller = kC6PgControllerOverhead;
+    return b;
+}
+
+TransitionEngine::C6ExitBreakdown
+TransitionEngine::c6ExitBreakdown(sim::Frequency freq) const
+{
+    C6ExitBreakdown b;
+    b.hwWake = kC6HwWake;
+    b.contextRestore = _context.externalTransferTime(freq);
+    b.microcodeReinit = _context.microcodeReinitTime(freq);
+    b.resumeTail = kC6ResumeTail;
+    return b;
+}
+
+TransitionLatency
+TransitionEngine::hardwareLatency(CStateId state,
+                                  sim::Frequency freq) const
+{
+    TransitionLatency lat;
+    switch (state) {
+      case CStateId::C0:
+        break;
+      case CStateId::C1:
+      case CStateId::C1E:
+        // Clock gating/ungating: a couple of core cycles each way
+        // (the C1 hardware latency is "a few nanoseconds").
+        lat.entry = freq.cycles(2);
+        lat.exit = freq.cycles(2);
+        break;
+      case CStateId::C6A:
+        if (!_aw)
+            sim::panic("TransitionEngine: C6A requested without AW "
+                       "latencies configured");
+        lat = _aw->c6a;
+        break;
+      case CStateId::C6AE:
+        if (!_aw)
+            sim::panic("TransitionEngine: C6AE requested without AW "
+                       "latencies configured");
+        lat = _aw->c6ae;
+        break;
+      case CStateId::C6:
+        lat.entry = c6EntryBreakdown(freq).total();
+        lat.exit = c6ExitBreakdown(freq).total();
+        break;
+      default:
+        sim::panic("TransitionEngine: bad state %d",
+                   static_cast<int>(state));
+    }
+    return lat;
+}
+
+TransitionLatency
+TransitionEngine::latency(CStateId state, sim::Frequency freq) const
+{
+    TransitionLatency lat = hardwareLatency(state, freq);
+    switch (state) {
+      case CStateId::C0:
+        break;
+      case CStateId::C1:
+      case CStateId::C6A:
+        lat.entry += kSwShallow;
+        lat.exit += kSwShallow;
+        break;
+      case CStateId::C1E:
+      case CStateId::C6AE:
+        lat.entry += kSwShallow + kDvfsEntryRamp;
+        lat.exit += kSwShallow + kDvfsExitRamp;
+        break;
+      case CStateId::C6:
+        lat.entry += kSwC6;
+        lat.exit += kSwC6;
+        break;
+      default:
+        sim::panic("TransitionEngine: bad state %d",
+                   static_cast<int>(state));
+    }
+    return lat;
+}
+
+} // namespace aw::cstate

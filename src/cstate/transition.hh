@@ -1,0 +1,159 @@
+/**
+ * @file
+ * C-state transition latency engine.
+ *
+ * Derives per-state entry and exit latencies from the underlying
+ * microarchitecture models (cache flush time, context save/restore,
+ * DVFS ramp, PLL relock, power-gate wake) rather than hard-coding
+ * them; the Table 1 envelope numbers then fall out of the models and
+ * the unit tests assert they do.
+ *
+ * Latency is split into:
+ *  - software overhead: the MWAIT/OS entry path and the interrupt
+ *    delivery/resume path, shared across states of the same class;
+ *  - hardware latency: the state-specific flows of Fig 3 / Fig 6.
+ */
+
+#ifndef AW_CSTATE_TRANSITION_HH
+#define AW_CSTATE_TRANSITION_HH
+
+#include <optional>
+
+#include "cstate/cstate.hh"
+#include "sim/types.hh"
+#include "uarch/cache.hh"
+#include "uarch/context.hh"
+
+namespace aw::cstate {
+
+/** Entry/exit latency pair (software + hardware combined). */
+struct TransitionLatency
+{
+    sim::Tick entry = 0;
+    sim::Tick exit = 0;
+
+    sim::Tick total() const { return entry + exit; }
+};
+
+/**
+ * Hardware latencies of the AgileWatts states, computed by
+ * core::C6aController and injected here (the cstate layer must not
+ * depend on the core layer). The PMA clock is fixed, so these do not
+ * vary with the core frequency.
+ */
+struct AwHardwareLatencies
+{
+    TransitionLatency c6a;
+    TransitionLatency c6ae;
+};
+
+/**
+ * Computes transition latencies for every C-state.
+ *
+ * The engine owns references to the core's cache and context models
+ * and reads the *current* cache dirty fraction when computing C6
+ * entry, so flush cost follows workload behaviour.
+ */
+class TransitionEngine
+{
+  public:
+    /** @{ Software overheads (worst-case OS+microcode path).
+     * Shallow states (C1/C6A): ~1 us each way, matching the 2 us
+     * worst-case sw+hw envelope of Table 1.
+     * Pn states (C1E/C6AE) add the V/F ramp: ~5 us entering (DVFS
+     * to Pn) and ~3 us on the wake ramp, matching the 10 us
+     * envelope. C6 adds a longer microcode/OS path (~8 us each
+     * way), matching the 133 us envelope. */
+    static constexpr sim::Tick kSwShallow = 1 * sim::kTicksPerUs;
+    static constexpr sim::Tick kDvfsEntryRamp = 5 * sim::kTicksPerUs;
+    static constexpr sim::Tick kDvfsExitRamp = 3 * sim::kTicksPerUs;
+    static constexpr sim::Tick kSwC6 = 8 * sim::kTicksPerUs;
+    /** @} */
+
+    /** Power-gate controller overhead on the C6 entry path. */
+    static constexpr sim::Tick kC6PgControllerOverhead =
+        3 * sim::kTicksPerUs;
+
+    /** C6 exit: power-ungate + PLL relock + reset/fuse propagation. */
+    static constexpr sim::Tick kC6HwWake = 10 * sim::kTicksPerUs;
+
+    /** C6 exit: resume-microcode tail after context restore. */
+    static constexpr sim::Tick kC6ResumeTail = 2 * sim::kTicksPerUs;
+
+    /**
+     * @param caches     the core's private caches (flush source)
+     * @param context    the core's retained context
+     * @param aw         AgileWatts hardware latencies (omit for
+     *                   legacy-only configurations)
+     */
+    TransitionEngine(const uarch::PrivateCaches &caches,
+                     const uarch::CoreContext &context,
+                     std::optional<AwHardwareLatencies> aw =
+                         std::nullopt);
+
+    /** Attach/replace the AW hardware latencies. */
+    void
+    setAwLatencies(const AwHardwareLatencies &aw)
+    {
+        _aw = aw;
+    }
+
+    bool hasAwLatencies() const { return _aw.has_value(); }
+
+    /**
+     * Full (software + hardware) latency for entering+exiting
+     * @p state with the core clocked at @p freq.
+     */
+    TransitionLatency latency(CStateId state,
+                              sim::Frequency freq) const;
+
+    /** Hardware-only latency (no OS/microcode software path). */
+    TransitionLatency hardwareLatency(CStateId state,
+                                      sim::Frequency freq) const;
+
+    /**
+     * C6 hardware entry decomposition, for reporting: flush, context
+     * save, controller overhead.
+     */
+    struct C6EntryBreakdown
+    {
+        sim::Tick flush = 0;
+        sim::Tick contextSave = 0;
+        sim::Tick controller = 0;
+
+        sim::Tick
+        total() const
+        {
+            return flush + contextSave + controller;
+        }
+    };
+
+    C6EntryBreakdown c6EntryBreakdown(sim::Frequency freq) const;
+
+    /** C6 hardware exit: wake + restore + microcode + resume. */
+    struct C6ExitBreakdown
+    {
+        sim::Tick hwWake = 0;
+        sim::Tick contextRestore = 0;
+        sim::Tick microcodeReinit = 0;
+        sim::Tick resumeTail = 0;
+
+        sim::Tick
+        total() const
+        {
+            return hwWake + contextRestore + microcodeReinit +
+                   resumeTail;
+        }
+    };
+
+    C6ExitBreakdown c6ExitBreakdown(sim::Frequency freq) const;
+
+  private:
+    const uarch::PrivateCaches &_caches;
+    const uarch::CoreContext &_context;
+    std::optional<AwHardwareLatencies> _aw;
+};
+
+} // namespace aw::cstate
+
+#endif // AW_CSTATE_TRANSITION_HH

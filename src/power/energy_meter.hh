@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Piecewise-constant power integration -- the simulator's equivalent
+ * of the RAPL energy counters the paper measures with.
+ */
+
+#ifndef AW_POWER_ENERGY_METER_HH
+#define AW_POWER_ENERGY_METER_HH
+
+#include "power/units.hh"
+#include "sim/types.hh"
+
+namespace aw::power {
+
+/**
+ * Integrates power over simulated time.
+ *
+ * Components call setPower(now, watts) whenever their power level
+ * changes; the meter charges the previous level for the elapsed
+ * interval. energy(now) closes the current interval without changing
+ * the level.
+ */
+class EnergyMeter
+{
+  public:
+    EnergyMeter() = default;
+
+    /** Change the power level at time @p now. */
+    void
+    setPower(sim::Tick now, Watts w)
+    {
+        accrue(now);
+        _power = w;
+    }
+
+    /** Current power level. */
+    Watts power() const { return _power; }
+
+    /** Total energy consumed up to @p now. */
+    Joules
+    energy(sim::Tick now)
+    {
+        accrue(now);
+        return _joules;
+    }
+
+    /** Average power over [start, now]; start defaults to 0. */
+    Watts
+    averagePower(sim::Tick now, sim::Tick start = 0)
+    {
+        if (now <= start)
+            return 0.0;
+        return energy(now) / sim::toSec(now - start);
+    }
+
+    /** Restart integration at @p now with the same power level. */
+    void
+    reset(sim::Tick now)
+    {
+        _last = now;
+        _joules = 0.0;
+    }
+
+  private:
+    void
+    accrue(sim::Tick now)
+    {
+        if (now > _last) {
+            _joules += _power * sim::toSec(now - _last);
+            _last = now;
+        }
+    }
+
+    sim::Tick _last = 0;
+    Watts _power = 0.0;
+    Joules _joules = 0.0;
+};
+
+} // namespace aw::power
+
+#endif // AW_POWER_ENERGY_METER_HH

@@ -1,0 +1,88 @@
+#include "power/power_gate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace aw::power {
+
+StaggeredWakeupPlan
+StaggeredWakeupPlan::equalSplit(double total_area_rel, std::size_t n,
+                                sim::Tick per_zone)
+{
+    if (n == 0)
+        sim::panic("StaggeredWakeupPlan::equalSplit: need >= 1 zone");
+    if (total_area_rel <= 0.0)
+        sim::panic("StaggeredWakeupPlan::equalSplit: bad area %f",
+                   total_area_rel);
+    StaggeredWakeupPlan plan;
+    const double per_area = total_area_rel / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        plan.addZone(WakeZone{
+            sim::strprintf("zone%zu", i), per_area, per_zone});
+    }
+    return plan;
+}
+
+StaggeredWakeupPlan
+StaggeredWakeupPlan::proportional(double total_area_rel, std::size_t n)
+{
+    if (n == 0)
+        sim::panic("StaggeredWakeupPlan::proportional: need >= 1 zone");
+    if (total_area_rel <= 0.0)
+        sim::panic("StaggeredWakeupPlan::proportional: bad area %f",
+                   total_area_rel);
+    StaggeredWakeupPlan plan;
+    const double per_area = total_area_rel / static_cast<double>(n);
+    // Round the ramp *up* so the in-rush rate never exceeds the
+    // proven reference rate.
+    const auto ramp = static_cast<sim::Tick>(
+        std::ceil(per_area * static_cast<double>(kReferenceStagger)));
+    for (std::size_t i = 0; i < n; ++i) {
+        plan.addZone(WakeZone{
+            sim::strprintf("zone%zu", i), per_area, ramp});
+    }
+    return plan;
+}
+
+sim::Tick
+StaggeredWakeupPlan::totalWakeTime() const
+{
+    sim::Tick total = 0;
+    for (const auto &z : _zones)
+        total += z.staggerTime;
+    return total;
+}
+
+double
+StaggeredWakeupPlan::peakInrushRelToReference() const
+{
+    double peak = 0.0;
+    for (const auto &z : _zones) {
+        if (z.staggerTime == 0) {
+            // Instantaneous ramp of nonzero area: infinite in-rush.
+            if (z.areaRelToReference > 0.0)
+                return std::numeric_limits<double>::infinity();
+            continue;
+        }
+        const double ref_rate =
+            1.0 / static_cast<double>(kReferenceStagger);
+        const double rate = z.areaRelToReference /
+                            static_cast<double>(z.staggerTime);
+        peak = std::max(peak, rate / ref_rate);
+    }
+    return peak;
+}
+
+double
+StaggeredWakeupPlan::totalAreaRel() const
+{
+    double total = 0.0;
+    for (const auto &z : _zones)
+        total += z.areaRelToReference;
+    return total;
+}
+
+} // namespace aw::power

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Power-gate and staggered wake-up models.
+ *
+ * A power gate eliminates most but not all of the leakage of the
+ * logic it gates (95-97% per the low-power design literature the
+ * paper cites) and costs 2-6% extra area. Waking a gated domain must
+ * be staggered to bound in-rush current: the switch cells are daisy-
+ * chained (Fig 2) and larger domains are split into zones, each of
+ * which may ramp over at most the same interval the Skylake AVX
+ * gates use (~15 ns) so the per-zone in-rush stays within the proven
+ * envelope (Sec 5.3).
+ */
+
+#ifndef AW_POWER_POWER_GATE_HH
+#define AW_POWER_POWER_GATE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "power/units.hh"
+#include "sim/types.hh"
+
+namespace aw::power {
+
+/**
+ * Leakage/area model of one power-gated domain.
+ */
+class PowerGate
+{
+  public:
+    /** Fraction of gated leakage a power gate eliminates (lo..hi). */
+    static constexpr Interval kEliminationEfficiency{0.95, 0.97};
+
+    /** Area overhead of the gate relative to the gated area. */
+    static constexpr Interval kAreaOverhead{0.02, 0.06};
+
+    /**
+     * @param gated_leakage   leakage of the gated logic when ungated
+     * @param gated_area      area of the gated logic
+     */
+    PowerGate(Watts gated_leakage, SquareMm gated_area)
+        : _gatedLeakage(gated_leakage), _gatedArea(gated_area)
+    {}
+
+    Watts gatedLeakage() const { return _gatedLeakage; }
+    SquareMm gatedArea() const { return _gatedArea; }
+
+    /**
+     * Residual leakage while gated: the 3-5% the gate cannot
+     * eliminate, as an interval.
+     */
+    Interval
+    residualLeakage() const
+    {
+        const Interval kept{1.0 - kEliminationEfficiency.hi,
+                            1.0 - kEliminationEfficiency.lo};
+        return kept * _gatedLeakage;
+    }
+
+    /** Extra area the gate itself adds, as an interval. */
+    Interval
+    areaOverhead() const
+    {
+        return kAreaOverhead * _gatedArea;
+    }
+
+  private:
+    Watts _gatedLeakage;
+    SquareMm _gatedArea;
+};
+
+/**
+ * One wake-up zone of a staggered power-ungating plan.
+ */
+struct WakeZone
+{
+    /** Name for reporting. */
+    std::string name;
+
+    /**
+     * Size of this zone relative to the reference domain whose
+     * staggered wake is silicon-proven (the Skylake AVX gates).
+     */
+    double areaRelToReference = 1.0;
+
+    /** Time over which this zone's switch chain is ramped. */
+    sim::Tick staggerTime = 0;
+};
+
+/**
+ * A staggered wake-up plan: an ordered list of zones woken
+ * sequentially, with an in-rush feasibility check.
+ *
+ * In-rush current of a zone scales with (zone area / ramp time). The
+ * plan is feasible when every zone's in-rush does not exceed that of
+ * the reference domain ramped over the reference interval, i.e.
+ * area_rel / stagger <= 1 / referenceStagger.
+ */
+class StaggeredWakeupPlan
+{
+  public:
+    /** The silicon-proven reference ramp (Skylake AVX): ~15 ns. */
+    static constexpr sim::Tick kReferenceStagger = 15 * sim::kTicksPerNs;
+
+    StaggeredWakeupPlan() = default;
+
+    /** Append a zone to the wake order. */
+    void addZone(WakeZone zone) { _zones.push_back(std::move(zone)); }
+
+    /**
+     * Build a plan that splits a domain of @p total_area_rel
+     * (relative to the reference) into @p n equal zones, each ramped
+     * over the reference interval.
+     */
+    static StaggeredWakeupPlan
+    equalSplit(double total_area_rel, std::size_t n,
+               sim::Tick per_zone = kReferenceStagger);
+
+    /**
+     * Build a plan that splits a domain into @p n equal zones, each
+     * ramped over a time *proportional* to its area (relative to
+     * the reference), which holds the in-rush rate exactly at the
+     * proven reference level. This is the paper's Sec 5.3 plan:
+     * total wake time = total_area_rel * referenceStagger
+     * (4.5 x 15 ns = 67.5 ns for the UFPG domain).
+     */
+    static StaggeredWakeupPlan
+    proportional(double total_area_rel, std::size_t n);
+
+    std::size_t zoneCount() const { return _zones.size(); }
+    const WakeZone &zone(std::size_t i) const { return _zones.at(i); }
+
+    /** Total wake latency: zones ramp one after another. */
+    sim::Tick totalWakeTime() const;
+
+    /**
+     * Peak normalized in-rush current across zones, where 1.0 equals
+     * the reference domain ramped over the reference interval.
+     */
+    double peakInrushRelToReference() const;
+
+    /** @return true if no zone exceeds the reference in-rush. */
+    bool
+    inrushWithinLimit() const
+    {
+        // Allow a hair of FP slack on the boundary.
+        return peakInrushRelToReference() <= 1.0 + 1e-9;
+    }
+
+    /** Sum of the zones' relative areas. */
+    double totalAreaRel() const;
+
+  private:
+    std::vector<WakeZone> _zones;
+};
+
+} // namespace aw::power
+
+#endif // AW_POWER_POWER_GATE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Clock generator (ADPLL) and power-delivery (FIVR) models
+ * (Sec 5.1.4).
+ */
+
+#ifndef AW_POWER_REGULATORS_HH
+#define AW_POWER_REGULATORS_HH
+
+#include "power/units.hh"
+#include "sim/types.hh"
+
+namespace aw::power {
+
+/**
+ * All-digital phase-locked loop: the Skylake core clock generator.
+ *
+ * Consumes ~7 mW independent of the core voltage/frequency point.
+ * When off (C6), relocking is part of the ~10 us hardware wake.
+ */
+class Adpll
+{
+  public:
+    static constexpr Watts kPower = milliwatts(7.0);
+
+    /** Relock time after power-on (part of the C6 exit hw wake). */
+    static constexpr sim::Tick kRelockTime = 5 * sim::kTicksPerUs;
+
+    constexpr Adpll() = default;
+
+    constexpr bool on() const { return _on; }
+    void setOn(bool on) { _on = on; }
+
+    constexpr Watts
+    power() const
+    {
+        return _on ? kPower : 0.0;
+    }
+
+  private:
+    bool _on = true;
+};
+
+/**
+ * Fully-integrated voltage regulator (per-core).
+ *
+ * Two loss terms:
+ *  - dynamic conversion loss: at light load the FIVR is ~80%
+ *    efficient, so delivering P to the core draws P/eff from the
+ *    input rail (loss = P * (1/eff - 1));
+ *  - static loss: control/feedback circuits consume ~100 mW per
+ *    core even at zero output.
+ */
+class Fivr
+{
+  public:
+    static constexpr double kLightLoadEfficiency = 0.80;
+    static constexpr Watts kStaticLoss = milliwatts(100.0);
+
+    constexpr Fivr() = default;
+
+    explicit constexpr Fivr(double efficiency, Watts static_loss)
+        : _efficiency(efficiency), _staticLoss(static_loss)
+    {}
+
+    constexpr double efficiency() const { return _efficiency; }
+    constexpr Watts staticLoss() const { return _staticLoss; }
+
+    /** Conversion (dynamic) loss for delivering @p load watts. */
+    constexpr Watts
+    conversionLoss(Watts load) const
+    {
+        return load * (1.0 / _efficiency - 1.0);
+    }
+
+    /** Interval version for PPA range rollups. */
+    constexpr Interval
+    conversionLoss(const Interval &load) const
+    {
+        return load * (1.0 / _efficiency - 1.0);
+    }
+
+    /** Total input power for delivering @p load watts. */
+    constexpr Watts
+    inputPower(Watts load) const
+    {
+        return load + conversionLoss(load) + _staticLoss;
+    }
+
+  private:
+    double _efficiency = kLightLoadEfficiency;
+    Watts _staticLoss = kStaticLoss;
+};
+
+/** The power-delivery network styles found in modern CPUs. The
+ *  library models FIVR (Skylake server); the enum exists so server
+ *  configs can state their PDN and tests can check the FIVR-specific
+ *  static loss is only charged when a FIVR is present. */
+enum class PdnKind
+{
+    Fivr,    //!< fully-integrated VR per core (Skylake server)
+    Mbvr,    //!< motherboard VR
+    LdoVr,   //!< on-die low-dropout VR
+};
+
+} // namespace aw::power
+
+#endif // AW_POWER_REGULATORS_HH

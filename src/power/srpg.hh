@@ -1,0 +1,131 @@
+/**
+ * @file
+ * In-place context retention models (Sec 4.1): state-retention power
+ * gates (SRPG), ungated register banks and ungated SRAM.
+ *
+ * The retained core context is ~8 KB. At retention voltage it costs
+ * ~0.2 mW; the paper conservatively multiplies by 10x at the base
+ * frequency/voltage point (P1, i.e., in C6A) and by 5x at the
+ * minimum point (Pn, i.e., in C6AE), yielding ~2 mW and ~1 mW.
+ */
+
+#ifndef AW_POWER_SRPG_HH
+#define AW_POWER_SRPG_HH
+
+#include <cstdint>
+
+#include "power/units.hh"
+#include "sim/types.hh"
+
+namespace aw::power {
+
+/** Which in-place retention technique a unit's context uses. */
+enum class RetentionTechnique
+{
+    /** Registers relocated to the core's ungated domain (Fig 5a). */
+    UngatedRegisters,
+    /** Retention flip-flops with a shadow latch (Fig 5c). */
+    Srpg,
+    /** SRAM powered from the ungated supply (Fig 5b). */
+    UngatedSram,
+};
+
+/**
+ * Power/latency model of the retained context.
+ */
+class ContextRetention
+{
+  public:
+    /** Paper constants. */
+    static constexpr double kContextBytes = 8 * 1024.0;
+    static constexpr Watts kRetentionPowerAtVret = milliwatts(0.2);
+    static constexpr double kP1Multiplier = 10.0;
+    static constexpr double kPnMultiplier = 5.0;
+
+    /**
+     * @param context_bytes  amount of retained state
+     */
+    explicit ContextRetention(double context_bytes = kContextBytes)
+        : _bytes(context_bytes)
+    {}
+
+    double contextBytes() const { return _bytes; }
+
+    /** Retention power at the true retention voltage. */
+    Watts
+    powerAtRetentionVoltage() const
+    {
+        return kRetentionPowerAtVret * (_bytes / kContextBytes);
+    }
+
+    /** Retention power at the P1 operating point (C6A). */
+    Watts
+    powerAtP1() const
+    {
+        return powerAtRetentionVoltage() * kP1Multiplier;
+    }
+
+    /** Retention power at the Pn operating point (C6AE). */
+    Watts
+    powerAtPn() const
+    {
+        return powerAtRetentionVoltage() * kPnMultiplier;
+    }
+
+    /**
+     * Cycles to save context in place: assert Ret, deassert Pwr
+     * (Fig 5c) -- 3-4 cycles of the power-management clock. We use
+     * the conservative end.
+     */
+    static constexpr std::uint64_t kSaveCycles = 4;
+
+    /** Cycles to restore: deassert Ret after power is back. */
+    static constexpr std::uint64_t kRestoreCycles = 1;
+
+    /** Area overhead of in-place retention relative to the context
+     *  area: <1% for each technique (isolation cells / selective
+     *  retention flops). */
+    static constexpr Interval kAreaOverhead{0.0, 0.01};
+
+  private:
+    double _bytes;
+};
+
+/**
+ * Latency model of the legacy external save/restore path (C6):
+ * context streams sequentially to/from the S/R SRAM in the uncore,
+ * so time scales with context size and inversely with frequency.
+ *
+ * Calibrated to the paper's x86 reference: ~9 us for ~8 KB at
+ * 800 MHz (Sec 3, "Core C6 Entry/Exit Latency").
+ */
+class ExternalSaveRestore
+{
+  public:
+    /** Bytes moved per core cycle on the save/restore path. */
+    static constexpr double kBytesPerCycle =
+        8 * 1024.0 / (9e-6 * 800e6); // ~1.14 B/cycle
+
+    explicit ExternalSaveRestore(
+        double context_bytes = ContextRetention::kContextBytes)
+        : _bytes(context_bytes)
+    {}
+
+    /** Time to save (or restore) the full context at @p freq. */
+    sim::Tick
+    transferTime(sim::Frequency freq) const
+    {
+        const double cycles = _bytes / kBytesPerCycle;
+        const double seconds = cycles / freq.hz();
+        return sim::fromSec(seconds);
+    }
+
+    double contextBytes() const { return _bytes; }
+
+  private:
+    double _bytes;
+};
+
+} // namespace aw::power
+
+#endif // AW_POWER_SRPG_HH

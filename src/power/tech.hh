@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Technology-node leakage scaling.
+ *
+ * The paper derives 14 nm cache leakage from published 22 nm silicon
+ * data using the scaling rule of Shahidi [99]: for a dimensional
+ * scaling factor alpha and voltage scaling factor beta, leakage power
+ * scales as alpha * beta. The paper conservatively uses alpha ~= 0.7
+ * (22 nm -> 14 nm) and beta = 1.0 (no voltage scaling).
+ */
+
+#ifndef AW_POWER_TECH_HH
+#define AW_POWER_TECH_HH
+
+#include "power/units.hh"
+
+namespace aw::power {
+
+/** A named process node. */
+struct TechnologyNode
+{
+    double nm = 14.0;
+
+    static constexpr TechnologyNode
+    skylake14()
+    {
+        return TechnologyNode{14.0};
+    }
+
+    static constexpr TechnologyNode
+    xeon22()
+    {
+        return TechnologyNode{22.0};
+    }
+};
+
+/**
+ * Leakage scaling between two nodes per Shahidi's alpha*beta rule.
+ */
+class LeakageScaling
+{
+  public:
+    /**
+     * @param alpha dimensional scaling factor (< 1 when shrinking)
+     * @param beta  voltage scaling factor (1.0 = conservative)
+     */
+    constexpr LeakageScaling(double alpha, double beta)
+        : _alpha(alpha), _beta(beta)
+    {}
+
+    /**
+     * The paper's 22 nm -> 14 nm scaling: alpha ~= 0.7, beta = 1.0.
+     */
+    static constexpr LeakageScaling
+    paper22To14()
+    {
+        return LeakageScaling(0.7, 1.0);
+    }
+
+    /**
+     * Generic node-to-node scaling using the feature-size ratio as
+     * the dimensional factor and an explicit voltage factor.
+     */
+    static constexpr LeakageScaling
+    between(TechnologyNode from, TechnologyNode to, double beta = 1.0)
+    {
+        return LeakageScaling(to.nm / from.nm, beta);
+    }
+
+    constexpr double alpha() const { return _alpha; }
+    constexpr double beta() const { return _beta; }
+
+    constexpr double factor() const { return _alpha * _beta; }
+
+    constexpr Watts
+    scale(Watts leakage) const
+    {
+        return leakage * factor();
+    }
+
+    constexpr Interval
+    scale(const Interval &leakage) const
+    {
+        return leakage * factor();
+    }
+
+  private:
+    double _alpha;
+    double _beta;
+};
+
+/**
+ * Scale an SRAM leakage figure by capacity: leakage is proportional
+ * to the number of bits for a fixed node and sleep setting.
+ */
+constexpr Watts
+scaleSramLeakageByCapacity(Watts reference, double reference_bytes,
+                           double target_bytes)
+{
+    return reference * (target_bytes / reference_bytes);
+}
+
+} // namespace aw::power
+
+#endif // AW_POWER_TECH_HH

@@ -1,0 +1,27 @@
+#include "power/units.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::power {
+
+std::string
+formatMilliwatts(const Interval &w, int precision)
+{
+    const double lo = asMilliwatts(w.lo);
+    const double hi = asMilliwatts(w.hi);
+    if (lo == hi)
+        return sim::strprintf("%.*f mW", precision, lo);
+    return sim::strprintf("%.*f-%.*f mW", precision, lo, precision, hi);
+}
+
+std::string
+formatPercent(const Interval &f, int precision)
+{
+    const double lo = f.lo * 100.0;
+    const double hi = f.hi * 100.0;
+    if (lo == hi)
+        return sim::strprintf("%.*f%%", precision, lo);
+    return sim::strprintf("%.*f-%.*f%%", precision, lo, precision, hi);
+}
+
+} // namespace aw::power

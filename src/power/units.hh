@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Power/energy/area unit helpers and the Interval type used to carry
+ * the lo..hi ranges the paper reports (e.g., "30-50 mW", "2-6% area").
+ */
+
+#ifndef AW_POWER_UNITS_HH
+#define AW_POWER_UNITS_HH
+
+#include <algorithm>
+#include <string>
+
+namespace aw::power {
+
+/** Power in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Area in square millimeters. */
+using SquareMm = double;
+
+/** @{ Unit constructors. */
+constexpr Watts
+milliwatts(double mw)
+{
+    return mw * 1e-3;
+}
+
+constexpr double
+asMilliwatts(Watts w)
+{
+    return w * 1e3;
+}
+
+constexpr Joules
+microjoules(double uj)
+{
+    return uj * 1e-6;
+}
+/** @} */
+
+/**
+ * A closed numeric interval [lo, hi].
+ *
+ * The paper states many quantities as ranges that reflect
+ * implementation uncertainty (power-gate area overhead 2-6%, residual
+ * leakage 3-5%, ...). Interval arithmetic propagates those ranges
+ * through the PPA rollup so the Table 3 totals come out as the same
+ * kind of range the paper prints.
+ */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    constexpr Interval() = default;
+    constexpr Interval(double l, double h) : lo(l), hi(h) {}
+
+    /** A degenerate interval [x, x]. */
+    static constexpr Interval
+    point(double x)
+    {
+        return Interval(x, x);
+    }
+
+    constexpr double mid() const { return 0.5 * (lo + hi); }
+    constexpr double width() const { return hi - lo; }
+
+    constexpr bool
+    contains(double x) const
+    {
+        return x >= lo && x <= hi;
+    }
+
+    constexpr bool
+    valid() const
+    {
+        return lo <= hi;
+    }
+
+    constexpr Interval
+    operator+(const Interval &o) const
+    {
+        return Interval(lo + o.lo, hi + o.hi);
+    }
+
+    constexpr Interval &
+    operator+=(const Interval &o)
+    {
+        lo += o.lo;
+        hi += o.hi;
+        return *this;
+    }
+
+    /** Scale by a non-negative factor. */
+    constexpr Interval
+    operator*(double k) const
+    {
+        return k >= 0.0 ? Interval(lo * k, hi * k)
+                        : Interval(hi * k, lo * k);
+    }
+
+    /** Elementwise interval product (both assumed non-negative). */
+    constexpr Interval
+    operator*(const Interval &o) const
+    {
+        return Interval(lo * o.lo, hi * o.hi);
+    }
+};
+
+/** Render an interval of watts as "lo-hi mW" (or a single value). */
+std::string formatMilliwatts(const Interval &w, int precision = 0);
+
+/** Render an interval of fractions as "lo-hi%". */
+std::string formatPercent(const Interval &f, int precision = 0);
+
+} // namespace aw::power
+
+#endif // AW_POWER_UNITS_HH

@@ -1,0 +1,343 @@
+#include "server/core_sim.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::server {
+
+using cstate::CStateId;
+
+StatePowers
+StatePowers::fromModels(const core::AwPpaModel &ppa)
+{
+    StatePowers p;
+    for (std::size_t i = 0; i < cstate::kNumCStates; ++i) {
+        p.idle[i] =
+            cstate::descriptor(static_cast<CStateId>(i)).corePower;
+    }
+    // AW states come from the live PPA rollup (midpoints).
+    p.idle[cstate::index(CStateId::C6A)] = ppa.c6aPowerMid();
+    p.idle[cstate::index(CStateId::C6AE)] = ppa.c6aePowerMid();
+    p.activeP1 = cstate::kC0PowerP1;
+    return p;
+}
+
+CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
+                 const core::AwCoreModel &aw,
+                 const workload::WorkloadProfile &profile,
+                 double per_core_rate, unsigned id,
+                 CompletionHook on_complete)
+    : _sim(simr), _cfg(cfg), _aw(aw), _profile(profile),
+      _onComplete(std::move(on_complete)),
+      _caches(uarch::PrivateCaches::skylakeServer()),
+      _context(),
+      _transitions(_caches, _context, aw.controller().awLatencies()),
+      _governor(cfg.cstates),
+      _residency(simr.now()),
+      _turbo(cfg.turboParams, cfg.turboEnabled),
+      _snoops(cfg.snoopRatePerSec, cfg.snoopHitFraction,
+              cfg.seed + 7919 * (id + 1)),
+      _powers(StatePowers::fromModels(aw.ppa())),
+      _arrivals(per_core_rate > 0.0
+                    ? profile.makeArrivals(per_core_rate)
+                    : nullptr),
+      _rng(cfg.seed + id)
+{
+    // A moderately warm cache going into the first idle period.
+    _caches.setDirtyFraction(0.3);
+    updatePower();
+}
+
+sim::Frequency
+CoreSim::effectiveBaseFrequency() const
+{
+    double f = _cfg.runAtPn ? _cfg.pstates.minimum.hz()
+                            : _cfg.pstates.base.hz();
+    if (_cfg.cstates.usesAgileWatts())
+        f *= 1.0 - core::Ufpg::kFrequencyDegradation;
+    return sim::Frequency(f);
+}
+
+void
+CoreSim::start()
+{
+    if (_arrivals)
+        scheduleNextArrival();
+    if (_snoops.enabled())
+        scheduleNextSnoop();
+    // The core starts with an empty queue: go idle.
+    beginIdle();
+}
+
+void
+CoreSim::inject(workload::Request req)
+{
+    req.id = _nextReqId++;
+    onArrival(std::move(req));
+}
+
+void
+CoreSim::scheduleNextArrival()
+{
+    const sim::Tick gap = _arrivals->nextGap(_rng);
+    _sim.scheduleIn(gap, [this]() {
+        workload::Request req;
+        req.id = _nextReqId++;
+        req.arrival = _sim.now();
+        req.demand = _profile.service().draw(_rng);
+        onArrival(std::move(req));
+        scheduleNextArrival();
+    });
+}
+
+void
+CoreSim::onArrival(workload::Request req)
+{
+    _queue.push_back(std::move(req));
+    switch (_mode) {
+      case Mode::Active:
+      case Mode::ExitingIdle:
+        // Will be drained when the current activity finishes.
+        break;
+      case Mode::EnteringIdle:
+        // Hardware must complete the entry flow first; wake right
+        // after. This is the misprediction penalty.
+        if (!_wakePending) {
+            _wakePending = true;
+            ++_mispredictedEntries;
+            _governor.observeIdle(_sim.now() - _idleStart);
+        }
+        break;
+      case Mode::Idle:
+        _governor.observeIdle(_sim.now() - _idleStart);
+        beginWake();
+        break;
+    }
+}
+
+void
+CoreSim::beginService()
+{
+    if (_queue.empty()) {
+        beginIdle();
+        return;
+    }
+    _mode = Mode::Active;
+    workload::Request req = std::move(_queue.front());
+    _queue.pop_front();
+    req.serviceStart = _sim.now();
+
+    // Frequency decision: boost if the thermal credit covers the
+    // whole request, else base.
+    sim::Frequency freq = effectiveBaseFrequency();
+    const sim::Tick dur_boost = req.demand.duration(
+        _cfg.pstates.turbo);
+    _boosting = false;
+    if (_turbo.enabled() && !_cfg.runAtPn &&
+        _turbo.canBoost(_sim.now(), dur_boost)) {
+        _turbo.commitBoost(_sim.now(), dur_boost);
+        _boosting = true;
+        freq = _cfg.pstates.turbo;
+    }
+    updatePower();
+
+    const sim::Tick dur = req.demand.duration(freq);
+    _caches.touch(_profile.writeFraction());
+    _sim.scheduleIn(dur, [this, req = std::move(req)]() mutable {
+        onServiceDone(std::move(req));
+    });
+}
+
+void
+CoreSim::onServiceDone(workload::Request req)
+{
+    req.completion = _sim.now();
+    ++_completed;
+    _boosting = false;
+    if (_onComplete)
+        _onComplete(req);
+    beginService(); // drains the queue or goes idle
+}
+
+void
+CoreSim::beginIdle()
+{
+    _idleStart = _sim.now();
+    _idleState = _governor.select();
+    if (_idleState == CStateId::C0) {
+        // No idle state enabled: poll in C0. Stay "Idle" at active
+        // power with zero-latency wake.
+        _mode = Mode::Idle;
+        _residency.recordEnter(CStateId::C0, _sim.now());
+        updatePower();
+        return;
+    }
+    _mode = Mode::EnteringIdle;
+    _wakePending = false;
+    updatePower();
+    const sim::Tick entry =
+        _transitions.latency(_idleState, effectiveBaseFrequency())
+            .entry;
+    if (_idleState == CStateId::C6) {
+        // Entering C6 flushes the private caches.
+        _caches.flush();
+    }
+    _sim.scheduleIn(entry, [this]() { onIdleEntered(); });
+}
+
+void
+CoreSim::onIdleEntered()
+{
+    _mode = Mode::Idle;
+    _residency.recordEnter(_idleState, _sim.now());
+    updatePower();
+    if (_wakePending) {
+        _wakePending = false;
+        beginWake();
+    }
+}
+
+void
+CoreSim::beginWake()
+{
+    if (_mode != Mode::Idle)
+        sim::panic("CoreSim::beginWake in mode %d",
+                   static_cast<int>(_mode));
+    if (_idleState == CStateId::C0) {
+        // Polling: instant.
+        _mode = Mode::Active;
+        beginService();
+        return;
+    }
+    _mode = Mode::ExitingIdle;
+    // A package sleeping in PC6 pays its wake cost before the core
+    // exit flow can start (read before the state-change hook runs,
+    // so it reflects the package state at the wake instant).
+    const sim::Tick pkg_extra =
+        _package ? _package->exitLatency() : 0;
+    _residency.recordEnter(CStateId::C0, _sim.now());
+    updatePower();
+    const sim::Tick exit =
+        pkg_extra +
+        _transitions.latency(_idleState, effectiveBaseFrequency())
+            .exit;
+    _sim.scheduleIn(exit, [this]() { onWakeDone(); });
+}
+
+void
+CoreSim::onWakeDone()
+{
+    _mode = Mode::Active;
+    updatePower();
+    beginService();
+}
+
+void
+CoreSim::scheduleNextSnoop()
+{
+    const sim::Tick next = _snoops.nextArrival(_sim.now());
+    if (next == sim::kMaxTick)
+        return;
+    _sim.schedule(next, [this]() {
+        onSnoop();
+        scheduleNextSnoop();
+    });
+}
+
+void
+CoreSim::onSnoop()
+{
+    // Snoops only cost extra power while the core idles with valid
+    // private caches; a flushed (C6) core is filtered out at the
+    // LLC snoop filter, and an active core absorbs the probe.
+    if (_mode != Mode::Idle && _mode != Mode::EnteringIdle)
+        return;
+    if (_idleState == CStateId::C6 || _idleState == CStateId::C0)
+        return;
+
+    const bool hit = _snoops.drawHit();
+    const sim::Frequency freq = effectiveBaseFrequency();
+    sim::Tick window = _caches.snoopServiceTime(freq, hit);
+    if (cstate::descriptor(_idleState).isAgileWatts) {
+        window += _aw.controller().snoopWakeLatency() +
+                  _aw.controller().snoopResleepLatency();
+    }
+    const sim::Tick until = _sim.now() + window;
+    if (until > _snoopBusyUntil) {
+        _snoopBusyUntil = until;
+        updatePower();
+        _sim.schedule(until, [this]() { updatePower(); });
+    }
+}
+
+power::Watts
+CoreSim::currentPower() const
+{
+    // Workload-specific dynamic power skew: the analytical model
+    // only knows the nominal Table 1 constant (Sec 6.3).
+    const double scale = _profile.activePowerScale();
+    const power::Watts active =
+        (_cfg.runAtPn ? _powers.activePn : _powers.activeP1) * scale;
+    switch (_mode) {
+      case Mode::Active:
+        return _boosting ? _powers.activeBoost * scale : active;
+      case Mode::EnteringIdle:
+      case Mode::ExitingIdle:
+        // Transition flows run parts of the core at active power.
+        return active;
+      case Mode::Idle: {
+        power::Watts p = _powers.idle[cstate::index(_idleState)];
+        if (_idleState == CStateId::C0)
+            p = active; // polling
+        if (_sim.now() < _snoopBusyUntil) {
+            p += cstate::descriptor(_idleState).isAgileWatts
+                     ? core::Ccsm::kSnoopServiceDeltaC6a
+                     : core::Ccsm::kSnoopServiceDeltaC1;
+        }
+        return p;
+      }
+    }
+    return active;
+}
+
+void
+CoreSim::updatePower()
+{
+    const power::Watts p = currentPower();
+    _meter.setPower(_sim.now(), p);
+    _turbo.setPower(_sim.now(), p);
+    if (_onStateChange)
+        _onStateChange();
+}
+
+cstate::ResidencySnapshot
+CoreSim::residency() const
+{
+    return _residency.snapshot(_sim.now());
+}
+
+power::Joules
+CoreSim::energy()
+{
+    return _meter.energy(_sim.now());
+}
+
+power::Watts
+CoreSim::averagePower()
+{
+    return _meter.averagePower(_sim.now(), _statsStart);
+}
+
+void
+CoreSim::resetStats()
+{
+    _statsStart = _sim.now();
+    _meter.reset(_sim.now());
+    // Restart residency in the state we are currently in.
+    const CStateId cur =
+        _mode == Mode::Idle ? _idleState : CStateId::C0;
+    _residency.reset(_sim.now(), cur);
+    _completed = 0;
+    _mispredictedEntries = 0;
+}
+
+} // namespace aw::server

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Per-core discrete-event model: request service, idle-state entry/
+ * exit through the OS governor, residency and energy accounting,
+ * turbo boost decisions and snoop-service power.
+ *
+ * The core cycles through four modes:
+ *
+ *     Active --queue empty--> EnteringIdle --entry done--> Idle
+ *       ^                                                    |
+ *       +--- exit done --- ExitingIdle <---- arrival --------+
+ *
+ * An arrival during EnteringIdle marks a pending wake: hardware
+ * completes the entry flow and immediately begins the exit flow
+ * (the misprediction cost that makes deep states dangerous for
+ * irregular traffic -- and that AgileWatts makes nearly free).
+ */
+
+#ifndef AW_SERVER_CORE_SIM_HH
+#define AW_SERVER_CORE_SIM_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "core/aw_core.hh"
+#include "cstate/governor.hh"
+#include "cstate/residency.hh"
+#include "cstate/transition.hh"
+#include "power/energy_meter.hh"
+#include "server/config.hh"
+#include "server/turbo.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "uarch/snoop.hh"
+#include "workload/arrival.hh"
+#include "workload/profiles.hh"
+
+namespace aw::server {
+
+/** Per-state core power used by the simulator. Defaults to the
+ *  Table 1 constants with the AW states at the PPA midpoints. */
+struct StatePowers
+{
+    std::array<power::Watts, cstate::kNumCStates> idle{};
+    power::Watts activeP1 = 4.0;
+    power::Watts activePn = 1.0;
+    power::Watts activeBoost = 7.0;
+
+    /** Build from descriptors + the live PPA model. */
+    static StatePowers fromModels(const core::AwPpaModel &ppa);
+};
+
+/** Completion callback: (request, end_to_end_extra). */
+using CompletionHook =
+    std::function<void(const workload::Request &)>;
+
+/**
+ * One simulated core.
+ */
+class CoreSim
+{
+  public:
+    /** Operating mode of the core state machine. */
+    enum class Mode
+    {
+        Active,
+        EnteringIdle,
+        Idle,
+        ExitingIdle,
+    };
+
+    /**
+     * @param simr          the shared simulator
+     * @param cfg           server configuration
+     * @param aw            shared AW constants (latencies, PPA)
+     * @param profile       workload profile
+     * @param per_core_rate this core's arrival rate (req/s);
+     *                      0 disables internal generation (the
+     *                      server dispatches via inject())
+     * @param id            core index (seeds the RNG)
+     * @param on_complete   invoked at each request completion
+     */
+    CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
+            const core::AwCoreModel &aw,
+            const workload::WorkloadProfile &profile,
+            double per_core_rate, unsigned id,
+            CompletionHook on_complete);
+
+    /** Begin generating arrivals (call once before run()). */
+    void start();
+
+    /** Externally dispatch a request to this core (Packing). */
+    void inject(workload::Request req);
+
+    /** Requests waiting in this core's queue. */
+    std::size_t queueLength() const { return _queue.size(); }
+
+    /** Hook invoked after every power-state change; the server
+     *  uses it to re-evaluate the package C-state. */
+    void
+    setStateChangeHook(std::function<void()> hook)
+    {
+        _onStateChange = std::move(hook);
+    }
+
+    /** Package model consulted for extra PC6 wake latency. */
+    void
+    setPackageModel(const PackageCStateModel *pkg)
+    {
+        _package = pkg;
+    }
+
+    /** @{ Statistics access. */
+    cstate::ResidencySnapshot residency() const;
+    power::Joules energy();
+    power::Watts averagePower();
+    std::uint64_t requestsCompleted() const { return _completed; }
+    std::uint64_t mispredictedEntries() const
+    {
+        return _mispredictedEntries;
+    }
+
+    /** Reset the statistics window (post-warmup). */
+    void resetStats();
+    /** @} */
+
+    Mode mode() const { return _mode; }
+    cstate::CStateId idleState() const { return _idleState; }
+
+    /** Effective base frequency (AW's ~1% gate IR-drop applied). */
+    sim::Frequency effectiveBaseFrequency() const;
+
+  private:
+    /** @{ State machine. */
+    void scheduleNextArrival();
+    void onArrival(workload::Request req);
+    void beginService();
+    void onServiceDone(workload::Request req);
+    void beginIdle();
+    void onIdleEntered();
+    void beginWake();
+    void onWakeDone();
+    /** @} */
+
+    /** @{ Snoop handling. */
+    void scheduleNextSnoop();
+    void onSnoop();
+    /** @} */
+
+    /** Recompute and charge the current power level. */
+    void updatePower();
+
+    /** Power of the current machine state. */
+    power::Watts currentPower() const;
+
+    sim::Simulator &_sim;
+    const ServerConfig &_cfg;
+    const core::AwCoreModel &_aw;
+    const workload::WorkloadProfile &_profile;
+    CompletionHook _onComplete;
+
+    /** Per-core microarchitectural state. */
+    uarch::PrivateCaches _caches;
+    uarch::CoreContext _context;
+    cstate::TransitionEngine _transitions;
+    cstate::IdleGovernor _governor;
+    cstate::ResidencyCounters _residency;
+    power::EnergyMeter _meter;
+    TurboModel _turbo;
+    uarch::SnoopTraffic _snoops;
+    StatePowers _powers;
+
+    std::unique_ptr<workload::ArrivalProcess> _arrivals;
+    sim::Rng _rng;
+    std::function<void()> _onStateChange;
+    const PackageCStateModel *_package = nullptr;
+
+    Mode _mode = Mode::Active;
+    cstate::CStateId _idleState = cstate::CStateId::C0;
+    bool _wakePending = false;
+    bool _boosting = false;
+    sim::Tick _idleStart = 0;
+    sim::Tick _snoopBusyUntil = 0;
+
+    std::deque<workload::Request> _queue;
+    std::uint64_t _completed = 0;
+    std::uint64_t _nextReqId = 0;
+    std::uint64_t _mispredictedEntries = 0;
+    sim::Tick _statsStart = 0;
+};
+
+} // namespace aw::server
+
+#endif // AW_SERVER_CORE_SIM_HH

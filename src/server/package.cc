@@ -1,0 +1,112 @@
+#include "server/package.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::server {
+
+const char *
+name(PkgCState s)
+{
+    switch (s) {
+      case PkgCState::PC0: return "PC0";
+      case PkgCState::PC2: return "PC2";
+      case PkgCState::PC6: return "PC6";
+      default: return "?";
+    }
+}
+
+bool
+PackageCStateModel::qualifiesPc6(cstate::CStateId id)
+{
+    using cstate::CStateId;
+    return id == CStateId::C6 || id == CStateId::C6A ||
+           id == CStateId::C6AE;
+}
+
+void
+PackageCStateModel::accrue(sim::Tick now)
+{
+    if (now > _since) {
+        _time[static_cast<std::size_t>(_state)] += now - _since;
+        _since = now;
+    }
+}
+
+PkgCState
+PackageCStateModel::update(sim::Tick now, bool all_idle,
+                           bool all_deep)
+{
+    accrue(now);
+    if (!all_idle) {
+        _state = PkgCState::PC0;
+        _allDeepSince = sim::kMaxTick;
+        return _state;
+    }
+    if (all_deep) {
+        if (_allDeepSince == sim::kMaxTick)
+            _allDeepSince = now;
+        if (now - _allDeepSince >= _params.pc6Hysteresis) {
+            _state = PkgCState::PC6;
+            return _state;
+        }
+    } else {
+        _allDeepSince = sim::kMaxTick;
+    }
+    // All idle but not (yet) deep enough for PC6.
+    if (_state != PkgCState::PC6)
+        _state = PkgCState::PC2;
+    return _state;
+}
+
+power::Watts
+PackageCStateModel::uncorePowerAt(PkgCState s) const
+{
+    switch (s) {
+      case PkgCState::PC0:
+        return _params.uncorePc0;
+      case PkgCState::PC2:
+        return _params.uncorePc0 * _params.pc2Factor;
+      case PkgCState::PC6:
+        return _params.uncorePc0 * _params.pc6Factor;
+      default:
+        sim::panic("PackageCStateModel: bad state");
+    }
+}
+
+power::Watts
+PackageCStateModel::uncorePower() const
+{
+    return uncorePowerAt(_state);
+}
+
+sim::Tick
+PackageCStateModel::exitLatency() const
+{
+    return _state == PkgCState::PC6 ? _params.pc6ExitLatency : 0;
+}
+
+void
+PackageCStateModel::noteStateSince(sim::Tick now)
+{
+    accrue(now);
+}
+
+double
+PackageCStateModel::residencyShare(PkgCState s,
+                                   sim::Tick window) const
+{
+    if (window == 0)
+        return 0.0;
+    return static_cast<double>(
+               _time[static_cast<std::size_t>(s)]) /
+           static_cast<double>(window);
+}
+
+void
+PackageCStateModel::reset(sim::Tick now)
+{
+    _time.fill(0);
+    _since = now;
+}
+
+} // namespace aw::server

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Package-level idle states (PC-states).
+ *
+ * The paper's footnote 1 notes that package C-states (e.g., PC6)
+ * save uncore power but need all cores idle plus long residency,
+ * with even larger transition latencies than core C6 -- which is
+ * why its evaluation keeps the uncore powered. This module models
+ * that hierarchy as an optional extension (the AgilePkgC companion
+ * work direction): the package drops to PC2/PC6 only when *every*
+ * core is in a qualifying idle state for a hysteresis interval.
+ */
+
+#ifndef AW_SERVER_PACKAGE_HH
+#define AW_SERVER_PACKAGE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cstate/cstate.hh"
+#include "power/units.hh"
+#include "sim/types.hh"
+
+namespace aw::server {
+
+/** Package idle states. */
+enum class PkgCState : std::uint8_t
+{
+    PC0 = 0, //!< at least one core active: uncore at full power
+    PC2,     //!< all cores idle: uncore clocks reduced
+    PC6,     //!< all cores in a deep state + hysteresis: uncore
+             //!< power-gated except wake logic
+    NumStates,
+};
+
+constexpr std::size_t kNumPkgCStates =
+    static_cast<std::size_t>(PkgCState::NumStates);
+
+const char *name(PkgCState s);
+
+/**
+ * Package C-state policy and power model.
+ */
+class PackageCStateModel
+{
+  public:
+    struct Params
+    {
+        /** Uncore power at PC0 (full). */
+        power::Watts uncorePc0 = 18.0;
+
+        /** Uncore power share retained at PC2 / PC6. */
+        double pc2Factor = 0.6;
+        double pc6Factor = 0.25;
+
+        /** All-cores-idle dwell required before PC6. */
+        sim::Tick pc6Hysteresis = 200 * sim::kTicksPerUs;
+
+        /** Extra wake latency charged to the first request that
+         *  wakes the package out of PC6. */
+        sim::Tick pc6ExitLatency = 40 * sim::kTicksPerUs;
+    };
+
+    explicit PackageCStateModel(Params params) : _params(params) {}
+    PackageCStateModel() : PackageCStateModel(Params{}) {}
+
+    const Params &params() const { return _params; }
+
+    /**
+     * Core-side qualification: PC6 requires every core in a state
+     * at least as deep as C6A/C6 (power-gated); PC2 any idle state.
+     */
+    static bool qualifiesPc6(cstate::CStateId id);
+
+    /**
+     * Re-evaluate the package state given the cores' situation.
+     *
+     * @param now              current time
+     * @param all_idle         every core is in some idle state
+     * @param all_deep         every core is in a PC6-qualifying state
+     * @return the package state effective at @p now
+     */
+    PkgCState update(sim::Tick now, bool all_idle, bool all_deep);
+
+    PkgCState state() const { return _state; }
+
+    /** Uncore power at the current state. */
+    power::Watts uncorePower() const;
+
+    /** Uncore power for an arbitrary state. */
+    power::Watts uncorePowerAt(PkgCState s) const;
+
+    /** Wake latency to charge when leaving the current state for
+     *  PC0 (only PC6 pays). */
+    sim::Tick exitLatency() const;
+
+    /** @{ Residency accounting. */
+    void noteStateSince(sim::Tick now);
+    std::array<sim::Tick, kNumPkgCStates> residency() const
+    {
+        return _time;
+    }
+    double residencyShare(PkgCState s, sim::Tick window) const;
+    /** @} */
+
+    void reset(sim::Tick now);
+
+  private:
+    void accrue(sim::Tick now);
+
+    Params _params;
+    PkgCState _state = PkgCState::PC0;
+    sim::Tick _allDeepSince = sim::kMaxTick;
+    sim::Tick _since = 0;
+    std::array<sim::Tick, kNumPkgCStates> _time{};
+};
+
+} // namespace aw::server
+
+#endif // AW_SERVER_PACKAGE_HH

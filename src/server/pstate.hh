@@ -1,0 +1,31 @@
+/**
+ * @file
+ * P-state (DVFS operating point) definitions for the modeled Xeon
+ * Silver 4114: base (P1) 2.2 GHz, minimum (Pn) 0.8 GHz, maximum
+ * Turbo Boost 3.0 GHz.
+ */
+
+#ifndef AW_SERVER_PSTATE_HH
+#define AW_SERVER_PSTATE_HH
+
+#include "sim/types.hh"
+
+namespace aw::server {
+
+/** The frequency points of the modeled processor. */
+struct PStateTable
+{
+    sim::Frequency base = sim::Frequency::ghz(2.2);   //!< P1
+    sim::Frequency minimum = sim::Frequency::ghz(0.8); //!< Pn
+    sim::Frequency turbo = sim::Frequency::ghz(3.0);   //!< max boost
+
+    static constexpr PStateTable
+    xeonSilver4114()
+    {
+        return PStateTable{};
+    }
+};
+
+} // namespace aw::server
+
+#endif // AW_SERVER_PSTATE_HH

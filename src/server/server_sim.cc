@@ -1,0 +1,238 @@
+#include "server/server_sim.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace aw::server {
+
+ServerSim::ServerSim(ServerConfig cfg,
+                     workload::WorkloadProfile profile,
+                     double total_qps)
+    : _cfg(std::move(cfg)), _profile(std::move(profile)),
+      _totalQps(total_qps), _package(_cfg.packageParams),
+      _dispatchRng(_cfg.seed + 999331)
+{
+    if (_cfg.cores == 0)
+        sim::fatal("ServerSim: need at least one core");
+    if (total_qps <= 0.0)
+        sim::fatal("ServerSim: offered load must be positive");
+
+    _aw = std::make_unique<core::AwCoreModel>();
+
+    // Keep the package model's PC0 power consistent with the
+    // configured uncore power.
+    if (_cfg.packageCStatesEnabled &&
+        _cfg.packageParams.uncorePc0 != _cfg.uncorePower) {
+        _cfg.packageParams.uncorePc0 = _cfg.uncorePower;
+        _package = PackageCStateModel(_cfg.packageParams);
+    }
+
+    const bool packing = _cfg.dispatch == DispatchPolicy::Packing;
+    const double per_core =
+        packing ? 0.0 : total_qps / _cfg.cores;
+    _latency.reserve(1 << 16);
+    for (unsigned i = 0; i < _cfg.cores; ++i) {
+        _cores.push_back(std::make_unique<CoreSim>(
+            _sim, _cfg, *_aw, _profile, per_core, i,
+            [this](const workload::Request &req) {
+                _latency.add(sim::toUs(req.serverLatency()));
+            }));
+        if (_cfg.packageCStatesEnabled) {
+            _cores.back()->setPackageModel(&_package);
+            _cores.back()->setStateChangeHook(
+                [this]() { onCoreStateChange(); });
+        }
+    }
+    if (packing)
+        _dispatchArrivals = _profile.makeArrivals(total_qps);
+    _uncoreMeter.setPower(0, _cfg.uncorePower);
+}
+
+CoreSim &
+ServerSim::pickPackingTarget()
+{
+    // 1) Lowest-numbered awake core with queue headroom.
+    for (auto &core : _cores) {
+        const bool awake = core->mode() != CoreSim::Mode::Idle;
+        if (awake && core->queueLength() < _cfg.packingQueueLimit)
+            return *core;
+    }
+    // 2) Otherwise wake the shallowest-sleeping idle core.
+    CoreSim *best = nullptr;
+    int best_depth = 0;
+    for (auto &core : _cores) {
+        if (core->mode() != CoreSim::Mode::Idle)
+            continue;
+        const int depth =
+            cstate::descriptor(core->idleState()).depth;
+        if (!best || depth < best_depth) {
+            best = core.get();
+            best_depth = depth;
+        }
+    }
+    if (best)
+        return *best;
+    // 3) Everyone is awake and saturated: shortest queue.
+    CoreSim *shortest = _cores.front().get();
+    for (auto &core : _cores) {
+        if (core->queueLength() < shortest->queueLength())
+            shortest = core.get();
+    }
+    return *shortest;
+}
+
+void
+ServerSim::scheduleNextDispatch()
+{
+    const sim::Tick gap = _dispatchArrivals->nextGap(_dispatchRng);
+    _sim.scheduleIn(gap, [this]() {
+        workload::Request req;
+        req.arrival = _sim.now();
+        req.demand = _profile.service().draw(_dispatchRng);
+        pickPackingTarget().inject(std::move(req));
+        scheduleNextDispatch();
+    });
+}
+
+void
+ServerSim::onCoreStateChange()
+{
+    bool all_idle = true;
+    bool all_deep = true;
+    for (const auto &core : _cores) {
+        if (core->mode() != CoreSim::Mode::Idle ||
+            core->idleState() == cstate::CStateId::C0) {
+            all_idle = false;
+            all_deep = false;
+            break;
+        }
+        all_deep &=
+            PackageCStateModel::qualifiesPc6(core->idleState());
+    }
+    const PkgCState before = _package.state();
+    const PkgCState now_state =
+        _package.update(_sim.now(), all_idle, all_deep);
+    if (now_state != before || all_deep) {
+        _uncoreMeter.setPower(_sim.now(), _package.uncorePower());
+    }
+    // PC6 promotion happens after a quiet hysteresis interval with
+    // no state-change events, so arm a timer for it.
+    _sim.cancel(_pkgPromotion);
+    _pkgPromotion = sim::kInvalidEventId;
+    if (all_idle && all_deep && now_state != PkgCState::PC6) {
+        _pkgPromotion = _sim.scheduleIn(
+            _cfg.packageParams.pc6Hysteresis + 1,
+            [this]() { onCoreStateChange(); });
+    }
+}
+
+RunResult
+ServerSim::run(sim::Tick duration, sim::Tick warmup)
+{
+    for (auto &core : _cores)
+        core->start();
+    if (_dispatchArrivals)
+        scheduleNextDispatch();
+
+    // Warmup: run unmeasured, then reset all statistics.
+    if (warmup > 0)
+        _sim.run(warmup);
+    for (auto &core : _cores)
+        core->resetStats();
+    _latency.reset();
+    _package.reset(_sim.now());
+    _uncoreMeter.reset(_sim.now());
+    _statsStart = _sim.now();
+
+    const sim::Tick start = _sim.now();
+    _sim.run(start + duration);
+    const sim::Tick end = _sim.now();
+    const sim::Tick window = end - start;
+    _package.noteStateSince(end);
+
+    RunResult r;
+    r.configName = _cfg.name;
+    r.workloadName = _profile.name();
+    r.offeredQps = _totalQps;
+    r.window = window;
+
+    // Aggregate residency: cores are homogeneous, so the core-time
+    // weighted aggregate is the mean of the per-core shares.
+    cstate::ResidencySnapshot agg;
+    agg.window = window;
+    for (auto &core : _cores) {
+        const auto snap = core->residency();
+        for (std::size_t i = 0; i < cstate::kNumCStates; ++i) {
+            agg.share[i] += snap.share[i] / _cores.size();
+            agg.entries[i] += snap.entries[i];
+        }
+        r.coreEnergy += core->energy();
+        r.avgCorePower += core->averagePower() / _cores.size();
+        r.requests += core->requestsCompleted();
+        r.mispredictedEntries += core->mispredictedEntries();
+    }
+    r.residency = agg;
+
+    if (_cfg.packageCStatesEnabled) {
+        r.avgUncorePower =
+            _uncoreMeter.averagePower(end, _statsStart);
+        for (std::size_t i = 0; i < kNumPkgCStates; ++i) {
+            r.pkgResidency[i] = _package.residencyShare(
+                static_cast<PkgCState>(i), window);
+        }
+    } else {
+        r.avgUncorePower = _cfg.uncorePower;
+        r.pkgResidency[0] = 1.0;
+    }
+    r.packagePower =
+        r.avgCorePower * _cores.size() + r.avgUncorePower;
+    r.achievedQps =
+        window > 0 ? r.requests / sim::toSec(window) : 0.0;
+    r.transitionsPerRequest =
+        r.requests > 0
+            ? static_cast<double>(agg.idleTransitions()) / r.requests
+            : 0.0;
+
+    if (!_latency.empty()) {
+        r.avgLatencyUs = _latency.mean();
+        r.p99LatencyUs = _latency.p99();
+        const double net = sim::toUs(_cfg.networkLatency);
+        r.avgLatencyE2eUs = r.avgLatencyUs + net;
+        r.p99LatencyE2eUs = r.p99LatencyUs + net;
+    }
+    return r;
+}
+
+RunResult
+ServerSim::run()
+{
+    // Size the measured window for a statistically meaningful
+    // number of requests (~60k) but at least one second of
+    // simulated time for residency convergence.
+    const double target_requests = 60e3;
+    const double sec =
+        std::max(1.0, target_requests / _totalQps);
+    const sim::Tick duration = sim::fromSec(sec);
+    const sim::Tick warmup = duration / 10;
+    return run(duration, warmup);
+}
+
+std::vector<RunResult>
+sweepRates(const ServerConfig &cfg,
+           const workload::WorkloadProfile &profile,
+           const std::vector<double> &rates_qps, sim::Tick duration,
+           sim::Tick warmup)
+{
+    std::vector<RunResult> results;
+    results.reserve(rates_qps.size());
+    for (const double qps : rates_qps) {
+        ServerSim server(cfg, profile, qps);
+        results.push_back(duration > 0
+                              ? server.run(duration, warmup)
+                              : server.run());
+    }
+    return results;
+}
+
+} // namespace aw::server

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The whole-server simulation: N cores fed by open-loop request
+ * streams, aggregated into the statistics the paper's figures plot.
+ */
+
+#ifndef AW_SERVER_SERVER_SIM_HH
+#define AW_SERVER_SERVER_SIM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aw_core.hh"
+#include "cstate/residency.hh"
+#include "server/config.hh"
+#include "server/core_sim.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "workload/profiles.hh"
+
+namespace aw::server {
+
+/**
+ * Results of one server run.
+ */
+struct RunResult
+{
+    std::string configName;
+    std::string workloadName;
+    double offeredQps = 0.0;
+
+    /** Aggregate C-state residency (core-time weighted). */
+    cstate::ResidencySnapshot residency;
+
+    /** @{ Latency statistics (microseconds). */
+    double avgLatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double avgLatencyE2eUs = 0.0;
+    double p99LatencyE2eUs = 0.0;
+    /** @} */
+
+    /** @{ Power/energy over the measurement window. */
+    power::Watts avgCorePower = 0.0;  //!< mean over cores
+    power::Watts packagePower = 0.0;  //!< cores + uncore
+    power::Joules coreEnergy = 0.0;   //!< all cores
+    /** @} */
+
+    std::uint64_t requests = 0;
+    double achievedQps = 0.0;
+    std::uint64_t mispredictedEntries = 0;
+
+    /** Mean idle-state transitions per request (Fig 8c expected-
+     *  case input). */
+    double transitionsPerRequest = 0.0;
+
+    /** Package C-state residency shares (all zero when the package
+     *  hierarchy is disabled; PC0 then covers the whole window). */
+    std::array<double, kNumPkgCStates> pkgResidency{};
+
+    /** Average uncore power over the window. */
+    power::Watts avgUncorePower = 0.0;
+
+    sim::Tick window = 0;
+};
+
+/**
+ * Driver: builds cores, runs warmup + measurement, aggregates.
+ */
+class ServerSim
+{
+  public:
+    /**
+     * @param cfg        server configuration
+     * @param profile    workload
+     * @param total_qps  offered load across all cores
+     */
+    ServerSim(ServerConfig cfg, workload::WorkloadProfile profile,
+              double total_qps);
+
+    /**
+     * Run @p warmup of unmeasured time followed by @p duration of
+     * measured time.
+     */
+    RunResult run(sim::Tick duration, sim::Tick warmup);
+
+    /** Convenience: run with defaults sized to the offered rate. */
+    RunResult run();
+
+    const core::AwCoreModel &awModel() const { return *_aw; }
+    const ServerConfig &config() const { return _cfg; }
+
+  private:
+    /** Packing dispatch: route one request and draw the next. */
+    void scheduleNextDispatch();
+    CoreSim &pickPackingTarget();
+
+    /** Re-evaluate the package C-state after a core change. */
+    void onCoreStateChange();
+
+    ServerConfig _cfg;
+    workload::WorkloadProfile _profile;
+    double _totalQps;
+
+    sim::Simulator _sim;
+    std::unique_ptr<core::AwCoreModel> _aw;
+    std::vector<std::unique_ptr<CoreSim>> _cores;
+    sim::PercentileTracker _latency;
+
+    /** Central dispatcher state (Packing policy). */
+    std::unique_ptr<workload::ArrivalProcess> _dispatchArrivals;
+    sim::Rng _dispatchRng{1};
+    std::uint64_t _nextDispatchId = 0;
+
+    /** Package C-state machinery. */
+    PackageCStateModel _package;
+    power::EnergyMeter _uncoreMeter;
+    sim::EventId _pkgPromotion = sim::kInvalidEventId;
+    sim::Tick _statsStart = 0;
+};
+
+/**
+ * Sweep helper: run the same workload/config pair across the
+ * profile's rate levels.
+ */
+std::vector<RunResult>
+sweepRates(const ServerConfig &cfg,
+           const workload::WorkloadProfile &profile,
+           const std::vector<double> &rates_qps,
+           sim::Tick duration = 0, sim::Tick warmup = 0);
+
+} // namespace aw::server
+
+#endif // AW_SERVER_SERVER_SIM_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Turbo Boost thermal-capacitance model (Sec 7.3).
+ *
+ * Boost headroom is a thermal credit: residing below a cooling
+ * threshold (deep idle) accrues credit, boosting above the
+ * sustainable power drains it. This reproduces the paper's
+ * observation that disabling C1E "keeps the processor at high
+ * power, thereby not gaining enough thermal capacitance needed
+ * during Turbo Boost periods": a core whose only idle state is C1
+ * (1.44 W, above the threshold) never accrues credit and thus never
+ * boosts, while C1E (0.88 W) and especially C6A (0.3 W) do.
+ */
+
+#ifndef AW_SERVER_TURBO_HH
+#define AW_SERVER_TURBO_HH
+
+#include "power/units.hh"
+#include "sim/types.hh"
+
+namespace aw::server {
+
+/**
+ * Per-core turbo credit accounting.
+ *
+ * Credit is integrated lazily, like the energy meter: callers
+ * report power-level changes and the model accrues/drains between
+ * them.
+ */
+class TurboModel
+{
+  public:
+    struct Params
+    {
+        /** Idle power below which the core cools (accrues credit). */
+        power::Watts coolingThreshold = 1.2;
+
+        /** Sustainable (non-boost) power: P1 active power. */
+        power::Watts sustainedPower = 4.0;
+
+        /** Active power while boosting. */
+        power::Watts boostPower = 7.0;
+
+        /** Credit capacity in joules of boost headroom. */
+        power::Joules capacity = 0.5;
+    };
+
+    explicit TurboModel(Params params, bool enabled = true)
+        : _params(params), _enabled(enabled)
+    {}
+
+    TurboModel() : TurboModel(Params{}) {}
+
+    bool enabled() const { return _enabled; }
+    const Params &params() const { return _params; }
+
+    /** Report the core's power level changing at @p now. */
+    void
+    setPower(sim::Tick now, power::Watts w)
+    {
+        accrue(now);
+        _power = w;
+    }
+
+    /** Current credit in joules (accrued to @p now). */
+    power::Joules
+    credit(sim::Tick now)
+    {
+        accrue(now);
+        return _credit;
+    }
+
+    /**
+     * Can a boosted interval of @p duration be afforded right now?
+     * Boosting drains (boostPower - sustainedPower) W.
+     */
+    bool
+    canBoost(sim::Tick now, sim::Tick duration)
+    {
+        if (!_enabled)
+            return false;
+        const power::Joules need =
+            (_params.boostPower - _params.sustainedPower) *
+            sim::toSec(duration);
+        return credit(now) >= need;
+    }
+
+    /**
+     * Commit to boosting for @p duration starting at @p now:
+     * pre-drains the credit (the power charged via setPower must be
+     * the boost power for the interval).
+     */
+    void
+    commitBoost(sim::Tick now, sim::Tick duration)
+    {
+        accrue(now);
+        const power::Joules need =
+            (_params.boostPower - _params.sustainedPower) *
+            sim::toSec(duration);
+        _credit = _credit >= need ? _credit - need : 0.0;
+    }
+
+    void
+    reset(sim::Tick now)
+    {
+        _last = now;
+        _credit = 0.0;
+    }
+
+  private:
+    void
+    accrue(sim::Tick now)
+    {
+        if (now <= _last)
+            return;
+        const double dt = sim::toSec(now - _last);
+        _last = now;
+        if (_power < _params.coolingThreshold) {
+            _credit += (_params.coolingThreshold - _power) * dt;
+            if (_credit > _params.capacity)
+                _credit = _params.capacity;
+        }
+    }
+
+    Params _params;
+    bool _enabled;
+    sim::Tick _last = 0;
+    power::Watts _power = 0.0;
+    power::Joules _credit = 0.0;
+};
+
+} // namespace aw::server
+
+#endif // AW_SERVER_TURBO_HH

@@ -1,0 +1,36 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::sim {
+
+EventId
+Simulator::schedule(Tick when, EventQueue::Callback cb)
+{
+    if (when < _now) {
+        panic("scheduling event in the past: when=%llu now=%llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    }
+    return _queue.schedule(when, std::move(cb));
+}
+
+Tick
+Simulator::run(Tick horizon)
+{
+    while (!_queue.empty()) {
+        if (_queue.nextTick() > horizon) {
+            _now = horizon;
+            return _now;
+        }
+        auto ev = _queue.pop();
+        _now = ev.when;
+        ++_executed;
+        ev.cb();
+    }
+    if (horizon != kMaxTick && horizon > _now)
+        _now = horizon;
+    return _now;
+}
+
+} // namespace aw::sim

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Discrete-event scheduling: EventQueue and Simulator.
+ *
+ * The kernel is deliberately small: events are closures scheduled at
+ * absolute ticks; ties are broken by insertion order so simulations
+ * are deterministic. Events can be cancelled through the EventId
+ * returned at scheduling time.
+ */
+
+#ifndef AW_SIM_EVENT_QUEUE_HH
+#define AW_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace aw::sim {
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel id returned for "no event". */
+constexpr EventId kInvalidEventId = 0;
+
+/**
+ * A time-ordered queue of closures.
+ *
+ * Events scheduled for the same tick fire in scheduling order.
+ * Cancellation is lazy: cancelled ids are skipped when popped, which
+ * keeps schedule/cancel cheap. Cancelling an id that already fired
+ * (or was never scheduled) is a harmless no-op.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @return an id usable with cancel().
+     */
+    EventId
+    schedule(Tick when, Callback cb)
+    {
+        const EventId id = ++_nextId;
+        _heap.push(Entry{when, id, std::move(cb)});
+        _pending.insert(id);
+        return id;
+    }
+
+    /** Cancel a previously scheduled event (no-op if not pending). */
+    void
+    cancel(EventId id)
+    {
+        _pending.erase(id);
+    }
+
+    /** @return true if a schedule()d event has neither fired nor been
+     *  cancelled. */
+    bool pending(EventId id) const { return _pending.count(id) != 0; }
+
+    /** @return true if no live (non-cancelled) events remain. */
+    bool empty() const { return _pending.empty(); }
+
+    /** Number of live events still queued. */
+    std::size_t size() const { return _pending.size(); }
+
+    /**
+     * Tick of the next live event.
+     * @return kMaxTick when the queue is empty.
+     */
+    Tick
+    nextTick() const
+    {
+        const_cast<EventQueue *>(this)->skipCancelled();
+        return _heap.empty() ? kMaxTick : _heap.top().when;
+    }
+
+    /** Result of pop(): when/id/callback of the fired event. */
+    struct Popped
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+    };
+
+    /**
+     * Pop and return the next live event.
+     * @pre !empty()
+     */
+    Popped
+    pop()
+    {
+        skipCancelled();
+        Popped out{_heap.top().when, _heap.top().id,
+                   std::move(const_cast<Entry &>(_heap.top()).cb)};
+        _heap.pop();
+        _pending.erase(out.id);
+        return out;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    /** Drop cancelled entries sitting at the top of the heap. */
+    void
+    skipCancelled()
+    {
+        while (!_heap.empty() && !_pending.count(_heap.top().id))
+            _heap.pop();
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _heap;
+    std::unordered_set<EventId> _pending;
+    EventId _nextId = kInvalidEventId;
+};
+
+/**
+ * The simulation driver: owns the event queue and the current time.
+ *
+ * Components hold a reference to the Simulator, schedule relative or
+ * absolute events, and read now(). run() drains events until the
+ * queue is empty or a horizon is reached.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb at absolute time @p when (>= now()). */
+    EventId schedule(Tick when, EventQueue::Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, EventQueue::Callback cb)
+    {
+        return schedule(_now + delay, std::move(cb));
+    }
+
+    /** Cancel a pending event. */
+    void cancel(EventId id) { _queue.cancel(id); }
+
+    /**
+     * Run until the queue is empty or simulated time would exceed
+     * @p horizon. Events scheduled exactly at the horizon still run.
+     *
+     * @return the final simulated time (== horizon if it was hit).
+     */
+    Tick run(Tick horizon = kMaxTick);
+
+    /** @return true if no events remain. */
+    bool idle() const { return _queue.empty(); }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return _executed; }
+
+    /** Direct access for tests. */
+    EventQueue &queue() { return _queue; }
+
+  private:
+    EventQueue _queue;
+    Tick _now = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace aw::sim
+
+#endif // AW_SIM_EVENT_QUEUE_HH

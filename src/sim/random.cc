@@ -1,0 +1,65 @@
+#include "sim/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace aw::sim {
+
+double
+Rng::lognormalMeanCv(double mean, double cv)
+{
+    if (mean <= 0.0)
+        panic("lognormalMeanCv: mean must be positive (got %f)", mean);
+    if (cv <= 0.0) {
+        // Degenerate: no variation requested.
+        return mean;
+    }
+    // For lognormal(mu, sigma): mean = exp(mu + sigma^2/2) and
+    // cv^2 = exp(sigma^2) - 1, so sigma^2 = ln(1 + cv^2).
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(_gen);
+}
+
+double
+Rng::boundedPareto(double lo, double hi, double alpha)
+{
+    if (lo <= 0.0 || hi <= lo)
+        panic("boundedPareto: need 0 < lo < hi (lo=%f hi=%f)", lo, hi);
+    if (alpha <= 0.0)
+        panic("boundedPareto: alpha must be positive (got %f)", alpha);
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    // Inverse CDF of the bounded Pareto distribution.
+    const double x = -(u * ha - u * la - ha) / (ha * la);
+    return std::pow(x, -1.0 / alpha);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : _skew(s)
+{
+    if (n == 0)
+        panic("ZipfDistribution: empty support");
+    _cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        _cdf[i] = sum;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        _cdf[i] /= sum;
+}
+
+std::size_t
+ZipfDistribution::operator()(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(_cdf.begin(), _cdf.end(), u);
+    if (it == _cdf.end())
+        return _cdf.size() - 1;
+    return static_cast<std::size_t>(it - _cdf.begin());
+}
+
+} // namespace aw::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic random number generation and the distributions the
+ * workload models need (exponential, lognormal, bounded Pareto, Zipf).
+ *
+ * Every stochastic component takes an explicit seed so whole-server
+ * simulations are reproducible run to run.
+ */
+
+#ifndef AW_SIM_RANDOM_HH
+#define AW_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace aw::sim {
+
+/**
+ * A seeded pseudo-random source with convenience draws.
+ *
+ * Wraps a 64-bit Mersenne Twister. Not thread-safe; use one Rng per
+ * simulated component.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : _gen(seed) {}
+
+    /** Re-seed, restarting the stream. */
+    void seed(std::uint64_t s) { _gen.seed(s); }
+
+    /** Uniform real in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(_gen);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(_gen);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(_gen);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(_gen);
+    }
+
+    /** Exponential with the given mean (not rate). */
+    double
+    exponential(double mean)
+    {
+        return std::exponential_distribution<double>(1.0 / mean)(_gen);
+    }
+
+    /** Normal draw. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(_gen);
+    }
+
+    /**
+     * Lognormal parameterized by the *target* mean and coefficient of
+     * variation (cv = stddev/mean) of the resulting distribution.
+     */
+    double lognormalMeanCv(double mean, double cv);
+
+    /**
+     * Bounded Pareto on [lo, hi] with tail index @p alpha.
+     * Heavy-tailed service demand for the OLTP-like workloads.
+     */
+    double boundedPareto(double lo, double hi, double alpha);
+
+    /** Access to the raw engine for std distributions. */
+    std::mt19937_64 &engine() { return _gen; }
+
+  private:
+    std::mt19937_64 _gen;
+};
+
+/**
+ * Zipf-distributed integer draws over {0, ..., n-1} with skew s.
+ *
+ * Uses a precomputed CDF with binary search; construction is O(n),
+ * draws are O(log n). Used for key-popularity in the key-value
+ * workload profile.
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n    support size (must be >= 1)
+     * @param s    skew exponent (s = 0 gives uniform)
+     */
+    ZipfDistribution(std::size_t n, double s);
+
+    /** Draw one value in [0, n). */
+    std::size_t operator()(Rng &rng) const;
+
+    std::size_t support() const { return _cdf.size(); }
+    double skew() const { return _skew; }
+
+  private:
+    std::vector<double> _cdf;
+    double _skew;
+};
+
+} // namespace aw::sim
+
+#endif // AW_SIM_RANDOM_HH

@@ -1,0 +1,109 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace aw::sim {
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::cv() const
+{
+    const double m = mean();
+    return m != 0.0 ? stddev() / m : 0.0;
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    if (_samples.empty())
+        panic("PercentileTracker::percentile on empty tracker");
+    if (p < 0.0 || p > 100.0)
+        panic("percentile out of range: %f", p);
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+    if (p == 0.0)
+        return _samples.front();
+    // Nearest-rank: ceil(p/100 * N), 1-based.
+    const auto n = static_cast<double>(_samples.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank == 0)
+        rank = 1;
+    return _samples[rank - 1];
+}
+
+double
+PercentileTracker::mean() const
+{
+    if (_samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : _samples)
+        sum += s;
+    return sum / static_cast<double>(_samples.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins)
+    : _lo(lo), _hi(hi), _counts(nbins, 0)
+{
+    if (nbins == 0)
+        panic("Histogram: need at least one bin");
+    if (hi <= lo)
+        panic("Histogram: hi (%f) must exceed lo (%f)", hi, lo);
+    _width = (hi - lo) / static_cast<double>(nbins);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    _total += weight;
+    if (x < _lo) {
+        _underflow += weight;
+        return;
+    }
+    if (x >= _hi) {
+        _overflow += weight;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - _lo) / _width);
+    if (idx >= _counts.size())
+        idx = _counts.size() - 1; // guard FP rounding at the upper edge
+    _counts[idx] += weight;
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return _lo + _width * static_cast<double>(i);
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return _lo + _width * static_cast<double>(i + 1);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_counts.begin(), _counts.end(), 0);
+    _underflow = _overflow = _total = 0;
+}
+
+void
+WeightedShares::reset()
+{
+    std::fill(_weights.begin(), _weights.end(), 0.0);
+    _total = 0.0;
+}
+
+} // namespace aw::sim

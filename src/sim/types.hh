@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks (picosecond time), durations and
+ * clock frequencies.
+ *
+ * The whole library uses a single integral time base of one picosecond
+ * per tick. A picosecond base lets every clock of interest be expressed
+ * as an exact integral period (e.g., a 500 MHz power-management agent
+ * clock is exactly 2000 ticks) while a 64-bit counter still covers
+ * more than 100 days of simulated time.
+ */
+
+#ifndef AW_SIM_TYPES_HH
+#define AW_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace aw::sim {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference, for deltas that may be negative. */
+using TickDelta = std::int64_t;
+
+/** The maximum representable tick; used as "never". */
+constexpr Tick kMaxTick = ~Tick(0);
+
+/** @{ Ticks per common time unit (1 tick == 1 ps). */
+constexpr Tick kTicksPerPs = 1;
+constexpr Tick kTicksPerNs = 1000;
+constexpr Tick kTicksPerUs = 1000 * 1000;
+constexpr Tick kTicksPerMs = 1000ull * 1000 * 1000;
+constexpr Tick kTicksPerSec = 1000ull * 1000 * 1000 * 1000;
+/** @} */
+
+/** @{ Convert a duration in a given unit into ticks. */
+constexpr Tick
+fromPs(double ps)
+{
+    return static_cast<Tick>(ps * static_cast<double>(kTicksPerPs) + 0.5);
+}
+
+constexpr Tick
+fromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+constexpr Tick
+fromUs(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs) + 0.5);
+}
+
+constexpr Tick
+fromMs(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTicksPerMs) + 0.5);
+}
+
+constexpr Tick
+fromSec(double sec)
+{
+    return static_cast<Tick>(sec * static_cast<double>(kTicksPerSec) + 0.5);
+}
+/** @} */
+
+/** @{ Convert ticks back to floating-point durations. */
+constexpr double
+toNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+constexpr double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+constexpr double
+toMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+constexpr double
+toSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+/** @} */
+
+/**
+ * A clock frequency. Stored in hertz; exposes the period in ticks.
+ *
+ * Periods are rounded to the nearest picosecond, which is exact for
+ * every frequency that divides 1 THz (all the clocks this library
+ * models: 0.8, 1.0, 2.0, 2.2, 2.5, 3.0 GHz cores and the 500 MHz PMA).
+ */
+class Frequency
+{
+  public:
+    constexpr Frequency() : _hz(0.0) {}
+    explicit constexpr Frequency(double hz) : _hz(hz) {}
+
+    static constexpr Frequency
+    ghz(double f)
+    {
+        return Frequency(f * 1e9);
+    }
+
+    static constexpr Frequency
+    mhz(double f)
+    {
+        return Frequency(f * 1e6);
+    }
+
+    constexpr double hz() const { return _hz; }
+    constexpr double gigahertz() const { return _hz / 1e9; }
+    constexpr double megahertz() const { return _hz / 1e6; }
+
+    constexpr bool valid() const { return _hz > 0.0; }
+
+    /** Clock period in ticks (picoseconds), rounded to nearest. */
+    constexpr Tick
+    period() const
+    {
+        return static_cast<Tick>(1e12 / _hz + 0.5);
+    }
+
+    /** Duration of @p n clock cycles in ticks. */
+    constexpr Tick
+    cycles(std::uint64_t n) const
+    {
+        return period() * n;
+    }
+
+    constexpr bool
+    operator==(const Frequency &other) const
+    {
+        return _hz == other._hz;
+    }
+
+    constexpr auto operator<=>(const Frequency &other) const
+    {
+        return _hz <=> other._hz;
+    }
+
+  private:
+    double _hz;
+};
+
+} // namespace aw::sim
+
+#endif // AW_SIM_TYPES_HH

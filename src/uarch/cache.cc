@@ -1,0 +1,109 @@
+#include "uarch/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace aw::uarch {
+
+FlushModel
+FlushModel::calibrate(std::uint64_t lines, double dirty_fraction,
+                      sim::Frequency freq, sim::Tick anchor_time)
+{
+    if (lines == 0)
+        sim::panic("FlushModel::calibrate: zero lines");
+    if (dirty_fraction <= 0.0 || dirty_fraction > 1.0)
+        sim::panic("FlushModel::calibrate: bad dirty fraction %f",
+                   dirty_fraction);
+    const double total_cycles = sim::toSec(anchor_time) * freq.hz();
+    const double scan = 1.0;
+    const double scan_cycles = scan * static_cast<double>(lines);
+    if (total_cycles <= scan_cycles) {
+        sim::panic("FlushModel::calibrate: anchor %f cycles cannot "
+                   "cover the %f scan cycles",
+                   total_cycles, scan_cycles);
+    }
+    const double wb = (total_cycles - scan_cycles) /
+                      (dirty_fraction * static_cast<double>(lines));
+    return FlushModel(scan, wb);
+}
+
+sim::Tick
+FlushModel::flushTime(std::uint64_t lines, double dirty_fraction,
+                      sim::Frequency freq) const
+{
+    const double n = static_cast<double>(lines);
+    const double cycles =
+        n * _scanCycles + n * dirty_fraction * _writebackCycles;
+    return sim::fromSec(cycles / freq.hz());
+}
+
+PrivateCaches::PrivateCaches(CacheGeometry l1i, CacheGeometry l1d,
+                             CacheGeometry l2, FlushModel flush_model)
+    : _l1i(std::move(l1i)), _l1d(std::move(l1d)), _l2(std::move(l2)),
+      _flush(flush_model)
+{
+}
+
+PrivateCaches
+PrivateCaches::skylakeServer()
+{
+    CacheGeometry l1i{"L1I", 32 * 1024, 64};
+    CacheGeometry l1d{"L1D", 32 * 1024, 64};
+    CacheGeometry l2{"L2", 1024 * 1024, 64};
+    const std::uint64_t lines =
+        l1i.lines() + l1d.lines() + l2.lines();
+    // Paper anchor: ~75 us to flush a 50% dirty cache at 800 MHz.
+    const FlushModel model = FlushModel::calibrate(
+        lines, 0.5, sim::Frequency::mhz(800.0),
+        sim::fromUs(75.0));
+    return PrivateCaches(l1i, l1d, l2, model);
+}
+
+std::uint64_t
+PrivateCaches::totalCapacityBytes() const
+{
+    return _l1i.capacityBytes + _l1d.capacityBytes + _l2.capacityBytes;
+}
+
+std::uint64_t
+PrivateCaches::totalLines() const
+{
+    return _l1i.lines() + _l1d.lines() + _l2.lines();
+}
+
+void
+PrivateCaches::setDirtyFraction(double f)
+{
+    if (f < 0.0 || f > 1.0)
+        sim::panic("PrivateCaches: dirty fraction %f out of [0,1]", f);
+    _dirtyFraction = f;
+}
+
+void
+PrivateCaches::touch(double write_fraction, double turnover)
+{
+    write_fraction = std::clamp(write_fraction, 0.0, 1.0);
+    turnover = std::clamp(turnover, 0.0, 1.0);
+    // A `turnover` share of lines is replaced by fresh ones whose
+    // dirtiness matches the write mix.
+    _dirtyFraction =
+        _dirtyFraction * (1.0 - turnover) + write_fraction * turnover;
+}
+
+void
+PrivateCaches::flush()
+{
+    _dirtyFraction = 0.0;
+    _state = CacheDomainState::Flushed;
+}
+
+sim::Tick
+PrivateCaches::snoopServiceTime(sim::Frequency freq, bool hit) const
+{
+    const std::uint64_t cycles =
+        kSnoopTagCycles + (hit ? kSnoopDataCycles : 0);
+    return freq.cycles(cycles);
+}
+
+} // namespace aw::uarch

@@ -1,0 +1,19 @@
+#include "uarch/context.hh"
+
+namespace aw::uarch {
+
+sim::Tick
+CoreContext::microcodeReinitTime(sim::Frequency freq) const
+{
+    // The 2 KB patch SRAM re-initializes sequentially from the S/R
+    // SRAM plus microcode sequencer work; calibrated so that the full
+    // C6 state+microcode restore lands at ~20 us at 800 MHz
+    // (Sec 3): the register restore accounts for the external
+    // transfer (~9 us at 800 MHz for 8 KB), microcode for the rest.
+    const double bytes_per_cycle =
+        power::ExternalSaveRestore::kBytesPerCycle * 0.25;
+    const double cycles = _layout.microcodeSramBytes / bytes_per_cycle;
+    return sim::fromSec(cycles / freq.hz());
+}
+
+} // namespace aw::uarch

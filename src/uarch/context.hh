@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The core architectural context that must survive a deep idle
+ * state: registers (CSRs, fuses) plus the microcode patch SRAM.
+ *
+ * Two paths exist for preserving it:
+ *  - the legacy C6 path streams it to/from the S/R SRAM in the
+ *    uncore (~9 us each way for ~8 KB at 800 MHz);
+ *  - the AgileWatts path retains it in place (ungated registers,
+ *    SRPG flops, ungated SRAM) at a few cycles and ~2 mW.
+ */
+
+#ifndef AW_UARCH_CONTEXT_HH
+#define AW_UARCH_CONTEXT_HH
+
+#include "power/srpg.hh"
+#include "sim/types.hh"
+
+namespace aw::uarch {
+
+/**
+ * Composition of the retained core context.
+ */
+struct ContextLayout
+{
+    /** Register state: CSRs, fuse shadow copies, etc. */
+    double registerBytes = 6 * 1024.0;
+
+    /** Microcode patch + persistent data SRAM. */
+    double microcodeSramBytes = 2 * 1024.0;
+
+    double
+    totalBytes() const
+    {
+        return registerBytes + microcodeSramBytes;
+    }
+
+    /** The Skylake-like default: ~8 KB total. */
+    static constexpr ContextLayout
+    skylake()
+    {
+        return ContextLayout{6 * 1024.0, 2 * 1024.0};
+    }
+};
+
+/**
+ * Core context with both preservation paths.
+ */
+class CoreContext
+{
+  public:
+    explicit CoreContext(ContextLayout layout = ContextLayout::skylake())
+        : _layout(layout), _inPlace(layout.totalBytes()),
+          _external(layout.totalBytes())
+    {}
+
+    const ContextLayout &layout() const { return _layout; }
+
+    /** In-place retention model (AW path). */
+    const power::ContextRetention &inPlace() const { return _inPlace; }
+
+    /** External save/restore model (legacy C6 path). */
+    const power::ExternalSaveRestore &external() const
+    {
+        return _external;
+    }
+
+    /** Legacy save (or restore) time at @p freq. */
+    sim::Tick
+    externalTransferTime(sim::Frequency freq) const
+    {
+        return _external.transferTime(freq);
+    }
+
+    /**
+     * Additional sequential re-initialization of the microcode patch
+     * SRAM on the legacy C6 exit path (part of the ~20 us microcode
+     * restore). Proportional to the SRAM size.
+     */
+    sim::Tick microcodeReinitTime(sim::Frequency freq) const;
+
+  private:
+    ContextLayout _layout;
+    power::ContextRetention _inPlace;
+    power::ExternalSaveRestore _external;
+};
+
+} // namespace aw::uarch
+
+#endif // AW_UARCH_CONTEXT_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Core unit inventory: the floorplan-level breakdown of a Skylake
+ * server core into units with area and leakage shares, the power
+ * domain each unit lives in under AgileWatts, and the context
+ * retention technique each UFPG unit uses.
+ *
+ * The aggregate shares reproduce the paper's die-photo measurements:
+ * the UFPG domain covers ~70% of core area (and ~70% of core
+ * leakage), the cache domain ~30%, and the UFPG domain has ~4.5x the
+ * area/capacitance of the AVX units whose staggered wake is the
+ * in-rush reference (Sec 5.3).
+ */
+
+#ifndef AW_UARCH_CORE_UNITS_HH
+#define AW_UARCH_CORE_UNITS_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/srpg.hh"
+#include "power/units.hh"
+
+namespace aw::uarch {
+
+/** Power domain membership under the AgileWatts partitioning. */
+enum class PowerDomain
+{
+    Ufpg,        //!< medium-grain power-gated in C6A
+    CacheSleep,  //!< power-ungated, sleep-mode + clock-gated in C6A
+    AlwaysOn,    //!< snoop detector etc.: never gated
+};
+
+/**
+ * One floorplan unit.
+ */
+struct CoreUnit
+{
+    std::string name;
+    PowerDomain domain = PowerDomain::Ufpg;
+
+    /** Fraction of total core area. */
+    double areaFraction = 0.0;
+
+    /** Fraction of total core leakage power. */
+    double leakageFraction = 0.0;
+
+    /** Retention technique for UFPG units (nullopt elsewhere). */
+    std::optional<power::RetentionTechnique> retention;
+
+    /** True for the AVX units that already have product power
+     *  gates (the staggered-wake reference domain). */
+    bool isAvx = false;
+};
+
+/**
+ * The unit inventory of one core.
+ */
+class UnitInventory
+{
+  public:
+    explicit UnitInventory(std::vector<CoreUnit> units);
+
+    /** The calibrated Skylake server core inventory. */
+    static UnitInventory skylakeServer();
+
+    const std::vector<CoreUnit> &units() const { return _units; }
+    std::size_t size() const { return _units.size(); }
+
+    /** Find a unit by name; panics if absent. */
+    const CoreUnit &unit(const std::string &name) const;
+
+    /** Total area fraction of a domain. */
+    double areaFraction(PowerDomain d) const;
+
+    /** Total leakage fraction of a domain. */
+    double leakageFraction(PowerDomain d) const;
+
+    /** Combined area fraction of the AVX units. */
+    double avxAreaFraction() const;
+
+    /**
+     * Ratio of UFPG-domain area to AVX area: the factor by which AW
+     * exceeds the in-rush reference (paper: ~4.5x).
+     */
+    double ufpgToAvxAreaRatio() const;
+
+    /** Sum of all units' area fractions (should be ~1). */
+    double totalAreaFraction() const;
+
+    /** Sum of all units' leakage fractions (should be ~1). */
+    double totalLeakageFraction() const;
+
+  private:
+    std::vector<CoreUnit> _units;
+};
+
+} // namespace aw::uarch
+
+#endif // AW_UARCH_CORE_UNITS_HH

@@ -1,0 +1,81 @@
+#include "workload/arrival.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::workload {
+
+PoissonArrivals::PoissonArrivals(double rate_per_sec)
+    : _rate(rate_per_sec)
+{
+    if (rate_per_sec <= 0.0)
+        sim::panic("PoissonArrivals: rate must be positive (%f)",
+                   rate_per_sec);
+}
+
+sim::Tick
+PoissonArrivals::nextGap(sim::Rng &rng)
+{
+    return sim::fromSec(rng.exponential(1.0 / _rate));
+}
+
+DeterministicArrivals::DeterministicArrivals(double rate_per_sec)
+    : _rate(rate_per_sec)
+{
+    if (rate_per_sec <= 0.0)
+        sim::panic("DeterministicArrivals: rate must be positive (%f)",
+                   rate_per_sec);
+    _gap = sim::fromSec(1.0 / rate_per_sec);
+}
+
+MmppArrivals::MmppArrivals(double burst_rate, double quiet_rate,
+                           sim::Tick burst_mean, sim::Tick quiet_mean)
+    : _burstRate(burst_rate), _quietRate(quiet_rate),
+      _burstMean(burst_mean), _quietMean(quiet_mean)
+{
+    if (burst_rate <= 0.0 || quiet_rate < 0.0)
+        sim::panic("MmppArrivals: bad rates burst=%f quiet=%f",
+                   burst_rate, quiet_rate);
+    if (burst_mean == 0 || quiet_mean == 0)
+        sim::panic("MmppArrivals: zero phase durations");
+}
+
+sim::Tick
+MmppArrivals::nextGap(sim::Rng &rng)
+{
+    sim::Tick gap = 0;
+    // Walk phases until an arrival lands inside the current phase.
+    for (;;) {
+        if (_phaseLeft == 0) {
+            const sim::Tick mean = _inBurst ? _burstMean : _quietMean;
+            _phaseLeft = sim::fromSec(
+                rng.exponential(sim::toSec(mean)));
+        }
+        const double rate = _inBurst ? _burstRate : _quietRate;
+        if (rate <= 0.0) {
+            // Silent phase: skip it entirely.
+            gap += _phaseLeft;
+            _phaseLeft = 0;
+            _inBurst = !_inBurst;
+            continue;
+        }
+        const sim::Tick draw =
+            sim::fromSec(rng.exponential(1.0 / rate));
+        if (draw <= _phaseLeft) {
+            _phaseLeft -= draw;
+            return gap + draw;
+        }
+        gap += _phaseLeft;
+        _phaseLeft = 0;
+        _inBurst = !_inBurst;
+    }
+}
+
+double
+MmppArrivals::ratePerSec() const
+{
+    const double tb = sim::toSec(_burstMean);
+    const double tq = sim::toSec(_quietMean);
+    return (_burstRate * tb + _quietRate * tq) / (tb + tq);
+}
+
+} // namespace aw::workload

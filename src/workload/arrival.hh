@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Open-loop arrival processes. The paper's load generators
+ * (Mutilate, sysbench, Kafka perf tools) drive the server open-loop
+ * at a target rate; we model Poisson arrivals for the request-per-
+ * query services and a two-state MMPP for the bursty streaming
+ * workload.
+ */
+
+#ifndef AW_WORKLOAD_ARRIVAL_HH
+#define AW_WORKLOAD_ARRIVAL_HH
+
+#include <memory>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace aw::workload {
+
+/**
+ * Interface: a stream of inter-arrival gaps.
+ */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /** Draw the gap to the next arrival. */
+    virtual sim::Tick nextGap(sim::Rng &rng) = 0;
+
+    /** Mean rate in arrivals per second. */
+    virtual double ratePerSec() const = 0;
+};
+
+/** Poisson (exponential gaps) at a fixed rate. */
+class PoissonArrivals : public ArrivalProcess
+{
+  public:
+    explicit PoissonArrivals(double rate_per_sec);
+
+    sim::Tick nextGap(sim::Rng &rng) override;
+    double ratePerSec() const override { return _rate; }
+
+  private:
+    double _rate;
+};
+
+/** Deterministic (constant gap) arrivals. */
+class DeterministicArrivals : public ArrivalProcess
+{
+  public:
+    explicit DeterministicArrivals(double rate_per_sec);
+
+    sim::Tick nextGap(sim::Rng &) override { return _gap; }
+    double ratePerSec() const override { return _rate; }
+
+  private:
+    double _rate;
+    sim::Tick _gap;
+};
+
+/**
+ * Two-state Markov-modulated Poisson process: alternates between a
+ * burst phase (high rate) and a quiet phase (low rate) with
+ * exponentially distributed phase durations. Models the batchy
+ * producer/consumer traffic of the streaming workload.
+ */
+class MmppArrivals : public ArrivalProcess
+{
+  public:
+    /**
+     * @param burst_rate   arrival rate during bursts
+     * @param quiet_rate   arrival rate between bursts
+     * @param burst_mean   mean burst duration
+     * @param quiet_mean   mean quiet duration
+     */
+    MmppArrivals(double burst_rate, double quiet_rate,
+                 sim::Tick burst_mean, sim::Tick quiet_mean);
+
+    sim::Tick nextGap(sim::Rng &rng) override;
+    double ratePerSec() const override;
+
+    bool inBurst() const { return _inBurst; }
+
+  private:
+    double _burstRate;
+    double _quietRate;
+    sim::Tick _burstMean;
+    sim::Tick _quietMean;
+    bool _inBurst = true;
+    sim::Tick _phaseLeft = 0;
+};
+
+/** Factory signature: build a per-core arrival process for a rate. */
+using ArrivalFactory = std::unique_ptr<ArrivalProcess> (*)(double);
+
+} // namespace aw::workload
+
+#endif // AW_WORKLOAD_ARRIVAL_HH

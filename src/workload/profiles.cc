@@ -1,0 +1,158 @@
+#include "workload/profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::workload {
+
+WorkloadProfile::WorkloadProfile(std::string name, ArrivalKind arrivals,
+                                 std::shared_ptr<ServiceModel> service,
+                                 double write_fraction,
+                                 std::vector<double> rate_levels_qps,
+                                 BurstShape burst)
+    : _name(std::move(name)), _arrivals(arrivals),
+      _service(std::move(service)), _writeFraction(write_fraction),
+      _rateLevels(std::move(rate_levels_qps)), _burst(burst)
+{
+    if (!_service)
+        sim::panic("WorkloadProfile '%s': null service model",
+                   _name.c_str());
+}
+
+std::unique_ptr<ArrivalProcess>
+WorkloadProfile::makeArrivals(double per_core_rate) const
+{
+    switch (_arrivals) {
+      case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrivals>(per_core_rate);
+      case ArrivalKind::Deterministic:
+        return std::make_unique<DeterministicArrivals>(per_core_rate);
+      case ArrivalKind::Bursty: {
+        // Average rate r split across burst/quiet phases so that
+        // the burst carries rateMultiple x the average.
+        const double tb = sim::toSec(_burst.burstMean);
+        const double tq = sim::toSec(_burst.quietMean);
+        const double burst_rate =
+            per_core_rate * _burst.rateMultiple;
+        // avg = (burst*tb + quiet*tq) / (tb+tq)  =>  solve quiet.
+        double quiet_rate =
+            (per_core_rate * (tb + tq) - burst_rate * tb) / tq;
+        if (quiet_rate < 0.0)
+            quiet_rate = 0.0;
+        return std::make_unique<MmppArrivals>(
+            burst_rate, quiet_rate, _burst.burstMean,
+            _burst.quietMean);
+      }
+      default:
+        sim::panic("WorkloadProfile: bad arrival kind");
+    }
+}
+
+WorkloadProfile
+WorkloadProfile::memcached()
+{
+    // ETC-like mix: ~90% GETs (fast) / ~10% SETs (slower), a few
+    // microseconds each; mean ~7.4 us. Compute share 0.5 gives the
+    // moderate frequency scalability of Fig 8d. Rates are the Fig 8
+    // sweep (total server KQPS).
+    auto service = std::make_shared<BimodalService>(
+        sim::fromUs(6.0), sim::fromUs(20.0), 0.90, 0.7, 0.5);
+    return WorkloadProfile(
+        "memcached", ArrivalKind::Poisson, std::move(service), 0.25,
+        {10e3, 50e3, 100e3, 200e3, 300e3, 400e3, 500e3});
+}
+
+WorkloadProfile
+WorkloadProfile::mysql()
+{
+    // sysbench OLTP: sub-millisecond queries with idle gaps long
+    // enough that the baseline reaches >=40% C6 residency
+    // (Fig 12a), yet short enough that the ~40 us C6 wake costs
+    // the 4-10% of response time of Fig 12c. Rates: low / mid /
+    // high total QPS.
+    auto service = std::make_shared<LognormalService>(
+        sim::fromUs(500.0), 0.9, 0.6);
+    // 6% / 13.5% / 21% core utilization: the 5-25% range real
+    // latency-critical deployments run at (Sec 2).
+    return WorkloadProfile("mysql", ArrivalKind::Poisson,
+                           std::move(service), 0.5,
+                           {1200.0, 2700.0, 4200.0});
+}
+
+WorkloadProfile
+WorkloadProfile::kafka()
+{
+    // Event streaming: batchy producer/consumer traffic (MMPP).
+    // At the low rate the quiet phases are long enough for C6
+    // (>60% residency, Fig 13a); at the high rate gaps stay below
+    // the C6 target residency so the baseline lives in C0/C1 --
+    // but utilization stays low (~12%), so nearly all idle time is
+    // C1 and AW's C6A recovers >50% of average power (Fig 13d).
+    auto service = std::make_shared<LognormalService>(
+        sim::fromUs(150.0), 1.0, 0.5);
+    // Short bursts with short silent windows: at the high rate the
+    // intra-burst gaps dominate the predictor window, keeping the
+    // typical interval under the C6 target; at the low rate even
+    // burst-internal gaps are millisecond-scale.
+    return WorkloadProfile(
+        "kafka", ArrivalKind::Bursty, std::move(service), 0.4,
+        {1e3, 8e3},
+        BurstShape{3.0, 2 * sim::kTicksPerMs,
+                   4 * sim::kTicksPerMs});
+}
+
+WorkloadProfile
+WorkloadProfile::specpower()
+{
+    auto service = std::make_shared<LognormalService>(
+        sim::fromUs(5.0), 0.6, 0.7);
+    return WorkloadProfile("specpower", ArrivalKind::Poisson,
+                           std::move(service), 0.3,
+                           {100e3, 400e3, 800e3, 1200e3})
+        .withActivePowerScale(1.05);
+}
+
+WorkloadProfile
+WorkloadProfile::nginx()
+{
+    auto service = std::make_shared<LognormalService>(
+        sim::fromUs(50.0), 1.2, 0.55);
+    return WorkloadProfile("nginx", ArrivalKind::Poisson,
+                           std::move(service), 0.2,
+                           {10e3, 40e3, 80e3, 120e3})
+        .withActivePowerScale(1.06);
+}
+
+WorkloadProfile
+WorkloadProfile::spark()
+{
+    auto service = std::make_shared<LognormalService>(
+        sim::fromMs(20.0), 0.5, 0.8);
+    return WorkloadProfile("spark", ArrivalKind::Bursty,
+                           std::move(service), 0.6,
+                           {50.0, 150.0, 300.0})
+        .withActivePowerScale(1.07);
+}
+
+WorkloadProfile
+WorkloadProfile::hive()
+{
+    auto service = std::make_shared<LognormalService>(
+        sim::fromMs(100.0), 0.7, 0.7);
+    return WorkloadProfile("hive", ArrivalKind::Poisson,
+                           std::move(service), 0.5,
+                           {10.0, 40.0, 70.0})
+        .withActivePowerScale(1.07);
+}
+
+std::vector<WorkloadProfile>
+WorkloadProfile::validationSuite()
+{
+    std::vector<WorkloadProfile> suite;
+    suite.push_back(specpower());
+    suite.push_back(nginx());
+    suite.push_back(spark());
+    suite.push_back(hive());
+    return suite;
+}
+
+} // namespace aw::workload

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Application workload profiles: the three latency-critical services
+ * of the evaluation (Memcached, MySQL, Kafka) and the four
+ * model-validation workloads (SPECpower, Nginx, Spark, Hive), each
+ * as an arrival process + service-demand model calibrated to
+ * reproduce the C-state residency structure the paper measures.
+ */
+
+#ifndef AW_WORKLOAD_PROFILES_HH
+#define AW_WORKLOAD_PROFILES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workload/arrival.hh"
+#include "workload/service.hh"
+
+namespace aw::workload {
+
+/** Shape of the arrival process. */
+enum class ArrivalKind
+{
+    Poisson,
+    Deterministic,
+    Bursty, //!< two-state MMPP
+};
+
+/**
+ * Burstiness shape for Bursty arrivals: the burst phase carries
+ * @c rateMultiple times the average rate over bursts of mean
+ * @c burstMean, with the remainder flowing through quiet phases of
+ * mean @c quietMean.
+ */
+struct BurstShape
+{
+    double rateMultiple = 4.0;
+    sim::Tick burstMean = 2 * sim::kTicksPerMs;
+    sim::Tick quietMean = 14 * sim::kTicksPerMs;
+};
+
+/**
+ * A workload profile. Stateless description; makeArrivals() and the
+ * shared service model produce the per-core streams.
+ */
+class WorkloadProfile
+{
+  public:
+    WorkloadProfile(std::string name, ArrivalKind arrivals,
+                    std::shared_ptr<ServiceModel> service,
+                    double write_fraction,
+                    std::vector<double> rate_levels_qps,
+                    BurstShape burst = BurstShape{});
+
+    const std::string &name() const { return _name; }
+    ArrivalKind arrivalKind() const { return _arrivals; }
+    ServiceModel &service() const { return *_service; }
+    std::shared_ptr<ServiceModel> servicePtr() const
+    {
+        return _service;
+    }
+
+    /** Fraction of touched cache lines dirtied per request. */
+    double writeFraction() const { return _writeFraction; }
+
+    /** The request-rate sweep (total server QPS) of the figure this
+     *  profile reproduces. */
+    const std::vector<double> &rateLevels() const
+    {
+        return _rateLevels;
+    }
+
+    /** Burst shape used by Bursty arrivals. */
+    const BurstShape &burst() const { return _burst; }
+
+    /**
+     * Workload-specific active-power scale relative to the nominal
+     * C0 power of Table 1. Real workloads draw different dynamic
+     * power per cycle (IPC, vector width, memory mix); the
+     * analytical model of Sec 6.2 uses the nominal constant, and
+     * this gap is what bounds its validation accuracy to the
+     * 94-96% of Sec 6.3. The three calibrated evaluation services
+     * use 1.0 (their absolute power anchors ARE the Table 1
+     * numbers); the validation suite carries measured-style skews.
+     */
+    double activePowerScale() const { return _activePowerScale; }
+
+    /** Builder-style override for the active-power scale. */
+    WorkloadProfile &
+    withActivePowerScale(double scale)
+    {
+        _activePowerScale = scale;
+        return *this;
+    }
+
+    /** Build a per-core arrival process for @p per_core_rate /s. */
+    std::unique_ptr<ArrivalProcess>
+    makeArrivals(double per_core_rate) const;
+
+    /** @{ The evaluation workloads (Sec 6.1). */
+    static WorkloadProfile memcached();
+    static WorkloadProfile mysql();
+    static WorkloadProfile kafka();
+    /** @} */
+
+    /** @{ The power-model validation workloads (Sec 6.3). */
+    static WorkloadProfile specpower();
+    static WorkloadProfile nginx();
+    static WorkloadProfile spark();
+    static WorkloadProfile hive();
+    /** @} */
+
+    /** All validation profiles in one list. */
+    static std::vector<WorkloadProfile> validationSuite();
+
+  private:
+    std::string _name;
+    ArrivalKind _arrivals;
+    std::shared_ptr<ServiceModel> _service;
+    double _writeFraction;
+    std::vector<double> _rateLevels;
+    BurstShape _burst;
+    double _activePowerScale = 1.0;
+};
+
+} // namespace aw::workload
+
+#endif // AW_WORKLOAD_PROFILES_HH

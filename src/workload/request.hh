@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The unit of work flowing through the simulated server: a request
+ * with its timeline stamps, from which latency statistics are
+ * derived.
+ */
+
+#ifndef AW_WORKLOAD_REQUEST_HH
+#define AW_WORKLOAD_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace aw::workload {
+
+/**
+ * Service demand of one request, split into a frequency-dependent
+ * compute part (core cycles) and a frequency-independent part
+ * (memory/IO stalls). The split is what makes workload "frequency
+ * scalability" (paper Sec 6.2 / Fig 8d) an emergent property: a
+ * core running 1% slower only lengthens the cycle part.
+ */
+struct ServiceDemand
+{
+    double cycles = 0.0;     //!< core cycles of compute
+    sim::Tick fixed = 0;     //!< frequency-independent time
+
+    /** Wall-clock duration at core frequency @p freq. */
+    sim::Tick
+    duration(sim::Frequency freq) const
+    {
+        return sim::fromSec(cycles / freq.hz()) + fixed;
+    }
+};
+
+/**
+ * One request's lifecycle record.
+ */
+struct Request
+{
+    std::uint64_t id = 0;
+    sim::Tick arrival = 0;      //!< at the server NIC
+    ServiceDemand demand;
+    sim::Tick serviceStart = 0; //!< core begins executing it
+    sim::Tick completion = 0;   //!< response ready
+
+    /** Server-side response time (queueing + wake + service). */
+    sim::Tick
+    serverLatency() const
+    {
+        return completion - arrival;
+    }
+};
+
+} // namespace aw::workload
+
+#endif // AW_WORKLOAD_REQUEST_HH

@@ -1,0 +1,81 @@
+#include "workload/service.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::workload {
+
+ServiceDemand
+splitDemand(sim::Tick total, double compute_share,
+            sim::Frequency ref_freq)
+{
+    ServiceDemand d;
+    const double total_sec = sim::toSec(total);
+    d.cycles = total_sec * compute_share * ref_freq.hz();
+    d.fixed = sim::fromSec(total_sec * (1.0 - compute_share));
+    return d;
+}
+
+LognormalService::LognormalService(sim::Tick mean_time, double cv,
+                                   double compute_share,
+                                   sim::Frequency ref_freq)
+    : _mean(mean_time), _cv(cv), _computeShare(compute_share),
+      _refFreq(ref_freq)
+{
+    if (mean_time == 0)
+        sim::panic("LognormalService: zero mean");
+    if (compute_share < 0.0 || compute_share > 1.0)
+        sim::panic("LognormalService: compute share %f out of [0,1]",
+                   compute_share);
+}
+
+ServiceDemand
+LognormalService::draw(sim::Rng &rng)
+{
+    const double t =
+        rng.lognormalMeanCv(static_cast<double>(_mean), _cv);
+    return splitDemand(static_cast<sim::Tick>(t), _computeShare,
+                       _refFreq);
+}
+
+FixedService::FixedService(sim::Tick time, double compute_share,
+                           sim::Frequency ref_freq)
+    : _time(time), _computeShare(compute_share), _refFreq(ref_freq)
+{
+    _demand = splitDemand(time, compute_share, ref_freq);
+}
+
+BimodalService::BimodalService(sim::Tick fast_mean,
+                               sim::Tick slow_mean,
+                               double fast_fraction, double cv,
+                               double compute_share,
+                               sim::Frequency ref_freq)
+    : _fastMean(fast_mean), _slowMean(slow_mean),
+      _fastFraction(fast_fraction), _cv(cv),
+      _computeShare(compute_share), _refFreq(ref_freq)
+{
+    if (fast_fraction < 0.0 || fast_fraction > 1.0)
+        sim::panic("BimodalService: fraction %f out of [0,1]",
+                   fast_fraction);
+}
+
+ServiceDemand
+BimodalService::draw(sim::Rng &rng)
+{
+    const sim::Tick mean =
+        rng.bernoulli(_fastFraction) ? _fastMean : _slowMean;
+    const double t =
+        rng.lognormalMeanCv(static_cast<double>(mean), _cv);
+    return splitDemand(static_cast<sim::Tick>(t), _computeShare,
+                       _refFreq);
+}
+
+sim::Tick
+BimodalService::meanServiceTime() const
+{
+    const double m =
+        _fastFraction * static_cast<double>(_fastMean) +
+        (1.0 - _fastFraction) * static_cast<double>(_slowMean);
+    return static_cast<sim::Tick>(m);
+}
+
+} // namespace aw::workload

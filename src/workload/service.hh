@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Service-demand models: how much work one request is.
+ *
+ * Demands are expressed as a compute part (cycles at the core
+ * clock) and a frequency-independent part (memory/IO), so a given
+ * model has an intrinsic "frequency scalability" -- the compute
+ * share -- that the evaluation measures the way the paper does
+ * (performance delta between 2.0 and 2.2 GHz, Fig 8d).
+ */
+
+#ifndef AW_WORKLOAD_SERVICE_HH
+#define AW_WORKLOAD_SERVICE_HH
+
+#include <memory>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+#include "workload/request.hh"
+
+namespace aw::workload {
+
+/**
+ * Interface: draw per-request service demands.
+ */
+class ServiceModel
+{
+  public:
+    virtual ~ServiceModel() = default;
+
+    /** Draw one request's demand. */
+    virtual ServiceDemand draw(sim::Rng &rng) = 0;
+
+    /** Mean total service time at the reference frequency. */
+    virtual sim::Tick meanServiceTime() const = 0;
+
+    /** Fraction of the mean demand that is compute (cycles). */
+    virtual double computeShare() const = 0;
+
+    /** Reference frequency the mean is quoted at. */
+    virtual sim::Frequency referenceFrequency() const = 0;
+};
+
+/**
+ * Lognormal total service time with a fixed compute share.
+ *
+ * The workhorse model: mean and coefficient of variation control
+ * the queueing behaviour, the compute share controls frequency
+ * scalability.
+ */
+class LognormalService : public ServiceModel
+{
+  public:
+    /**
+     * @param mean_time     mean service time at @p ref_freq
+     * @param cv            coefficient of variation of the total
+     * @param compute_share fraction of time that is cycles
+     * @param ref_freq      frequency the mean is quoted at
+     */
+    LognormalService(sim::Tick mean_time, double cv,
+                     double compute_share,
+                     sim::Frequency ref_freq =
+                         sim::Frequency::ghz(2.2));
+
+    ServiceDemand draw(sim::Rng &rng) override;
+    sim::Tick meanServiceTime() const override { return _mean; }
+    double computeShare() const override { return _computeShare; }
+    sim::Frequency referenceFrequency() const override
+    {
+        return _refFreq;
+    }
+
+    double cv() const { return _cv; }
+
+  private:
+    sim::Tick _mean;
+    double _cv;
+    double _computeShare;
+    sim::Frequency _refFreq;
+};
+
+/** Deterministic service demand (tests, worst-case analyses). */
+class FixedService : public ServiceModel
+{
+  public:
+    FixedService(sim::Tick time, double compute_share,
+                 sim::Frequency ref_freq = sim::Frequency::ghz(2.2));
+
+    ServiceDemand draw(sim::Rng &) override { return _demand; }
+    sim::Tick meanServiceTime() const override { return _time; }
+    double computeShare() const override { return _computeShare; }
+    sim::Frequency referenceFrequency() const override
+    {
+        return _refFreq;
+    }
+
+  private:
+    sim::Tick _time;
+    double _computeShare;
+    sim::Frequency _refFreq;
+    ServiceDemand _demand;
+};
+
+/**
+ * Bimodal mix (e.g., GET/SET in a key-value store): two lognormal
+ * populations with a mixing probability.
+ */
+class BimodalService : public ServiceModel
+{
+  public:
+    /**
+     * @param fast_mean / slow_mean  the two population means
+     * @param fast_fraction          probability of the fast class
+     */
+    BimodalService(sim::Tick fast_mean, sim::Tick slow_mean,
+                   double fast_fraction, double cv,
+                   double compute_share,
+                   sim::Frequency ref_freq =
+                       sim::Frequency::ghz(2.2));
+
+    ServiceDemand draw(sim::Rng &rng) override;
+    sim::Tick meanServiceTime() const override;
+    double computeShare() const override { return _computeShare; }
+    sim::Frequency referenceFrequency() const override
+    {
+        return _refFreq;
+    }
+
+  private:
+    sim::Tick _fastMean;
+    sim::Tick _slowMean;
+    double _fastFraction;
+    double _cv;
+    double _computeShare;
+    sim::Frequency _refFreq;
+};
+
+/** Split a drawn total time into a ServiceDemand at @p ref_freq. */
+ServiceDemand splitDemand(sim::Tick total, double compute_share,
+                          sim::Frequency ref_freq);
+
+} // namespace aw::workload
+
+#endif // AW_WORKLOAD_SERVICE_HH

@@ -1,0 +1,65 @@
+#include "workload/trace.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::workload {
+
+ArrivalTrace
+ArrivalTrace::record(ArrivalProcess &source, sim::Rng &rng,
+                     std::size_t n)
+{
+    std::vector<sim::Tick> gaps;
+    gaps.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        gaps.push_back(source.nextGap(rng));
+    return ArrivalTrace(std::move(gaps));
+}
+
+sim::Tick
+ArrivalTrace::duration() const
+{
+    sim::Tick total = 0;
+    for (const auto g : _gaps)
+        total += g;
+    return total;
+}
+
+double
+ArrivalTrace::meanRatePerSec() const
+{
+    const sim::Tick d = duration();
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(_gaps.size()) / sim::toSec(d);
+}
+
+TraceArrivals::TraceArrivals(ArrivalTrace trace, bool loop)
+    : _trace(std::move(trace)), _loop(loop)
+{
+    if (_trace.empty())
+        sim::panic("TraceArrivals: empty trace");
+}
+
+bool
+TraceArrivals::exhausted() const
+{
+    return !_loop && _pos >= _trace.size();
+}
+
+sim::Tick
+TraceArrivals::nextGap(sim::Rng &)
+{
+    if (exhausted())
+        return sim::kMaxTick;
+    const sim::Tick gap = _trace.gaps()[_pos % _trace.size()];
+    ++_pos;
+    return gap;
+}
+
+double
+TraceArrivals::ratePerSec() const
+{
+    return _trace.meanRatePerSec();
+}
+
+} // namespace aw::workload

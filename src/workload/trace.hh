@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Arrival-trace record and replay.
+ *
+ * Production studies (and this paper's own load generators) often
+ * replay captured request timings rather than synthetic
+ * distributions. ArrivalTrace captures a sequence of inter-arrival
+ * gaps -- either recorded from any ArrivalProcess or loaded from
+ * explicit values -- and TraceArrivals replays it (optionally
+ * looping), giving bit-identical request streams across
+ * configurations under comparison.
+ */
+
+#ifndef AW_WORKLOAD_TRACE_HH
+#define AW_WORKLOAD_TRACE_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+#include "workload/arrival.hh"
+
+namespace aw::workload {
+
+/**
+ * A recorded sequence of inter-arrival gaps.
+ */
+class ArrivalTrace
+{
+  public:
+    ArrivalTrace() = default;
+
+    explicit ArrivalTrace(std::vector<sim::Tick> gaps)
+        : _gaps(std::move(gaps))
+    {}
+
+    /**
+     * Record @p n gaps from a live arrival process.
+     */
+    static ArrivalTrace record(ArrivalProcess &source, sim::Rng &rng,
+                               std::size_t n);
+
+    const std::vector<sim::Tick> &gaps() const { return _gaps; }
+    std::size_t size() const { return _gaps.size(); }
+    bool empty() const { return _gaps.empty(); }
+
+    /** Total simulated time the trace spans. */
+    sim::Tick duration() const;
+
+    /** Mean arrival rate implied by the trace. */
+    double meanRatePerSec() const;
+
+    void append(sim::Tick gap) { _gaps.push_back(gap); }
+
+  private:
+    std::vector<sim::Tick> _gaps;
+};
+
+/**
+ * Replays an ArrivalTrace as an ArrivalProcess.
+ */
+class TraceArrivals : public ArrivalProcess
+{
+  public:
+    /**
+     * @param trace  gaps to replay
+     * @param loop   wrap around at the end (otherwise the stream
+     *               ends: nextGap returns kMaxTick)
+     */
+    explicit TraceArrivals(ArrivalTrace trace, bool loop = true);
+
+    sim::Tick nextGap(sim::Rng &rng) override;
+    double ratePerSec() const override;
+
+    std::size_t position() const { return _pos; }
+    bool exhausted() const;
+
+  private:
+    ArrivalTrace _trace;
+    bool _loop;
+    std::size_t _pos = 0;
+};
+
+} // namespace aw::workload
+
+#endif // AW_WORKLOAD_TRACE_HH

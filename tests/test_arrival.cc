@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the arrival processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/arrival.hh"
+
+namespace {
+
+using namespace aw::workload;
+using namespace aw::sim;
+
+double
+sampleMeanGapSec(ArrivalProcess &arr, int n, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += toSec(arr.nextGap(rng));
+    return sum / n;
+}
+
+double
+sampleCvOfGaps(ArrivalProcess &arr, int n, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    double sum = 0.0, sumsq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = toSec(arr.nextGap(rng));
+        sum += g;
+        sumsq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    return std::sqrt(std::max(0.0, var)) / mean;
+}
+
+TEST(Poisson, MeanGapIsInverseRate)
+{
+    PoissonArrivals arr(1000.0);
+    EXPECT_NEAR(sampleMeanGapSec(arr, 100000), 1e-3, 5e-5);
+    EXPECT_DOUBLE_EQ(arr.ratePerSec(), 1000.0);
+}
+
+TEST(Poisson, GapCvIsOne)
+{
+    PoissonArrivals arr(1000.0);
+    EXPECT_NEAR(sampleCvOfGaps(arr, 100000), 1.0, 0.05);
+}
+
+TEST(PoissonDeathTest, RejectsNonPositiveRate)
+{
+    EXPECT_DEATH(PoissonArrivals(0.0), "positive");
+}
+
+TEST(Deterministic, ConstantGap)
+{
+    DeterministicArrivals arr(100.0);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(arr.nextGap(rng), fromMs(10.0));
+}
+
+TEST(Mmpp, AverageRateMatchesRequest)
+{
+    // Burst 8x the base with phases shaped like the Kafka profile.
+    const double base = 1000.0;
+    MmppArrivals arr(8.0 * base, 0.0, fromMs(2.0), fromMs(14.0));
+    // avg = 8*base * 2/16 = base.
+    EXPECT_NEAR(arr.ratePerSec(), base, 1e-6);
+    EXPECT_NEAR(sampleMeanGapSec(arr, 200000), 1.0 / base,
+                0.05 / base);
+}
+
+TEST(Mmpp, BurstierThanPoisson)
+{
+    MmppArrivals bursty(8000.0, 0.0, fromMs(2.0), fromMs(14.0));
+    PoissonArrivals smooth(1000.0);
+    EXPECT_GT(sampleCvOfGaps(bursty, 100000),
+              sampleCvOfGaps(smooth, 100000) * 1.5);
+}
+
+TEST(Mmpp, SilentQuietPhaseStillProgresses)
+{
+    MmppArrivals arr(100.0, 0.0, fromMs(1.0), fromMs(1.0));
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(arr.nextGap(rng), Tick(0));
+}
+
+TEST(Mmpp, MixedRatesAverage)
+{
+    MmppArrivals arr(2000.0, 500.0, fromMs(5.0), fromMs(5.0));
+    EXPECT_NEAR(arr.ratePerSec(), 1250.0, 1e-6);
+}
+
+TEST(MmppDeathTest, ValidatesArguments)
+{
+    EXPECT_DEATH(MmppArrivals(0.0, 0.0, fromMs(1.0), fromMs(1.0)),
+                 "rates");
+    EXPECT_DEATH(MmppArrivals(10.0, 0.0, 0, fromMs(1.0)),
+                 "phase");
+}
+
+} // namespace

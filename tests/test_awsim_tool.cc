@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Smoke tests for the awsim CLI: run the binary end to end and
+ * check its output structure. The binary path comes from the
+ * AWSIM_BIN compile definition set by CMake.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef AWSIM_BIN
+#define AWSIM_BIN "./awsim"
+#endif
+
+/** Run a command, capture stdout, return (exit_code, output). */
+std::pair<int, std::string>
+runCommand(const std::string &cmd)
+{
+    std::array<char, 4096> buf{};
+    std::string out;
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe)
+        return {-1, ""};
+    while (fgets(buf.data(), buf.size(), pipe))
+        out += buf.data();
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), out};
+}
+
+TEST(AwsimTool, HelpExitsZero)
+{
+    const auto [code, out] = runCommand(std::string(AWSIM_BIN) +
+                                        " --help");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("--workload"), std::string::npos);
+    EXPECT_NE(out.find("--config"), std::string::npos);
+}
+
+TEST(AwsimTool, BasicRunProducesMetrics)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWSIM_BIN) +
+        " --workload memcached --config aw --qps 50000 "
+        "--seconds 0.2 --seed 3");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("avg core power"), std::string::npos);
+    EXPECT_NE(out.find("p99 latency"), std::string::npos);
+    EXPECT_NE(out.find("C6A="), std::string::npos);
+}
+
+TEST(AwsimTool, EstimateFlagPrintsEq4)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWSIM_BIN) +
+        " --workload memcached --config nt_baseline --qps 50000 "
+        "--seconds 0.2 --estimate-aw");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("Eq. 4"), std::string::npos);
+}
+
+TEST(AwsimTool, PackageFlagPrintsPkgResidency)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWSIM_BIN) +
+        " --workload memcached --config aw --qps 5000 "
+        "--seconds 0.3 --package");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("PC6="), std::string::npos);
+}
+
+TEST(AwsimTool, UnknownWorkloadFails)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWSIM_BIN) + " --workload tetris");
+    EXPECT_NE(code, 0);
+    EXPECT_NE(out.find("unknown workload"), std::string::npos);
+}
+
+TEST(AwsimTool, UnknownConfigFails)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWSIM_BIN) + " --config warp_drive");
+    EXPECT_NE(code, 0);
+}
+
+TEST(AwsimTool, DeterministicForFixedSeed)
+{
+    const std::string cmd =
+        std::string(AWSIM_BIN) +
+        " --workload kafka --config c1c6 --qps 2000 --seconds 0.3 "
+        "--seed 11";
+    const auto a = runCommand(cmd);
+    const auto b = runCommand(cmd);
+    EXPECT_EQ(a.first, 0);
+    EXPECT_EQ(a.second, b.second);
+}
+
+} // namespace

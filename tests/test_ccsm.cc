@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the CCSM subsystem (cache sleep mode + snoop
+ * power deltas).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ccsm.hh"
+#include "uarch/cache.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::core;
+using aw::power::asMilliwatts;
+
+class CcsmTest : public ::testing::Test
+{
+  protected:
+    CcsmTest()
+        : caches(uarch::PrivateCaches::skylakeServer()),
+          ccsm(Ccsm::skylakeServer(caches))
+    {
+    }
+
+    uarch::PrivateCaches caches;
+    Ccsm ccsm;
+};
+
+TEST_F(CcsmTest, ArrayPowerMatchesTable3)
+{
+    EXPECT_NEAR(asMilliwatts(ccsm.arrayPowerP1()), 55.0, 0.1);
+    EXPECT_NEAR(asMilliwatts(ccsm.arrayPowerPn()), 40.0, 0.1);
+}
+
+TEST_F(CcsmTest, RestPowerMatchesTable3)
+{
+    EXPECT_NEAR(asMilliwatts(ccsm.restPowerP1()), 55.0, 0.1);
+    EXPECT_NEAR(asMilliwatts(ccsm.restPowerPn()), 33.0, 0.1);
+}
+
+TEST_F(CcsmTest, TotalsAreSums)
+{
+    EXPECT_NEAR(asMilliwatts(ccsm.totalPowerP1()), 110.0, 0.1);
+    EXPECT_NEAR(asMilliwatts(ccsm.totalPowerPn()), 73.0, 0.1);
+}
+
+TEST_F(CcsmTest, PnTotalsAreLower)
+{
+    // The sleep transistor's LVR efficiency rises at Pn voltage.
+    EXPECT_LT(ccsm.totalPowerPn(), ccsm.totalPowerP1());
+}
+
+TEST_F(CcsmTest, SleepAreaOverheadOfCore)
+{
+    // 2-6% of the data array (90% of the ~30% cache area).
+    const auto a = ccsm.sleepAreaOverheadOfCore(0.30);
+    EXPECT_NEAR(a.lo, 0.02 * 0.27, 1e-9);
+    EXPECT_NEAR(a.hi, 0.06 * 0.27, 1e-9);
+}
+
+TEST_F(CcsmTest, SnoopDeltas)
+{
+    // Sec 7.5: baseline C1 snoop service ~+50 mW; C6A ~+120 mW.
+    EXPECT_NEAR(asMilliwatts(Ccsm::kSnoopServiceDeltaC1), 50.0,
+                1e-9);
+    EXPECT_NEAR(asMilliwatts(Ccsm::kSnoopServiceDeltaC6a), 120.0,
+                1e-9);
+}
+
+TEST_F(CcsmTest, TransitionCycleCounts)
+{
+    EXPECT_EQ(Ccsm::kSleepEntryCycles, 3u);
+    EXPECT_EQ(Ccsm::kSleepExitCycles, 2u);
+}
+
+TEST_F(CcsmTest, DataArrayFraction)
+{
+    EXPECT_DOUBLE_EQ(Ccsm::kDataArrayAreaFraction, 0.90);
+}
+
+TEST_F(CcsmTest, ArraysModelIsTheSkylakeInstance)
+{
+    EXPECT_NEAR(ccsm.arrays().capacityBytes(), 1.1 * 1024 * 1024,
+                1.0);
+}
+
+TEST(CcsmCustom, CustomPowers)
+{
+    const auto caches = uarch::PrivateCaches::skylakeServer();
+    const Ccsm custom(caches,
+                      aw::power::SramSleepMode(512 * 1024,
+                                               0.030, 0.020),
+                      0.010, 0.008);
+    EXPECT_NEAR(asMilliwatts(custom.totalPowerP1()), 40.0, 1e-9);
+    EXPECT_NEAR(asMilliwatts(custom.totalPowerPn()), 28.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the core context and its two preservation paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/srpg.hh"
+#include "uarch/context.hh"
+
+namespace {
+
+using namespace aw::uarch;
+using namespace aw::power;
+using namespace aw::sim;
+
+TEST(ContextLayout, SkylakeIsEightKb)
+{
+    const auto layout = ContextLayout::skylake();
+    EXPECT_DOUBLE_EQ(layout.totalBytes(), 8.0 * 1024);
+    EXPECT_DOUBLE_EQ(layout.microcodeSramBytes, 2.0 * 1024);
+}
+
+TEST(ContextRetention, PaperPowerNumbers)
+{
+    const ContextRetention ret;
+    EXPECT_NEAR(asMilliwatts(ret.powerAtRetentionVoltage()), 0.2,
+                1e-9);
+    EXPECT_NEAR(asMilliwatts(ret.powerAtP1()), 2.0, 1e-9);
+    EXPECT_NEAR(asMilliwatts(ret.powerAtPn()), 1.0, 1e-9);
+}
+
+TEST(ContextRetention, PowerScalesWithSize)
+{
+    const ContextRetention big(16 * 1024.0);
+    EXPECT_NEAR(asMilliwatts(big.powerAtP1()), 4.0, 1e-9);
+}
+
+TEST(ContextRetention, CycleCounts)
+{
+    EXPECT_EQ(ContextRetention::kSaveCycles, 4u);
+    EXPECT_EQ(ContextRetention::kRestoreCycles, 1u);
+}
+
+TEST(ExternalSaveRestore, PaperAnchorNineMicroseconds)
+{
+    // ~8 KB at 800 MHz takes ~9 us each way (Sec 3).
+    const ExternalSaveRestore sr;
+    const Tick t = sr.transferTime(Frequency::mhz(800.0));
+    EXPECT_NEAR(toUs(t), 9.0, 0.05);
+}
+
+TEST(ExternalSaveRestore, ScalesWithFrequency)
+{
+    const ExternalSaveRestore sr;
+    const Tick slow = sr.transferTime(Frequency::mhz(800.0));
+    const Tick fast = sr.transferTime(Frequency::ghz(2.2));
+    EXPECT_NEAR(toUs(fast), toUs(slow) * 800.0 / 2200.0, 0.05);
+}
+
+TEST(ExternalSaveRestore, ScalesWithContextSize)
+{
+    const ExternalSaveRestore small(4 * 1024.0);
+    const ExternalSaveRestore large(16 * 1024.0);
+    const auto freq = Frequency::mhz(800.0);
+    EXPECT_NEAR(toUs(large.transferTime(freq)),
+                4.0 * toUs(small.transferTime(freq)), 0.05);
+}
+
+TEST(CoreContext, WiresBothPaths)
+{
+    const CoreContext ctx;
+    EXPECT_DOUBLE_EQ(ctx.inPlace().contextBytes(), 8.0 * 1024);
+    EXPECT_DOUBLE_EQ(ctx.external().contextBytes(), 8.0 * 1024);
+}
+
+TEST(CoreContext, MicrocodeReinitIsMicroseconds)
+{
+    // Part of the ~20 us C6 state+microcode restore at 800 MHz.
+    const CoreContext ctx;
+    const double us =
+        toUs(ctx.microcodeReinitTime(Frequency::mhz(800.0)));
+    EXPECT_GT(us, 5.0);
+    EXPECT_LT(us, 15.0);
+}
+
+TEST(CoreContext, C6RestorePathSumsToTwentyMicroseconds)
+{
+    // external restore + microcode reinit ~ 20 us at 800 MHz.
+    const CoreContext ctx;
+    const auto freq = Frequency::mhz(800.0);
+    const double total =
+        toUs(ctx.externalTransferTime(freq)) +
+        toUs(ctx.microcodeReinitTime(freq));
+    EXPECT_NEAR(total, 20.0, 3.0);
+}
+
+TEST(ContextRetention, AreaOverheadIsSubPercent)
+{
+    EXPECT_LE(ContextRetention::kAreaOverhead.hi, 0.01);
+}
+
+} // namespace

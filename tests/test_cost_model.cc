@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the datacenter cost model (Table 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.hh"
+
+namespace {
+
+using namespace aw::analysis;
+
+TEST(CostModel, UsdPerJoule)
+{
+    const CostModel cost;
+    // $0.125 per kWh = $0.125 / 3.6e6 J.
+    EXPECT_NEAR(cost.usdPerJoule(), 0.125 / 3.6e6, 1e-15);
+}
+
+TEST(CostModel, YearlyCostOfOneWatt)
+{
+    const CostModel cost;
+    // 1 W for a year = 8760 h * 1 Wh = 8.76 kWh -> ~$1.095.
+    EXPECT_NEAR(cost.yearlyCostUsd(1.0), 1.095, 0.001);
+}
+
+TEST(CostModel, FleetSavingsScaleLinearly)
+{
+    const CostModel cost;
+    const double one = cost.yearlySavingsUsd(2.0, 1.0);
+    const double two = cost.yearlySavingsUsd(3.0, 1.0);
+    EXPECT_NEAR(two, 2.0 * one, 1e-6);
+}
+
+TEST(CostModel, PaperScaleMagnitude)
+{
+    // Table 5 reports $0.33M-0.59M per year per 100K servers; a
+    // ~3-5 W per-CPU saving produces exactly that magnitude.
+    const CostModel cost;
+    const double usd = cost.yearlySavingsUsd(10.0, 6.0); // 4 W/CPU
+    EXPECT_GT(usd, 0.3e6);
+    EXPECT_LT(usd, 0.6e6);
+}
+
+TEST(CostModel, PueMultiplies)
+{
+    CostModel::Params params;
+    params.pue = 2.0;
+    const CostModel doubled(params);
+    const CostModel base;
+    EXPECT_NEAR(doubled.yearlySavingsUsd(5.0, 3.0),
+                2.0 * base.yearlySavingsUsd(5.0, 3.0), 1e-6);
+}
+
+TEST(CostModel, SocketsPerServerMultiplies)
+{
+    CostModel::Params params;
+    params.socketsPerServer = 2.0;
+    const CostModel dual(params);
+    const CostModel base;
+    EXPECT_NEAR(dual.yearlySavingsUsd(5.0, 3.0),
+                2.0 * base.yearlySavingsUsd(5.0, 3.0), 1e-6);
+}
+
+TEST(CostModel, NoSavingsNoCost)
+{
+    const CostModel cost;
+    EXPECT_DOUBLE_EQ(cost.yearlySavingsUsd(3.0, 3.0), 0.0);
+}
+
+TEST(CostModel, SecondsPerYearConstant)
+{
+    EXPECT_DOUBLE_EQ(CostModel::kSecondsPerYear, 31536000.0);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for C-state descriptors: Table 1 constants, Table 2
+ * component states, and the configuration presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cstate/config.hh"
+#include "cstate/cstate.hh"
+
+namespace {
+
+using namespace aw::cstate;
+using namespace aw::sim;
+
+TEST(Descriptors, Table1TransitionTimes)
+{
+    EXPECT_EQ(descriptor(CStateId::C1).transitionTime, fromUs(2.0));
+    EXPECT_EQ(descriptor(CStateId::C6A).transitionTime, fromUs(2.0));
+    EXPECT_EQ(descriptor(CStateId::C1E).transitionTime, fromUs(10.0));
+    EXPECT_EQ(descriptor(CStateId::C6AE).transitionTime,
+              fromUs(10.0));
+    EXPECT_EQ(descriptor(CStateId::C6).transitionTime, fromUs(133.0));
+}
+
+TEST(Descriptors, Table1TargetResidencies)
+{
+    EXPECT_EQ(descriptor(CStateId::C1).targetResidency, fromUs(2.0));
+    EXPECT_EQ(descriptor(CStateId::C6A).targetResidency, fromUs(2.0));
+    EXPECT_EQ(descriptor(CStateId::C1E).targetResidency,
+              fromUs(20.0));
+    EXPECT_EQ(descriptor(CStateId::C6AE).targetResidency,
+              fromUs(20.0));
+    EXPECT_EQ(descriptor(CStateId::C6).targetResidency,
+              fromUs(600.0));
+}
+
+TEST(Descriptors, Table1Powers)
+{
+    EXPECT_DOUBLE_EQ(kC0PowerP1, 4.0);
+    EXPECT_DOUBLE_EQ(kC0PowerPn, 1.0);
+    EXPECT_DOUBLE_EQ(descriptor(CStateId::C1).corePower, 1.44);
+    EXPECT_DOUBLE_EQ(descriptor(CStateId::C1E).corePower, 0.88);
+    EXPECT_DOUBLE_EQ(descriptor(CStateId::C6A).corePower, 0.3);
+    EXPECT_DOUBLE_EQ(descriptor(CStateId::C6AE).corePower, 0.23);
+    EXPECT_DOUBLE_EQ(descriptor(CStateId::C6).corePower, 0.1);
+}
+
+TEST(Descriptors, AwPowerIsFiveToSevenPercentOfC0)
+{
+    // The abstract's claim: C6A/C6AE consume only 7% / 5% of C0.
+    EXPECT_NEAR(descriptor(CStateId::C6A).corePower / kC0PowerP1,
+                0.07, 0.01);
+    EXPECT_NEAR(descriptor(CStateId::C6AE).corePower / kC0PowerP1,
+                0.055, 0.01);
+}
+
+TEST(Descriptors, Table2ComponentStates)
+{
+    // C0: everything on.
+    const auto &c0 = descriptor(CStateId::C0);
+    EXPECT_EQ(c0.clocks, ClockState::Running);
+    EXPECT_EQ(c0.pll, PllState::On);
+    EXPECT_EQ(c0.caches, CacheState::Coherent);
+    EXPECT_EQ(c0.voltage, VoltageState::Active);
+    EXPECT_EQ(c0.context, ContextState::Maintained);
+
+    // C6A: stopped clocks, PLL on, caches coherent, PG + retention.
+    const auto &c6a = descriptor(CStateId::C6A);
+    EXPECT_EQ(c6a.clocks, ClockState::Stopped);
+    EXPECT_EQ(c6a.pll, PllState::On);
+    EXPECT_EQ(c6a.caches, CacheState::Coherent);
+    EXPECT_EQ(c6a.voltage, VoltageState::PgRetActive);
+    EXPECT_EQ(c6a.context, ContextState::InPlaceSR);
+
+    // C6AE: like C6A at the Pn point.
+    EXPECT_EQ(descriptor(CStateId::C6AE).voltage,
+              VoltageState::PgRetMinVF);
+
+    // C6: PLL off, caches flushed, voltage off, context external.
+    const auto &c6 = descriptor(CStateId::C6);
+    EXPECT_EQ(c6.pll, PllState::Off);
+    EXPECT_EQ(c6.caches, CacheState::Flushed);
+    EXPECT_EQ(c6.voltage, VoltageState::ShutOff);
+    EXPECT_EQ(c6.context, ContextState::SramSR);
+}
+
+TEST(Descriptors, OnlyAwStatesAreAgileWatts)
+{
+    EXPECT_TRUE(descriptor(CStateId::C6A).isAgileWatts);
+    EXPECT_TRUE(descriptor(CStateId::C6AE).isAgileWatts);
+    EXPECT_FALSE(descriptor(CStateId::C1).isAgileWatts);
+    EXPECT_FALSE(descriptor(CStateId::C6).isAgileWatts);
+}
+
+TEST(Descriptors, DepthOrderingTracksPowerSavings)
+{
+    // Deeper state => lower power.
+    const CStateId order[] = {CStateId::C0, CStateId::C1,
+                              CStateId::C1E, CStateId::C6A,
+                              CStateId::C6AE, CStateId::C6};
+    for (std::size_t i = 1; i < std::size(order); ++i) {
+        EXPECT_GT(descriptor(order[i]).depth,
+                  descriptor(order[i - 1]).depth);
+        if (order[i - 1] != CStateId::C0) {
+            EXPECT_LT(descriptor(order[i]).corePower,
+                      descriptor(order[i - 1]).corePower);
+        }
+    }
+}
+
+TEST(Descriptors, PnStatesFlagged)
+{
+    EXPECT_TRUE(descriptor(CStateId::C1E).atPn);
+    EXPECT_TRUE(descriptor(CStateId::C6AE).atPn);
+    EXPECT_FALSE(descriptor(CStateId::C1).atPn);
+    EXPECT_FALSE(descriptor(CStateId::C6A).atPn);
+}
+
+TEST(Descriptors, Names)
+{
+    EXPECT_STREQ(name(CStateId::C0), "C0");
+    EXPECT_STREQ(name(CStateId::C6A), "C6A");
+    EXPECT_STREQ(name(CStateId::C6AE), "C6AE");
+    EXPECT_STREQ(name(VoltageState::PgRetActive), "PG/Ret/Active");
+    EXPECT_STREQ(name(ContextState::InPlaceSR), "In-place S/R");
+}
+
+TEST(Config, LegacyBaselinePreset)
+{
+    const auto cfg = CStateConfig::legacyBaseline();
+    EXPECT_TRUE(cfg.enabled(CStateId::C1));
+    EXPECT_TRUE(cfg.enabled(CStateId::C1E));
+    EXPECT_TRUE(cfg.enabled(CStateId::C6));
+    EXPECT_FALSE(cfg.enabled(CStateId::C6A));
+    EXPECT_FALSE(cfg.usesAgileWatts());
+    EXPECT_EQ(cfg.describe(), "C1+C1E+C6");
+}
+
+TEST(Config, AwPresetReplacesC1Family)
+{
+    const auto cfg = CStateConfig::aw();
+    EXPECT_FALSE(cfg.enabled(CStateId::C1));
+    EXPECT_FALSE(cfg.enabled(CStateId::C1E));
+    EXPECT_TRUE(cfg.enabled(CStateId::C6A));
+    EXPECT_TRUE(cfg.enabled(CStateId::C6AE));
+    EXPECT_TRUE(cfg.enabled(CStateId::C6));
+    EXPECT_TRUE(cfg.usesAgileWatts());
+}
+
+TEST(Config, DeepestAndShallowest)
+{
+    const auto cfg = CStateConfig::legacyBaseline();
+    EXPECT_EQ(cfg.deepestEnabled(), CStateId::C6);
+    EXPECT_EQ(cfg.shallowestEnabled(), CStateId::C1);
+
+    const auto aw = CStateConfig::awNoC6NoC1E();
+    EXPECT_EQ(aw.deepestEnabled(), CStateId::C6A);
+    EXPECT_EQ(aw.shallowestEnabled(), CStateId::C6A);
+}
+
+TEST(Config, EmptyConfig)
+{
+    const CStateConfig cfg;
+    EXPECT_FALSE(cfg.anyEnabled());
+    EXPECT_EQ(cfg.deepestEnabled(), CStateId::C0);
+    EXPECT_EQ(cfg.describe(), "none");
+}
+
+TEST(Config, EnabledStatesSortedByDepth)
+{
+    const auto states = CStateConfig::legacyBaseline().enabledStates();
+    ASSERT_EQ(states.size(), 3u);
+    EXPECT_EQ(states[0], CStateId::C1);
+    EXPECT_EQ(states[1], CStateId::C1E);
+    EXPECT_EQ(states[2], CStateId::C6);
+}
+
+TEST(Config, SetAndClear)
+{
+    CStateConfig cfg;
+    cfg.set(CStateId::C6);
+    EXPECT_TRUE(cfg.enabled(CStateId::C6));
+    cfg.set(CStateId::C6, false);
+    EXPECT_FALSE(cfg.enabled(CStateId::C6));
+}
+
+TEST(DescriptorsDeathTest, BadIdPanics)
+{
+    EXPECT_DEATH(descriptor(CStateId::NumStates), "bad C-state");
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the energy meter (the simulated RAPL counter).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_meter.hh"
+
+namespace {
+
+using namespace aw::power;
+using namespace aw::sim;
+
+TEST(EnergyMeter, IntegratesConstantPower)
+{
+    EnergyMeter m;
+    m.setPower(0, 2.0);
+    EXPECT_NEAR(m.energy(fromSec(3.0)), 6.0, 1e-9);
+}
+
+TEST(EnergyMeter, PiecewiseConstant)
+{
+    EnergyMeter m;
+    m.setPower(0, 1.0);
+    m.setPower(fromSec(1.0), 4.0);   // 1 J so far
+    m.setPower(fromSec(2.0), 0.5);   // + 4 J
+    // + 0.5 J over the last second.
+    EXPECT_NEAR(m.energy(fromSec(3.0)), 5.5, 1e-9);
+}
+
+TEST(EnergyMeter, AveragePower)
+{
+    EnergyMeter m;
+    m.setPower(0, 1.0);
+    m.setPower(fromSec(1.0), 3.0);
+    EXPECT_NEAR(m.averagePower(fromSec(2.0)), 2.0, 1e-9);
+}
+
+TEST(EnergyMeter, AveragePowerWithWindowStart)
+{
+    EnergyMeter m;
+    m.setPower(0, 10.0);
+    m.setPower(fromSec(1.0), 2.0);
+    m.reset(fromSec(1.0));
+    EXPECT_NEAR(m.averagePower(fromSec(3.0), fromSec(1.0)), 2.0,
+                1e-9);
+}
+
+TEST(EnergyMeter, RepeatedQueriesAreIdempotent)
+{
+    EnergyMeter m;
+    m.setPower(0, 2.0);
+    const Joules e1 = m.energy(fromSec(1.0));
+    const Joules e2 = m.energy(fromSec(1.0));
+    EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+TEST(EnergyMeter, ResetKeepsPowerLevel)
+{
+    EnergyMeter m;
+    m.setPower(0, 5.0);
+    m.energy(fromSec(1.0));
+    m.reset(fromSec(1.0));
+    EXPECT_DOUBLE_EQ(m.power(), 5.0);
+    EXPECT_NEAR(m.energy(fromSec(2.0)), 5.0, 1e-9);
+}
+
+TEST(EnergyMeter, ZeroWindowAverageIsZero)
+{
+    EnergyMeter m;
+    m.setPower(0, 5.0);
+    EXPECT_DOUBLE_EQ(m.averagePower(0), 0.0);
+}
+
+TEST(EnergyMeter, SamePowerUpdatesAreHarmless)
+{
+    EnergyMeter m;
+    m.setPower(0, 1.5);
+    m.setPower(fromSec(0.5), 1.5);
+    m.setPower(fromSec(1.0), 1.5);
+    EXPECT_NEAR(m.energy(fromSec(2.0)), 3.0, 1e-9);
+}
+
+} // namespace

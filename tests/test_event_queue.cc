@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace aw::sim;
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(30, [&] { fired.push_back(3); });
+    q.schedule(10, [&] { fired.push_back(1); });
+    q.schedule(20, [&] { fired.push_back(2); });
+    while (!q.empty())
+        q.pop().cb();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(42, [&fired, i] { fired.push_back(i); });
+    while (!q.empty())
+        q.pop().cb();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(10, [&] { fired = true; });
+    q.schedule(20, [] {});
+    q.cancel(id);
+    while (!q.empty())
+        q.pop().cb();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.pop().cb();
+    q.cancel(id); // must not disturb anything
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.cancel(999999);
+    q.cancel(kInvalidEventId);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PendingTracksLifecycle)
+{
+    EventQueue q;
+    const EventId id = q.schedule(5, [] {});
+    EXPECT_TRUE(q.pending(id));
+    q.pop();
+    EXPECT_FALSE(q.pending(id));
+}
+
+TEST(EventQueue, NextTickSkipsCancelled)
+{
+    EventQueue q;
+    const EventId early = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.cancel(early);
+    EXPECT_EQ(q.nextTick(), Tick(20));
+}
+
+TEST(EventQueue, EmptyQueueNextTickIsMax)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTick(), kMaxTick);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, RunsToCompletion)
+{
+    Simulator simr;
+    int count = 0;
+    simr.schedule(100, [&] { ++count; });
+    simr.schedule(200, [&] { ++count; });
+    const Tick end = simr.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(end, Tick(200));
+    EXPECT_EQ(simr.eventsExecuted(), 2u);
+}
+
+TEST(Simulator, HorizonStopsExecution)
+{
+    Simulator simr;
+    int count = 0;
+    simr.schedule(100, [&] { ++count; });
+    simr.schedule(200, [&] { ++count; });
+    simr.schedule(300, [&] { ++count; });
+    const Tick end = simr.run(250);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(end, Tick(250));
+    // Resume to drain the rest.
+    simr.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EventAtHorizonRuns)
+{
+    Simulator simr;
+    bool fired = false;
+    simr.schedule(100, [&] { fired = true; });
+    simr.run(100);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, ScheduleInIsRelative)
+{
+    Simulator simr;
+    Tick fired_at = 0;
+    simr.schedule(50, [&] {
+        simr.scheduleIn(25, [&] { fired_at = simr.now(); });
+    });
+    simr.run();
+    EXPECT_EQ(fired_at, Tick(75));
+}
+
+TEST(Simulator, NowAdvancesWithEvents)
+{
+    Simulator simr;
+    std::vector<Tick> seen;
+    simr.schedule(10, [&] { seen.push_back(simr.now()); });
+    simr.schedule(30, [&] { seen.push_back(simr.now()); });
+    simr.run();
+    EXPECT_EQ(seen, (std::vector<Tick>{10, 30}));
+}
+
+TEST(Simulator, CascadedEvents)
+{
+    // Events scheduling further events, like the core FSM does.
+    Simulator simr;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 10)
+            simr.scheduleIn(5, chain);
+    };
+    simr.scheduleIn(5, chain);
+    simr.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(simr.now(), Tick(50));
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastPanics)
+{
+    Simulator simr;
+    simr.schedule(100, [] {});
+    simr.run();
+    EXPECT_DEATH(simr.schedule(50, [] {}), "past");
+}
+
+TEST(Simulator, EmptyRunWithHorizonAdvancesTime)
+{
+    Simulator simr;
+    const Tick end = simr.run(1234);
+    EXPECT_EQ(end, Tick(1234));
+    EXPECT_EQ(simr.now(), Tick(1234));
+}
+
+TEST(Simulator, CancelThroughSimulator)
+{
+    Simulator simr;
+    bool fired = false;
+    const EventId id = simr.schedule(10, [&] { fired = true; });
+    simr.cancel(id);
+    simr.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(simr.idle());
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the event-driven legacy C-state flows (Fig 3): the
+ * executed flows must take exactly the TransitionEngine's hardware
+ * latencies, phase by phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aw_core.hh"
+#include "cstate/flows.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::cstate;
+using namespace aw::sim;
+
+class FlowTest : public ::testing::Test
+{
+  protected:
+    FlowTest()
+        : caches(uarch::PrivateCaches::skylakeServer()),
+          engine(caches, context,
+                 model.controller().awLatencies()),
+          flows(caches, context, engine)
+    {
+        caches.setDirtyFraction(0.5);
+    }
+
+    core::AwCoreModel model;
+    uarch::PrivateCaches caches;
+    uarch::CoreContext context;
+    TransitionEngine engine;
+    LegacyFlowEngine flows;
+    Simulator simr;
+    const Frequency freq = Frequency::mhz(800.0);
+};
+
+TEST_F(FlowTest, C1EntryTimingMatchesEngine)
+{
+    bool done = false;
+    flows.runC1Entry(simr, freq, [&] { done = true; });
+    simr.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(flows.phase(), LegacyPhase::C1Resident);
+    EXPECT_EQ(simr.now(),
+              engine.hardwareLatency(CStateId::C1, freq).entry);
+    EXPECT_EQ(caches.state(), uarch::CacheDomainState::ClockGated);
+}
+
+TEST_F(FlowTest, C1RoundTrip)
+{
+    flows.runC1Entry(simr, freq, nullptr);
+    simr.run();
+    flows.runC1Exit(simr, freq, nullptr);
+    simr.run();
+    EXPECT_EQ(flows.phase(), LegacyPhase::C0);
+    EXPECT_EQ(simr.now(),
+              engine.hardwareLatency(CStateId::C1, freq).total());
+    EXPECT_EQ(caches.state(), uarch::CacheDomainState::Active);
+}
+
+TEST_F(FlowTest, C1SnoopServeReturnsToResidency)
+{
+    flows.runC1Entry(simr, freq, nullptr);
+    simr.run();
+    bool served = false;
+    flows.runC1Snoop(simr, freq, fromNs(10.0),
+                     [&] { served = true; });
+    simr.run();
+    ASSERT_TRUE(served);
+    EXPECT_EQ(flows.phase(), LegacyPhase::C1Resident);
+}
+
+TEST_F(FlowTest, C6EntryPhaseSequenceAndTiming)
+{
+    bool done = false;
+    flows.runC6Entry(simr, freq, [&] { done = true; });
+    simr.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(flows.phase(), LegacyPhase::C6Resident);
+
+    // The trace must walk Fig 3b's entry order.
+    const auto &trace = flows.trace();
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[1].phase, LegacyPhase::C6SaveContext);
+    EXPECT_EQ(trace[2].phase, LegacyPhase::C6FlushCaches);
+    EXPECT_EQ(trace[3].phase, LegacyPhase::C6GateAndOff);
+
+    // ~87 us at the paper's reference point: the flush timing must
+    // be captured before the flush zeroes the dirty fraction.
+    EXPECT_NEAR(toUs(simr.now()), 87.0, 1.0);
+    EXPECT_DOUBLE_EQ(caches.dirtyFraction(), 0.0);
+    EXPECT_EQ(caches.state(), uarch::CacheDomainState::Flushed);
+}
+
+TEST_F(FlowTest, C6ExitTimingMatchesBreakdown)
+{
+    flows.runC6Entry(simr, freq, nullptr);
+    simr.run();
+    const Tick entered = simr.now();
+    flows.runC6Exit(simr, freq, nullptr);
+    simr.run();
+    EXPECT_EQ(flows.phase(), LegacyPhase::C0);
+    EXPECT_NEAR(toUs(simr.now() - entered), 30.0, 3.0);
+    EXPECT_EQ(caches.state(), uarch::CacheDomainState::Active);
+}
+
+TEST_F(FlowTest, C6RoundTripIsThreeOrdersSlowerThanC6a)
+{
+    flows.runC6Entry(simr, freq, nullptr);
+    simr.run();
+    flows.runC6Exit(simr, freq, nullptr);
+    simr.run();
+    const double legacy_ns = toNs(simr.now());
+    const double aw_ns =
+        toNs(model.controller().roundTripLatency());
+    EXPECT_GT(legacy_ns / aw_ns, 900.0);
+}
+
+TEST_F(FlowTest, WrongPhasePanics)
+{
+    EXPECT_DEATH(flows.runC1Exit(simr, freq, nullptr), "runC1Exit");
+    EXPECT_DEATH(flows.runC6Exit(simr, freq, nullptr), "runC6Exit");
+    flows.runC1Entry(simr, freq, nullptr);
+    simr.run();
+    EXPECT_DEATH(flows.runC6Entry(simr, freq, nullptr),
+                 "runC6Entry");
+}
+
+TEST_F(FlowTest, PhaseNames)
+{
+    EXPECT_STREQ(name(LegacyPhase::C6FlushCaches), "c6.flush");
+    EXPECT_STREQ(name(LegacyPhase::C1Resident), "c1.resident");
+}
+
+TEST_F(FlowTest, RepeatedC1CyclesAreStable)
+{
+    for (int i = 0; i < 20; ++i) {
+        flows.runC1Entry(simr, freq, nullptr);
+        simr.run();
+        flows.runC1Exit(simr, freq, nullptr);
+        simr.run();
+    }
+    EXPECT_EQ(simr.now(),
+              20 * engine.hardwareLatency(CStateId::C1, freq)
+                       .total());
+}
+
+} // namespace

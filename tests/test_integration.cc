@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Integration tests: whole-system behaviours that the paper's
+ * evaluation sections report, checked end to end across modules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/power_model.hh"
+#include "server/server_sim.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::server;
+using namespace aw::sim;
+using cstate::CStateId;
+
+RunResult
+runCfg(const ServerConfig &cfg,
+       const workload::WorkloadProfile &profile, double qps,
+       double seconds = 0.5)
+{
+    ServerSim srv(cfg, profile, qps);
+    return srv.run(fromSec(seconds), fromSec(seconds / 10.0));
+}
+
+TEST(Integration, MemcachedAwSavingsShapeAcrossLoad)
+{
+    // Fig 8b: savings are largest at low load and shrink with
+    // load, staying clearly positive at peak.
+    const auto profile = workload::WorkloadProfile::memcached();
+    double prev_savings = 1.0;
+    for (const double qps : {50e3, 200e3, 500e3}) {
+        const auto base = runCfg(ServerConfig::baseline(), profile,
+                                 qps);
+        const auto agile = runCfg(ServerConfig::awBaseline(),
+                                  profile, qps);
+        const double savings =
+            1.0 - agile.avgCorePower / base.avgCorePower;
+        EXPECT_GT(savings, 0.04) << "qps=" << qps;
+        EXPECT_LT(savings, prev_savings + 0.03) << "qps=" << qps;
+        prev_savings = savings;
+    }
+}
+
+TEST(Integration, AnalyticalModelAgreesWithAwSimulation)
+{
+    // The paper estimates AW power analytically from baseline
+    // residencies (Eq. 4). Our simulator can actually run AW --
+    // the two must agree.
+    const auto profile = workload::WorkloadProfile::memcached();
+    const auto base =
+        runCfg(ServerConfig::baseline(), profile, 100e3);
+    const auto agile =
+        runCfg(ServerConfig::awBaseline(), profile, 100e3);
+
+    core::AwCoreModel aw_model;
+    const analysis::CStatePowerModel model(
+        StatePowers::fromModels(aw_model.ppa()));
+    const double est_savings =
+        model.awSavingsVsMeasured(base.residency,
+                                  base.avgCorePower);
+    const double sim_savings =
+        1.0 - agile.avgCorePower / base.avgCorePower;
+    EXPECT_NEAR(est_savings, sim_savings, 0.05);
+}
+
+TEST(Integration, MysqlBaselineReachesDeepC6)
+{
+    // Fig 12a: >=40% C6 residency at every MySQL rate level.
+    const auto profile = workload::WorkloadProfile::mysql();
+    for (const double qps : profile.rateLevels()) {
+        const auto r = runCfg(ServerConfig::legacyC1C6(), profile,
+                              qps, 3.0);
+        EXPECT_GE(r.residency.shareOf(CStateId::C6), 0.35)
+            << "qps=" << qps;
+    }
+}
+
+TEST(Integration, MysqlDisablingC6ImprovesLatency)
+{
+    // Fig 12c: 4-10% latency improvement from disabling C6.
+    const auto profile = workload::WorkloadProfile::mysql();
+    const double qps = profile.rateLevels()[1];
+    const auto with_c6 =
+        runCfg(ServerConfig::legacyC1C6(), profile, qps, 3.0);
+    const auto no_c6 =
+        runCfg(ServerConfig::legacyC1Only(), profile, qps, 3.0);
+    EXPECT_LT(no_c6.avgLatencyUs, with_c6.avgLatencyUs);
+    EXPECT_LT(no_c6.p99LatencyUs, with_c6.p99LatencyUs);
+}
+
+TEST(Integration, MysqlAwRecoversPowerVsC6Disabled)
+{
+    // Fig 12d: 22-56% average power reduction from C6A vs the
+    // C6-disabled configuration.
+    const auto profile = workload::WorkloadProfile::mysql();
+    const double qps = profile.rateLevels()[0];
+    const auto no_c6 =
+        runCfg(ServerConfig::legacyC1Only(), profile, qps, 3.0);
+    const auto agile =
+        runCfg(ServerConfig::awC6aOnly(), profile, qps, 3.0);
+    const double savings =
+        1.0 - agile.avgCorePower / no_c6.avgCorePower;
+    EXPECT_GT(savings, 0.20);
+    EXPECT_LT(savings, 0.70);
+}
+
+TEST(Integration, KafkaLowRateLivesInC6)
+{
+    // Fig 13a: >60% C6 residency at the low rate.
+    const auto profile = workload::WorkloadProfile::kafka();
+    const auto r = runCfg(ServerConfig::legacyC1C6(), profile,
+                          profile.rateLevels()[0], 2.0);
+    EXPECT_GT(r.residency.shareOf(CStateId::C6), 0.5);
+}
+
+TEST(Integration, KafkaHighRateAvoidsC6)
+{
+    const auto profile = workload::WorkloadProfile::kafka();
+    const auto r = runCfg(ServerConfig::legacyC1C6(), profile,
+                          profile.rateLevels()[1], 1.0);
+    EXPECT_LT(r.residency.shareOf(CStateId::C6), 0.10);
+}
+
+TEST(Integration, TurboOnlyHelpsWithLowPowerIdleStates)
+{
+    // The Sec 7.3 interaction: with C1-only idle (1.44 W), Turbo
+    // cannot accrue thermal credit, so enabling it changes nothing;
+    // with C6A the credit flows and latency improves.
+    const auto profile = workload::WorkloadProfile::memcached();
+    const double qps = 300e3;
+
+    const auto nt_c1 =
+        runCfg(ServerConfig::ntNoC6NoC1e(), profile, qps);
+    const auto t_c1 =
+        runCfg(ServerConfig::tNoC6NoC1e(), profile, qps);
+    EXPECT_NEAR(t_c1.avgLatencyUs, nt_c1.avgLatencyUs,
+                nt_c1.avgLatencyUs * 0.02);
+
+    const auto nt_aw =
+        runCfg(ServerConfig::ntAwNoC6NoC1e(), profile, qps);
+    const auto t_aw =
+        runCfg(ServerConfig::tAwNoC6NoC1e(), profile, qps);
+    EXPECT_LT(t_aw.avgLatencyUs, nt_aw.avgLatencyUs * 0.99);
+}
+
+TEST(Integration, AwMatchesBestTunedLatencyAtLowestPower)
+{
+    // Fig 10's punchline at one load point.
+    const auto profile = workload::WorkloadProfile::memcached();
+    const double qps = 200e3;
+    const auto nt_base =
+        runCfg(ServerConfig::ntBaseline(), profile, qps);
+    const auto nt_tuned =
+        runCfg(ServerConfig::ntNoC6NoC1e(), profile, qps);
+    const auto nt_aw =
+        runCfg(ServerConfig::ntAwNoC6NoC1e(), profile, qps);
+
+    // Latency within ~2% of the aggressive tuning.
+    EXPECT_LT(nt_aw.avgLatencyUs, nt_tuned.avgLatencyUs * 1.02);
+    // Power below every legacy configuration.
+    EXPECT_LT(nt_aw.avgCorePower, nt_tuned.avgCorePower);
+    EXPECT_LT(nt_aw.avgCorePower, nt_base.avgCorePower);
+}
+
+TEST(Integration, SnoopWorstCaseCostsAboutElevenPoints)
+{
+    // Sec 7.5: a 100% idle core saves ~79% (C6A vs C1) without
+    // snoops and ~68% when serving snoops all the time.
+    const double p_c1 = 1.44, p_c6a = 0.30;
+    const double no_snoop = (p_c1 - p_c6a) / p_c1;
+    EXPECT_NEAR(no_snoop, 0.79, 0.01);
+    const double p_c1_snoop = p_c1 + 0.05;
+    const double p_c6a_snoop = p_c6a + 0.12 + 0.05;
+    const double with_snoop =
+        (p_c1_snoop - p_c6a_snoop) / p_c1_snoop;
+    EXPECT_NEAR(with_snoop, 0.68, 0.01);
+    EXPECT_NEAR(no_snoop - with_snoop, 0.11, 0.015);
+}
+
+TEST(Integration, IdleServerPowerOrderingAcrossConfigs)
+{
+    // At a trickle load the config ordering must match the
+    // C-state power ordering: AW < baseline(C6-capable) < C1-only.
+    const auto profile = workload::WorkloadProfile::memcached();
+    const double qps = 5e3;
+    const auto c1_only =
+        runCfg(ServerConfig::ntNoC6NoC1e(), profile, qps, 1.0);
+    const auto base =
+        runCfg(ServerConfig::ntBaseline(), profile, qps, 1.0);
+    const auto agile =
+        runCfg(ServerConfig::ntAwNoC6NoC1e(), profile, qps, 1.0);
+    EXPECT_LT(base.avgCorePower, c1_only.avgCorePower);
+    EXPECT_LT(agile.avgCorePower, c1_only.avgCorePower);
+}
+
+TEST(Integration, EndToEndDegradationDilutedByNetwork)
+{
+    // Fig 8c: end-to-end (client) degradation is negligible
+    // because the 117 us network constant dominates.
+    const auto profile = workload::WorkloadProfile::memcached();
+    const auto base =
+        runCfg(ServerConfig::baseline(), profile, 100e3);
+    const auto d = analysis::awLatencyDegradation(
+        base.avgLatencyUs, 7.4, 117.0, 0.4,
+        base.transitionsPerRequest);
+    EXPECT_LT(d.worstCaseE2eFrac, 0.01);
+    EXPECT_LT(d.expectedE2eFrac, d.worstCaseE2eFrac + 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the package C-state (PC-state) extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/package.hh"
+#include "server/server_sim.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::server;
+using namespace aw::sim;
+using cstate::CStateId;
+
+TEST(PackageModel, StartsInPc0)
+{
+    PackageCStateModel pkg;
+    EXPECT_EQ(pkg.state(), PkgCState::PC0);
+    EXPECT_DOUBLE_EQ(pkg.uncorePower(), 18.0);
+}
+
+TEST(PackageModel, AllIdleDropsToPc2)
+{
+    PackageCStateModel pkg;
+    pkg.update(fromUs(10.0), true, false);
+    EXPECT_EQ(pkg.state(), PkgCState::PC2);
+    EXPECT_NEAR(pkg.uncorePower(), 18.0 * 0.6, 1e-9);
+}
+
+TEST(PackageModel, Pc6RequiresHysteresis)
+{
+    PackageCStateModel pkg;
+    pkg.update(fromUs(10.0), true, true);
+    EXPECT_EQ(pkg.state(), PkgCState::PC2); // not yet
+    // Re-evaluate after the 200 us dwell.
+    pkg.update(fromUs(10.0) + pkg.params().pc6Hysteresis, true,
+               true);
+    EXPECT_EQ(pkg.state(), PkgCState::PC6);
+    EXPECT_NEAR(pkg.uncorePower(), 18.0 * 0.25, 1e-9);
+}
+
+TEST(PackageModel, ActivityResetsDwellClock)
+{
+    PackageCStateModel pkg;
+    pkg.update(fromUs(10.0), true, true);
+    // A wake in between restarts the dwell.
+    pkg.update(fromUs(100.0), false, false);
+    EXPECT_EQ(pkg.state(), PkgCState::PC0);
+    pkg.update(fromUs(110.0), true, true);
+    pkg.update(fromUs(250.0), true, true); // only 140 us of dwell
+    EXPECT_EQ(pkg.state(), PkgCState::PC2);
+}
+
+TEST(PackageModel, OnlyPc6PaysExitLatency)
+{
+    PackageCStateModel pkg;
+    EXPECT_EQ(pkg.exitLatency(), Tick(0));
+    pkg.update(0, true, true);
+    pkg.update(pkg.params().pc6Hysteresis, true, true);
+    ASSERT_EQ(pkg.state(), PkgCState::PC6);
+    EXPECT_EQ(pkg.exitLatency(), pkg.params().pc6ExitLatency);
+}
+
+TEST(PackageModel, QualifyingStates)
+{
+    EXPECT_TRUE(PackageCStateModel::qualifiesPc6(CStateId::C6));
+    EXPECT_TRUE(PackageCStateModel::qualifiesPc6(CStateId::C6A));
+    EXPECT_TRUE(PackageCStateModel::qualifiesPc6(CStateId::C6AE));
+    EXPECT_FALSE(PackageCStateModel::qualifiesPc6(CStateId::C1));
+    EXPECT_FALSE(PackageCStateModel::qualifiesPc6(CStateId::C1E));
+    EXPECT_FALSE(PackageCStateModel::qualifiesPc6(CStateId::C0));
+}
+
+TEST(PackageModel, ResidencyAccounting)
+{
+    PackageCStateModel pkg;
+    pkg.reset(0);
+    pkg.update(fromUs(100.0), true, false); // PC0 for 100 us
+    pkg.update(fromUs(300.0), false, false); // PC2 for 200 us
+    pkg.noteStateSince(fromUs(400.0)); // PC0 again for 100 us
+    EXPECT_NEAR(pkg.residencyShare(PkgCState::PC0, fromUs(400.0)),
+                0.5, 1e-9);
+    EXPECT_NEAR(pkg.residencyShare(PkgCState::PC2, fromUs(400.0)),
+                0.5, 1e-9);
+}
+
+TEST(PackageModel, Names)
+{
+    EXPECT_STREQ(name(PkgCState::PC0), "PC0");
+    EXPECT_STREQ(name(PkgCState::PC6), "PC6");
+}
+
+TEST(PackageIntegration, DisabledKeepsUncoreConstant)
+{
+    ServerSim srv(ServerConfig::baseline(),
+                  workload::WorkloadProfile::memcached(), 50e3);
+    const auto r = srv.run(fromSec(0.3), fromMs(30.0));
+    EXPECT_DOUBLE_EQ(r.avgUncorePower, 18.0);
+    EXPECT_DOUBLE_EQ(r.pkgResidency[0], 1.0);
+}
+
+TEST(PackageIntegration, AwEnablesDeepPackageSleepAtLowLoad)
+{
+    // With AW states on every core (deep by construction) and a
+    // trickle load, the package should spend real time in PC6 --
+    // the AgilePkgC-direction synergy.
+    ServerConfig cfg = ServerConfig::awBaseline();
+    cfg.packageCStatesEnabled = true;
+    ServerSim srv(cfg, workload::WorkloadProfile::memcached(),
+                  2e3);
+    const auto r = srv.run(fromSec(0.5), fromMs(50.0));
+    const double pc6 =
+        r.pkgResidency[static_cast<std::size_t>(PkgCState::PC6)];
+    EXPECT_GT(pc6, 0.2);
+    EXPECT_LT(r.avgUncorePower, 18.0);
+}
+
+TEST(PackageIntegration, LegacyC1IdleCannotReachPc6)
+{
+    // C1/C1E don't qualify: the package stays in PC0/PC2.
+    ServerConfig cfg = ServerConfig::ntNoC6();
+    cfg.packageCStatesEnabled = true;
+    ServerSim srv(cfg, workload::WorkloadProfile::memcached(),
+                  2e3);
+    const auto r = srv.run(fromSec(0.5), fromMs(50.0));
+    EXPECT_DOUBLE_EQ(
+        r.pkgResidency[static_cast<std::size_t>(PkgCState::PC6)],
+        0.0);
+    // But PC2 is reachable.
+    EXPECT_GT(
+        r.pkgResidency[static_cast<std::size_t>(PkgCState::PC2)],
+        0.0);
+}
+
+TEST(PackageIntegration, HighLoadStaysPc0)
+{
+    ServerConfig cfg = ServerConfig::awBaseline();
+    cfg.packageCStatesEnabled = true;
+    ServerSim srv(cfg, workload::WorkloadProfile::memcached(),
+                  400e3);
+    const auto r = srv.run(fromSec(0.3), fromMs(30.0));
+    EXPECT_GT(
+        r.pkgResidency[static_cast<std::size_t>(PkgCState::PC0)],
+        0.9);
+}
+
+} // namespace

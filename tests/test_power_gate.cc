@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for power gates and staggered wake-up plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_gate.hh"
+#include "sim/types.hh"
+
+namespace {
+
+using namespace aw::power;
+using aw::sim::Tick;
+using aw::sim::kTicksPerNs;
+
+TEST(PowerGate, ResidualLeakageIsThreeToFivePercent)
+{
+    const PowerGate gate(1.0, 10.0);
+    const auto r = gate.residualLeakage();
+    EXPECT_NEAR(r.lo, 0.03, 1e-12);
+    EXPECT_NEAR(r.hi, 0.05, 1e-12);
+}
+
+TEST(PowerGate, ResidualScalesWithGatedLeakage)
+{
+    const PowerGate gate(2.0, 10.0);
+    const auto r = gate.residualLeakage();
+    EXPECT_NEAR(r.lo, 0.06, 1e-12);
+    EXPECT_NEAR(r.hi, 0.10, 1e-12);
+}
+
+TEST(PowerGate, AreaOverheadRange)
+{
+    const PowerGate gate(1.0, 100.0);
+    const auto a = gate.areaOverhead();
+    EXPECT_DOUBLE_EQ(a.lo, 2.0);
+    EXPECT_DOUBLE_EQ(a.hi, 6.0);
+}
+
+TEST(StaggeredWakeup, EqualSplitTotalsAndCount)
+{
+    const auto plan = StaggeredWakeupPlan::equalSplit(4.5, 5);
+    EXPECT_EQ(plan.zoneCount(), 5u);
+    EXPECT_NEAR(plan.totalAreaRel(), 4.5, 1e-12);
+    // Each zone ramps over the full reference interval.
+    EXPECT_EQ(plan.totalWakeTime(),
+              5 * StaggeredWakeupPlan::kReferenceStagger);
+}
+
+TEST(StaggeredWakeup, EqualSplitWithSmallZonesIsWithinLimit)
+{
+    // 4.5x area over 5 zones = 0.9x per zone over 15 ns -> slower
+    // ramp rate than the reference. Feasible.
+    const auto plan = StaggeredWakeupPlan::equalSplit(4.5, 5);
+    EXPECT_LE(plan.peakInrushRelToReference(), 1.0 + 1e-9);
+    EXPECT_TRUE(plan.inrushWithinLimit());
+}
+
+TEST(StaggeredWakeup, TooFewZonesViolatesInrush)
+{
+    // 4.5x the reference area in one zone over one reference
+    // interval: 4.5x the in-rush.
+    const auto plan = StaggeredWakeupPlan::equalSplit(4.5, 1);
+    EXPECT_NEAR(plan.peakInrushRelToReference(), 4.5, 1e-9);
+    EXPECT_FALSE(plan.inrushWithinLimit());
+}
+
+TEST(StaggeredWakeup, ProportionalPlanMatchesPaperMath)
+{
+    // The paper's Sec 5.3 plan: 4.5x AVX area in 5 zones, each
+    // ramped proportionally -> ~67.5 ns total.
+    const auto plan = StaggeredWakeupPlan::proportional(4.5, 5);
+    EXPECT_EQ(plan.zoneCount(), 5u);
+    const double ns = aw::sim::toNs(plan.totalWakeTime());
+    EXPECT_NEAR(ns, 67.5, 0.1);
+    EXPECT_TRUE(plan.inrushWithinLimit());
+    EXPECT_LT(plan.totalWakeTime(), 70 * kTicksPerNs);
+}
+
+/** Property: proportional plans never violate in-rush, regardless
+ *  of zone count or domain size. */
+class ProportionalInrush
+    : public ::testing::TestWithParam<std::tuple<double, int>>
+{
+};
+
+TEST_P(ProportionalInrush, AlwaysWithinLimit)
+{
+    const double area = std::get<0>(GetParam());
+    const int zones = std::get<1>(GetParam());
+    const auto plan = StaggeredWakeupPlan::proportional(area, zones);
+    EXPECT_TRUE(plan.inrushWithinLimit())
+        << "area=" << area << " zones=" << zones << " peak="
+        << plan.peakInrushRelToReference();
+    // Total wake time ~ area * reference regardless of zone count.
+    EXPECT_NEAR(aw::sim::toNs(plan.totalWakeTime()), area * 15.0,
+                0.1 * zones);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProportionalInrush,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0, 4.5, 10.0),
+                       ::testing::Values(1, 2, 5, 8, 10)));
+
+TEST(StaggeredWakeup, ZeroRampNonzeroAreaIsInfeasible)
+{
+    StaggeredWakeupPlan plan;
+    plan.addZone(WakeZone{"z", 1.0, 0});
+    EXPECT_FALSE(plan.inrushWithinLimit());
+}
+
+TEST(StaggeredWakeupDeathTest, BadArguments)
+{
+    EXPECT_DEATH(StaggeredWakeupPlan::equalSplit(4.5, 0), "zone");
+    EXPECT_DEATH(StaggeredWakeupPlan::proportional(-1.0, 5), "area");
+}
+
+TEST(StaggeredWakeup, ZoneAccessors)
+{
+    const auto plan = StaggeredWakeupPlan::proportional(5.0, 5);
+    for (std::size_t i = 0; i < plan.zoneCount(); ++i) {
+        EXPECT_NEAR(plan.zone(i).areaRelToReference, 1.0, 1e-12);
+        EXPECT_EQ(plan.zone(i).staggerTime,
+                  StaggeredWakeupPlan::kReferenceStagger);
+    }
+}
+
+} // namespace

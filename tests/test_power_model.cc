@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the analytical power model (Eqs. 1-4) and the
+ * latency-degradation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/power_model.hh"
+#include "core/aw_core.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::analysis;
+using namespace aw::cstate;
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    PowerModelTest()
+        : model(server::StatePowers::fromModels(aw_model.ppa()))
+    {
+    }
+
+    static ResidencySnapshot
+    snapshot(double c0, double c1, double c1e, double c6)
+    {
+        ResidencySnapshot r;
+        r.share[index(CStateId::C0)] = c0;
+        r.share[index(CStateId::C1)] = c1;
+        r.share[index(CStateId::C1E)] = c1e;
+        r.share[index(CStateId::C6)] = c6;
+        r.window = sim::fromSec(1.0);
+        return r;
+    }
+
+    core::AwCoreModel aw_model;
+    CStatePowerModel model;
+};
+
+TEST_F(PowerModelTest, Eq2HandComputed)
+{
+    // 50% C0 (4 W) + 50% C1 (1.44 W) = 2.72 W.
+    const auto r = snapshot(0.5, 0.5, 0.0, 0.0);
+    EXPECT_NEAR(model.baselineAvgPower(r), 2.72, 1e-9);
+}
+
+TEST_F(PowerModelTest, Eq2AllStates)
+{
+    const auto r = snapshot(0.25, 0.25, 0.25, 0.25);
+    EXPECT_NEAR(model.baselineAvgPower(r),
+                0.25 * (4.0 + 1.44 + 0.88 + 0.1), 1e-9);
+}
+
+TEST_F(PowerModelTest, MotivationalUpperBounds)
+{
+    // Sec 2: search at 50% load -> 23%; search at 25% -> 41%;
+    // key-value at 20% -> 55%.
+    const auto search50 = snapshot(0.50, 0.45, 0.0, 0.05);
+    const auto search25 = snapshot(0.25, 0.55, 0.0, 0.20);
+    const auto kv20 = snapshot(0.20, 0.80, 0.0, 0.0);
+    EXPECT_NEAR(model.idealDeepStateSavings(search50) * 100, 23.0,
+                1.0);
+    EXPECT_NEAR(model.idealDeepStateSavings(search25) * 100, 41.0,
+                1.0);
+    EXPECT_NEAR(model.idealDeepStateSavings(kv20) * 100, 55.0, 1.0);
+}
+
+TEST_F(PowerModelTest, RemapMovesC1FamilyOntoAwStates)
+{
+    const auto r = snapshot(0.3, 0.5, 0.2, 0.0);
+    const auto m = model.remapForAw(r, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(m.shareOf(CStateId::C1), 0.0);
+    EXPECT_DOUBLE_EQ(m.shareOf(CStateId::C1E), 0.0);
+    EXPECT_DOUBLE_EQ(m.shareOf(CStateId::C6A), 0.5);
+    EXPECT_DOUBLE_EQ(m.shareOf(CStateId::C6AE), 0.2);
+    EXPECT_NEAR(m.totalShare(), 1.0, 1e-12);
+}
+
+TEST_F(PowerModelTest, RemapConservesTotalShare)
+{
+    const auto r = snapshot(0.4, 0.4, 0.1, 0.1);
+    const auto m = model.remapForAw(r, 0.5, 10000.0);
+    EXPECT_NEAR(m.totalShare(), 1.0, 1e-9);
+}
+
+TEST_F(PowerModelTest, FrequencyDegradationInflatesC0)
+{
+    const auto r = snapshot(0.5, 0.5, 0.0, 0.0);
+    const auto m = model.remapForAw(r, 1.0, 0.0);
+    // C0 grows by 0.5 * 1% * 1.0 = 0.005.
+    EXPECT_NEAR(m.shareOf(CStateId::C0), 0.505, 1e-9);
+    EXPECT_NEAR(m.shareOf(CStateId::C6A), 0.495, 1e-9);
+}
+
+TEST_F(PowerModelTest, TransitionOverheadInflatesC0)
+{
+    const auto r = snapshot(0.5, 0.5, 0.0, 0.0);
+    // 100k transitions/s * 100 ns = 1% of time.
+    const auto m = model.remapForAw(r, 0.0, 100e3);
+    EXPECT_NEAR(m.shareOf(CStateId::C0), 0.51, 1e-9);
+}
+
+TEST_F(PowerModelTest, AwPowerIsLowerThanBaseline)
+{
+    const auto r = snapshot(0.3, 0.6, 0.1, 0.0);
+    const auto m = model.remapForAw(r, 0.5, 1000.0);
+    EXPECT_LT(model.awAvgPower(m), model.baselineAvgPower(r));
+}
+
+TEST_F(PowerModelTest, Eq4SavingsHandComputed)
+{
+    const auto r = snapshot(0.2, 0.8, 0.0, 0.0);
+    const double measured = model.baselineAvgPower(r); // 1.952 W
+    const double expected =
+        0.8 *
+        (1.44 - model.powers().idle[index(CStateId::C6A)]) /
+        measured;
+    EXPECT_NEAR(model.awSavingsVsMeasured(r, measured), expected,
+                1e-9);
+    // ~47% for this residency mix.
+    EXPECT_NEAR(model.awSavingsVsMeasured(r, measured), 0.47, 0.02);
+}
+
+TEST_F(PowerModelTest, Eq4UsesMeasuredDenominator)
+{
+    const auto r = snapshot(0.2, 0.8, 0.0, 0.0);
+    // Doubling the measured power halves the relative savings.
+    const double s1 = model.awSavingsVsMeasured(r, 2.0);
+    const double s2 = model.awSavingsVsMeasured(r, 4.0);
+    EXPECT_NEAR(s1, 2.0 * s2, 1e-9);
+}
+
+TEST_F(PowerModelTest, LatencyDegradationWorstVsExpected)
+{
+    const auto d = awLatencyDegradation(
+        10.0 /*avg lat us*/, 7.4 /*avg svc us*/, 117.0 /*net us*/,
+        0.4 /*scalability*/, 0.3 /*transitions per request*/);
+    // Worst assumes a full 0.1 us per query; expected only 0.03 us.
+    EXPECT_GT(d.worstCaseServerFrac, d.expectedServerFrac);
+    // End-to-end is diluted by the network constant.
+    EXPECT_LT(d.worstCaseE2eFrac, d.worstCaseServerFrac / 5.0);
+    // All under ~1.5% like Fig 8c.
+    EXPECT_LT(d.worstCaseServerFrac, 0.015);
+}
+
+TEST_F(PowerModelTest, LatencyDegradationHandNumbers)
+{
+    const auto d =
+        awLatencyDegradation(10.0, 10.0, 117.0, 1.0, 1.0);
+    // added_worst = 0.1 us + 10 us * 1% = 0.2 us -> 2% of 10 us.
+    EXPECT_NEAR(d.worstCaseServerFrac, 0.02, 1e-9);
+    EXPECT_NEAR(d.expectedServerFrac, 0.02, 1e-9);
+    EXPECT_NEAR(d.worstCaseE2eFrac, 0.2 / 127.0, 1e-9);
+}
+
+TEST_F(PowerModelTest, ZeroLatencyGivesZeroDegradation)
+{
+    const auto d = awLatencyDegradation(0.0, 5.0, 117.0, 0.5, 0.5);
+    EXPECT_DOUBLE_EQ(d.worstCaseServerFrac, 0.0);
+}
+
+TEST_F(PowerModelTest, StatePowersComeFromPpa)
+{
+    const auto &p = model.powers();
+    EXPECT_NEAR(p.idle[index(CStateId::C6A)], 0.30, 0.01);
+    EXPECT_NEAR(p.idle[index(CStateId::C6AE)], 0.235, 0.01);
+    EXPECT_DOUBLE_EQ(p.idle[index(CStateId::C1)], 1.44);
+    EXPECT_DOUBLE_EQ(p.activeP1, 4.0);
+}
+
+TEST_F(PowerModelTest, RemapCannotStealMoreThanIdleShare)
+{
+    // Extreme transition rate: the steal saturates at the idle
+    // share and C0 tops out at 1.0.
+    const auto r = snapshot(0.9, 0.1, 0.0, 0.0);
+    const auto m = model.remapForAw(r, 1.0, 10e6);
+    EXPECT_NEAR(m.shareOf(CStateId::C0), 1.0, 1e-9);
+    EXPECT_NEAR(m.totalShare(), 1.0, 1e-9);
+}
+
+} // namespace

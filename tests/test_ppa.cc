@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the Table 3 PPA rollup: every row and the totals
+ * must land on the paper's ranges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aw_core.hh"
+#include "core/ppa.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::core;
+using aw::power::asMilliwatts;
+using aw::power::Interval;
+
+class PpaTest : public ::testing::Test
+{
+  protected:
+    core::AwCoreModel model;
+
+    const AwPpaModel &ppa() { return model.ppa(); }
+};
+
+TEST_F(PpaTest, TotalC6aMatchesTable3)
+{
+    // Table 3 overall: 290-315 mW in C6A.
+    const auto total = ppa().totalPowerC6a();
+    EXPECT_NEAR(asMilliwatts(total.lo), 290.0, 3.0);
+    EXPECT_NEAR(asMilliwatts(total.hi), 315.0, 3.0);
+}
+
+TEST_F(PpaTest, TotalC6aeMatchesTable3)
+{
+    // Table 3 overall: 227-243 mW in C6AE.
+    const auto total = ppa().totalPowerC6ae();
+    EXPECT_NEAR(asMilliwatts(total.lo), 227.0, 3.0);
+    EXPECT_NEAR(asMilliwatts(total.hi), 243.0, 3.0);
+}
+
+TEST_F(PpaTest, MidpointsAreTheHeadlineNumbers)
+{
+    // ~0.3 W and ~0.23 W.
+    EXPECT_NEAR(ppa().c6aPowerMid(), 0.30, 0.01);
+    EXPECT_NEAR(ppa().c6aePowerMid(), 0.235, 0.01);
+}
+
+TEST_F(PpaTest, FivrConversionLossMatchesTable3)
+{
+    // 36-41 mW in C6A; 23-27 mW in C6AE.
+    const auto c6a = ppa().fivrConversionLossC6a();
+    EXPECT_NEAR(asMilliwatts(c6a.lo), 36.0, 1.0);
+    EXPECT_NEAR(asMilliwatts(c6a.hi), 41.0, 1.0);
+    const auto c6ae = ppa().fivrConversionLossC6ae();
+    EXPECT_NEAR(asMilliwatts(c6ae.lo), 23.0, 1.0);
+    EXPECT_NEAR(asMilliwatts(c6ae.hi), 27.0, 1.0);
+}
+
+TEST_F(PpaTest, RowsSumToTotals)
+{
+    Interval sum_c6a, sum_c6ae;
+    for (const auto &row : ppa().rows()) {
+        sum_c6a += row.powerC6a;
+        sum_c6ae += row.powerC6ae;
+    }
+    EXPECT_NEAR(sum_c6a.lo, ppa().totalPowerC6a().lo, 1e-9);
+    EXPECT_NEAR(sum_c6a.hi, ppa().totalPowerC6a().hi, 1e-9);
+    EXPECT_NEAR(sum_c6ae.lo, ppa().totalPowerC6ae().lo, 1e-9);
+    EXPECT_NEAR(sum_c6ae.hi, ppa().totalPowerC6ae().hi, 1e-9);
+}
+
+TEST_F(PpaTest, EightRowsLikeTable3)
+{
+    EXPECT_EQ(ppa().rows().size(), 8u);
+}
+
+TEST_F(PpaTest, AreaTotalOverlapsPaperRange)
+{
+    // Paper: 3-7% of core area overall. Our honest rollup spans
+    // ~2-7%; the upper end must agree and the range must overlap.
+    const auto area = ppa().totalAreaFractionOfCore();
+    EXPECT_GE(area.hi, 0.05);
+    EXPECT_LE(area.hi, 0.075);
+    EXPECT_GE(area.lo, 0.015);
+    EXPECT_LE(area.lo, 0.035);
+}
+
+TEST_F(PpaTest, C6aeAlwaysCheaperThanC6a)
+{
+    EXPECT_LT(ppa().totalPowerC6ae().lo, ppa().totalPowerC6a().lo);
+    EXPECT_LT(ppa().totalPowerC6ae().hi, ppa().totalPowerC6a().hi);
+}
+
+TEST_F(PpaTest, StaticComponentsAreStateIndependent)
+{
+    EXPECT_DOUBLE_EQ(ppa().pmaPowerC6a().mid(), 0.005);
+    EXPECT_DOUBLE_EQ(ppa().adpllPower().mid(), 0.007);
+    EXPECT_DOUBLE_EQ(ppa().fivrStaticLoss().mid(), 0.100);
+}
+
+TEST_F(PpaTest, AwStateStillBeatsC1ByFactorOfFour)
+{
+    // The whole point: C6A ~0.3 W vs C1 1.44 W.
+    EXPECT_LT(ppa().totalPowerC6a().hi, 1.44 / 4.0);
+}
+
+TEST_F(PpaTest, AwPowerAboveC6)
+{
+    // C6A keeps caches + PLL alive, so it cannot beat C6's 0.1 W.
+    EXPECT_GT(ppa().totalPowerC6a().lo, 0.1);
+}
+
+TEST_F(PpaTest, IntervalsAreValid)
+{
+    for (const auto &row : ppa().rows()) {
+        EXPECT_TRUE(row.powerC6a.valid()) << row.subComponent;
+        EXPECT_TRUE(row.powerC6ae.valid()) << row.subComponent;
+        EXPECT_GE(row.powerC6a.lo, 0.0) << row.subComponent;
+    }
+}
+
+} // namespace

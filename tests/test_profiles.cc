@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the workload profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace aw::workload;
+using namespace aw::sim;
+
+TEST(Profiles, MemcachedShape)
+{
+    const auto p = WorkloadProfile::memcached();
+    EXPECT_EQ(p.name(), "memcached");
+    EXPECT_EQ(p.arrivalKind(), ArrivalKind::Poisson);
+    // Microsecond-scale service, Fig 8's seven rate levels.
+    EXPECT_LT(toUs(p.service().meanServiceTime()), 20.0);
+    EXPECT_EQ(p.rateLevels().size(), 7u);
+    EXPECT_DOUBLE_EQ(p.rateLevels().front(), 10e3);
+    EXPECT_DOUBLE_EQ(p.rateLevels().back(), 500e3);
+}
+
+TEST(Profiles, MysqlShape)
+{
+    const auto p = WorkloadProfile::mysql();
+    // Sub-millisecond OLTP queries, much longer than the KV store;
+    // three rate levels.
+    EXPECT_GT(toUs(p.service().meanServiceTime()), 100.0);
+    EXPECT_EQ(p.rateLevels().size(), 3u);
+}
+
+TEST(Profiles, KafkaIsBursty)
+{
+    const auto p = WorkloadProfile::kafka();
+    EXPECT_EQ(p.arrivalKind(), ArrivalKind::Bursty);
+    EXPECT_EQ(p.rateLevels().size(), 2u);
+}
+
+TEST(Profiles, MakeArrivalsHonorsKindAndRate)
+{
+    const auto mc = WorkloadProfile::memcached();
+    auto poisson = mc.makeArrivals(5000.0);
+    EXPECT_NEAR(poisson->ratePerSec(), 5000.0, 1e-9);
+
+    const auto kafka = WorkloadProfile::kafka();
+    auto bursty = kafka.makeArrivals(300.0);
+    EXPECT_NEAR(bursty->ratePerSec(), 300.0, 1.0);
+}
+
+TEST(Profiles, BurstyGapsAreBurstier)
+{
+    const auto kafka = WorkloadProfile::kafka();
+    auto bursty = kafka.makeArrivals(1000.0);
+    auto poisson =
+        WorkloadProfile::memcached().makeArrivals(1000.0);
+    Rng rng_a(1), rng_b(1);
+    auto cv = [](ArrivalProcess &arr, Rng &rng) {
+        double sum = 0.0, sumsq = 0.0;
+        const int n = 100000;
+        for (int i = 0; i < n; ++i) {
+            const double g = toSec(arr.nextGap(rng));
+            sum += g;
+            sumsq += g * g;
+        }
+        const double mean = sum / n;
+        return std::sqrt(sumsq / n - mean * mean) / mean;
+    };
+    EXPECT_GT(cv(*bursty, rng_a), cv(*poisson, rng_b));
+}
+
+TEST(Profiles, ValidationSuiteHasFourWorkloads)
+{
+    const auto suite = WorkloadProfile::validationSuite();
+    ASSERT_EQ(suite.size(), 4u);
+    EXPECT_EQ(suite[0].name(), "specpower");
+    EXPECT_EQ(suite[1].name(), "nginx");
+    EXPECT_EQ(suite[2].name(), "spark");
+    EXPECT_EQ(suite[3].name(), "hive");
+}
+
+TEST(Profiles, WriteFractionsAreValid)
+{
+    for (const auto &p : {WorkloadProfile::memcached(),
+                          WorkloadProfile::mysql(),
+                          WorkloadProfile::kafka()}) {
+        EXPECT_GE(p.writeFraction(), 0.0) << p.name();
+        EXPECT_LE(p.writeFraction(), 1.0) << p.name();
+    }
+}
+
+TEST(Profiles, ComputeSharesAreModerate)
+{
+    // Every service model splits between compute and memory; none
+    // is fully compute-bound (these are data-serving workloads).
+    for (const auto &p : {WorkloadProfile::memcached(),
+                          WorkloadProfile::mysql(),
+                          WorkloadProfile::kafka()}) {
+        EXPECT_GT(p.service().computeShare(), 0.2) << p.name();
+        EXPECT_LE(p.service().computeShare(), 0.8) << p.name();
+    }
+}
+
+TEST(Profiles, TimescaleOrdering)
+{
+    // mysql >> kafka >> memcached in per-request work.
+    const auto mc = WorkloadProfile::memcached();
+    const auto kafka = WorkloadProfile::kafka();
+    const auto mysql = WorkloadProfile::mysql();
+    EXPECT_LT(mc.service().meanServiceTime(),
+              kafka.service().meanServiceTime());
+    EXPECT_LT(kafka.service().meanServiceTime(),
+              mysql.service().meanServiceTime());
+}
+
+} // namespace

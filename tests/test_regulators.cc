@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the ADPLL and FIVR models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/regulators.hh"
+
+namespace {
+
+using namespace aw::power;
+
+TEST(Adpll, SevenMilliwattsWhenOn)
+{
+    Adpll pll;
+    EXPECT_TRUE(pll.on());
+    EXPECT_NEAR(asMilliwatts(pll.power()), 7.0, 1e-12);
+}
+
+TEST(Adpll, ZeroWhenOff)
+{
+    Adpll pll;
+    pll.setOn(false);
+    EXPECT_DOUBLE_EQ(pll.power(), 0.0);
+    pll.setOn(true);
+    EXPECT_GT(pll.power(), 0.0);
+}
+
+TEST(Adpll, RelockTimeIsMicroseconds)
+{
+    // Part of the ~10 us C6 hardware wake.
+    EXPECT_GE(Adpll::kRelockTime, aw::sim::fromUs(1.0));
+    EXPECT_LE(Adpll::kRelockTime, aw::sim::fromUs(10.0));
+}
+
+TEST(Fivr, ConversionLossAtLightLoad)
+{
+    const Fivr fivr;
+    // 80% efficiency: delivering 0.8 W draws 1.0 W -> 0.2 W loss.
+    EXPECT_NEAR(fivr.conversionLoss(0.8), 0.2, 1e-12);
+    EXPECT_DOUBLE_EQ(fivr.conversionLoss(0.0), 0.0);
+}
+
+TEST(Fivr, InputPowerIncludesStaticLoss)
+{
+    const Fivr fivr;
+    EXPECT_NEAR(fivr.inputPower(0.8), 0.8 + 0.2 + 0.1, 1e-12);
+    EXPECT_NEAR(fivr.inputPower(0.0), 0.1, 1e-12);
+}
+
+TEST(Fivr, IntervalConversionLoss)
+{
+    const Fivr fivr;
+    const auto loss = fivr.conversionLoss(Interval(0.1422, 0.1624));
+    // The Table 3 C6A FIVR inefficiency row: ~36-41 mW.
+    EXPECT_NEAR(asMilliwatts(loss.lo), 35.55, 0.1);
+    EXPECT_NEAR(asMilliwatts(loss.hi), 40.6, 0.1);
+}
+
+TEST(Fivr, CustomEfficiency)
+{
+    const Fivr fivr(0.9, milliwatts(50.0));
+    EXPECT_NEAR(fivr.conversionLoss(0.9), 0.1, 1e-12);
+    EXPECT_NEAR(fivr.staticLoss(), 0.05, 1e-12);
+}
+
+TEST(Fivr, PaperConstants)
+{
+    EXPECT_DOUBLE_EQ(Fivr::kLightLoadEfficiency, 0.80);
+    EXPECT_NEAR(asMilliwatts(Fivr::kStaticLoss), 100.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for residency counters (the simulated MSR counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cstate/residency.hh"
+
+namespace {
+
+using namespace aw::cstate;
+using namespace aw::sim;
+
+TEST(Residency, SharesSumToOne)
+{
+    ResidencyCounters rc(0);
+    rc.recordEnter(CStateId::C1, 100);
+    rc.recordEnter(CStateId::C0, 300);
+    rc.recordEnter(CStateId::C6, 400);
+    const auto snap = rc.snapshot(1000);
+    EXPECT_NEAR(snap.totalShare(), 1.0, 1e-12);
+}
+
+TEST(Residency, SharesMatchHandComputation)
+{
+    ResidencyCounters rc(0);
+    // C0: [0,100) and [300,400) = 200; C1: [100,300) = 200;
+    // C6: [400,1000) = 600.
+    rc.recordEnter(CStateId::C1, 100);
+    rc.recordEnter(CStateId::C0, 300);
+    rc.recordEnter(CStateId::C6, 400);
+    const auto snap = rc.snapshot(1000);
+    EXPECT_DOUBLE_EQ(snap.shareOf(CStateId::C0), 0.2);
+    EXPECT_DOUBLE_EQ(snap.shareOf(CStateId::C1), 0.2);
+    EXPECT_DOUBLE_EQ(snap.shareOf(CStateId::C6), 0.6);
+}
+
+TEST(Residency, EntriesCounted)
+{
+    ResidencyCounters rc(0);
+    rc.recordEnter(CStateId::C1, 10);
+    rc.recordEnter(CStateId::C0, 20);
+    rc.recordEnter(CStateId::C1, 30);
+    rc.recordEnter(CStateId::C0, 40);
+    const auto snap = rc.snapshot(50);
+    EXPECT_EQ(snap.entriesOf(CStateId::C1), 2u);
+    EXPECT_EQ(snap.entriesOf(CStateId::C0), 2u);
+    EXPECT_EQ(snap.idleTransitions(), 2u);
+}
+
+TEST(Residency, CurrentStateAccumulatesOpenInterval)
+{
+    ResidencyCounters rc(0);
+    rc.recordEnter(CStateId::C1E, 100);
+    EXPECT_EQ(rc.timeIn(CStateId::C1E, 250), Tick(150));
+    EXPECT_EQ(rc.timeIn(CStateId::C0, 250), Tick(100));
+}
+
+TEST(Residency, ResetRestartsWindow)
+{
+    ResidencyCounters rc(0);
+    rc.recordEnter(CStateId::C6, 100);
+    rc.reset(500, CStateId::C1);
+    const auto snap = rc.snapshot(600);
+    EXPECT_DOUBLE_EQ(snap.shareOf(CStateId::C1), 1.0);
+    EXPECT_DOUBLE_EQ(snap.shareOf(CStateId::C6), 0.0);
+    EXPECT_EQ(snap.idleTransitions(), 0u);
+    EXPECT_EQ(snap.window, Tick(100));
+}
+
+TEST(Residency, EmptyWindowSnapshot)
+{
+    ResidencyCounters rc(100);
+    const auto snap = rc.snapshot(100);
+    EXPECT_EQ(snap.window, Tick(0));
+    EXPECT_DOUBLE_EQ(snap.totalShare(), 0.0);
+}
+
+TEST(Residency, CurrentAccessor)
+{
+    ResidencyCounters rc(0);
+    EXPECT_EQ(rc.current(), CStateId::C0);
+    rc.recordEnter(CStateId::C6A, 10);
+    EXPECT_EQ(rc.current(), CStateId::C6A);
+}
+
+TEST(ResidencyDeathTest, TimeBackwardsPanics)
+{
+    ResidencyCounters rc(100);
+    rc.recordEnter(CStateId::C1, 200);
+    EXPECT_DEATH(rc.recordEnter(CStateId::C0, 150), "backwards");
+}
+
+TEST(Residency, IdleTransitionsExcludeC0)
+{
+    ResidencyCounters rc(0);
+    rc.recordEnter(CStateId::C0, 10);
+    rc.recordEnter(CStateId::C0, 20);
+    const auto snap = rc.snapshot(30);
+    EXPECT_EQ(snap.idleTransitions(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the Table 4 power-gating scheme registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aw_core.hh"
+#include "core/schemes.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::core;
+
+TEST(Schemes, SevenRowsLikeTable4)
+{
+    core::AwCoreModel model;
+    const auto rows = powerGatingSchemes(model.controller());
+    EXPECT_EQ(rows.size(), 7u);
+}
+
+TEST(Schemes, AwRowIsLast)
+{
+    core::AwCoreModel model;
+    const auto rows = powerGatingSchemes(model.controller());
+    const auto &aw_row = rows.back();
+    EXPECT_EQ(aw_row.technique, "AW (This work)");
+    EXPECT_EQ(aw_row.coreType, "OoO CPU");
+    EXPECT_EQ(aw_row.trigger, "Core idle");
+    EXPECT_EQ(aw_row.gatedBlocks, "Most of core units");
+}
+
+TEST(Schemes, AwWakeOverheadTracksController)
+{
+    core::AwCoreModel model;
+    const auto rows = powerGatingSchemes(model.controller());
+    EXPECT_EQ(rows.back().wakeOverheadTime,
+              model.controller().exitLatency());
+    // ~70 ns like the paper's Table 4 row.
+    EXPECT_LT(rows.back().wakeOverheadTime, sim::fromNs(80.0));
+}
+
+TEST(Schemes, AwGatesMoreThanPriorWorkAtSimilarTimescale)
+{
+    // AW gates "most of core units" with wake overhead within ~8x
+    // of the AVX-only scheme: the whole design argument in one
+    // assertion.
+    core::AwCoreModel model;
+    const auto rows = powerGatingSchemes(model.controller());
+    const auto &ichannels = rows[5];
+    ASSERT_EQ(ichannels.technique, "IChannels [35]");
+    EXPECT_GT(rows.back().wakeOverheadTime,
+              ichannels.wakeOverheadTime);
+    EXPECT_LT(rows.back().wakeOverheadTime,
+              8 * ichannels.wakeOverheadTime);
+}
+
+TEST(Schemes, LiteratureRowsCarrySources)
+{
+    core::AwCoreModel model;
+    for (const auto &row : powerGatingSchemes(model.controller())) {
+        EXPECT_FALSE(row.technique.empty());
+        EXPECT_FALSE(row.wakeOverhead.empty());
+    }
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the service-demand models and the compute/memory
+ * split that drives frequency scalability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/service.hh"
+
+namespace {
+
+using namespace aw::workload;
+using namespace aw::sim;
+
+TEST(SplitDemand, DurationAtReferenceEqualsTotal)
+{
+    const auto d =
+        splitDemand(fromUs(10.0), 0.5, Frequency::ghz(2.2));
+    EXPECT_NEAR(toUs(d.duration(Frequency::ghz(2.2))), 10.0, 0.01);
+}
+
+TEST(SplitDemand, OnlyComputePartScalesWithFrequency)
+{
+    const auto d =
+        splitDemand(fromUs(10.0), 0.5, Frequency::ghz(2.0));
+    // At 2 GHz: 5 us compute + 5 us fixed. At 4 GHz: 2.5 + 5.
+    EXPECT_NEAR(toUs(d.duration(Frequency::ghz(4.0))), 7.5, 0.01);
+    // At 1 GHz: 10 + 5.
+    EXPECT_NEAR(toUs(d.duration(Frequency::ghz(1.0))), 15.0, 0.01);
+}
+
+TEST(SplitDemand, PureComputeFullyScales)
+{
+    const auto d =
+        splitDemand(fromUs(10.0), 1.0, Frequency::ghz(2.0));
+    EXPECT_NEAR(toUs(d.duration(Frequency::ghz(4.0))), 5.0, 0.01);
+    EXPECT_EQ(d.fixed, Tick(0));
+}
+
+TEST(SplitDemand, PureMemoryNeverScales)
+{
+    const auto d =
+        splitDemand(fromUs(10.0), 0.0, Frequency::ghz(2.0));
+    EXPECT_NEAR(toUs(d.duration(Frequency::ghz(4.0))), 10.0, 0.01);
+    EXPECT_DOUBLE_EQ(d.cycles, 0.0);
+}
+
+TEST(FixedService, DeterministicDraws)
+{
+    FixedService svc(fromUs(5.0), 0.6);
+    Rng rng(1);
+    const auto a = svc.draw(rng);
+    const auto b = svc.draw(rng);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fixed, b.fixed);
+    EXPECT_EQ(svc.meanServiceTime(), fromUs(5.0));
+    EXPECT_DOUBLE_EQ(svc.computeShare(), 0.6);
+}
+
+TEST(LognormalService, SampleMeanTracksTarget)
+{
+    LognormalService svc(fromUs(9.0), 0.8, 0.5);
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += toUs(svc.draw(rng).duration(Frequency::ghz(2.2)));
+    EXPECT_NEAR(sum / n, 9.0, 0.2);
+}
+
+TEST(LognormalServiceDeathTest, ValidatesArguments)
+{
+    EXPECT_DEATH(LognormalService(0, 0.5, 0.5), "mean");
+    EXPECT_DEATH(LognormalService(fromUs(1.0), 0.5, 1.5),
+                 "compute share");
+}
+
+TEST(BimodalService, MeanIsMixture)
+{
+    BimodalService svc(fromUs(6.0), fromUs(20.0), 0.90, 0.7, 0.5);
+    // 0.9*6 + 0.1*20 = 7.4 us.
+    EXPECT_NEAR(toUs(svc.meanServiceTime()), 7.4, 0.01);
+}
+
+TEST(BimodalService, SampleMeanTracksMixture)
+{
+    BimodalService svc(fromUs(6.0), fromUs(20.0), 0.90, 0.7, 0.5);
+    Rng rng(3);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += toUs(svc.draw(rng).duration(Frequency::ghz(2.2)));
+    EXPECT_NEAR(sum / n, 7.4, 0.15);
+}
+
+TEST(BimodalServiceDeathTest, ValidatesFraction)
+{
+    EXPECT_DEATH(
+        BimodalService(fromUs(1.0), fromUs(2.0), 1.5, 0.5, 0.5),
+        "fraction");
+}
+
+/** Property: a 1% frequency drop inflates service time by about
+ *  computeShare * 1% -- the paper's frequency-scalability model. */
+class ScalabilityProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ScalabilityProperty, InflationMatchesComputeShare)
+{
+    const double share = GetParam();
+    const auto d = splitDemand(fromUs(100.0), share,
+                               Frequency::ghz(2.2));
+    const double base = toUs(d.duration(Frequency::ghz(2.2)));
+    const double degraded =
+        toUs(d.duration(Frequency(2.2e9 * 0.99)));
+    const double inflation = degraded / base - 1.0;
+    EXPECT_NEAR(inflation, share * (1.0 / 0.99 - 1.0), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shares, ScalabilityProperty,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75,
+                                           1.0));
+
+} // namespace

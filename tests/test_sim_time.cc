@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for sim/types.hh: tick conversions and Frequency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace {
+
+using namespace aw::sim;
+
+TEST(TimeConversion, NsRoundTrip)
+{
+    EXPECT_EQ(fromNs(1.0), kTicksPerNs);
+    EXPECT_DOUBLE_EQ(toNs(fromNs(123.0)), 123.0);
+}
+
+TEST(TimeConversion, UsRoundTrip)
+{
+    EXPECT_EQ(fromUs(1.0), kTicksPerUs);
+    EXPECT_DOUBLE_EQ(toUs(fromUs(75.0)), 75.0);
+}
+
+TEST(TimeConversion, MsAndSeconds)
+{
+    EXPECT_EQ(fromMs(1.0), kTicksPerMs);
+    EXPECT_EQ(fromSec(1.0), kTicksPerSec);
+    EXPECT_DOUBLE_EQ(toSec(kTicksPerSec), 1.0);
+}
+
+TEST(TimeConversion, SubUnitRounding)
+{
+    // 0.5 ns rounds to 500 ps exactly.
+    EXPECT_EQ(fromNs(0.5), Tick(500));
+    // Nearest rounding, not truncation.
+    EXPECT_EQ(fromNs(0.0004), Tick(0));
+    EXPECT_EQ(fromNs(0.0006), Tick(1));
+}
+
+TEST(Frequency, PeriodOfCommonClocks)
+{
+    EXPECT_EQ(Frequency::mhz(500.0).period(), Tick(2000));
+    EXPECT_EQ(Frequency::ghz(1.0).period(), Tick(1000));
+    EXPECT_EQ(Frequency::ghz(2.0).period(), Tick(500));
+    EXPECT_EQ(Frequency::ghz(2.5).period(), Tick(400));
+}
+
+TEST(Frequency, NonDividingClockRoundsToNearest)
+{
+    // 2.2 GHz -> 454.54.. ps -> 455 ps.
+    EXPECT_EQ(Frequency::ghz(2.2).period(), Tick(455));
+    // 3 GHz -> 333.33 ps -> 333 ps.
+    EXPECT_EQ(Frequency::ghz(3.0).period(), Tick(333));
+}
+
+TEST(Frequency, Cycles)
+{
+    const auto pma = Frequency::mhz(500.0);
+    EXPECT_EQ(pma.cycles(9), Tick(18000)); // 9 cycles = 18 ns
+    EXPECT_EQ(pma.cycles(0), Tick(0));
+}
+
+TEST(Frequency, Accessors)
+{
+    const auto f = Frequency::ghz(2.2);
+    EXPECT_DOUBLE_EQ(f.gigahertz(), 2.2);
+    EXPECT_DOUBLE_EQ(f.megahertz(), 2200.0);
+    EXPECT_TRUE(f.valid());
+    EXPECT_FALSE(Frequency().valid());
+}
+
+TEST(Frequency, Comparison)
+{
+    EXPECT_LT(Frequency::ghz(0.8), Frequency::ghz(2.2));
+    EXPECT_EQ(Frequency::mhz(2200.0), Frequency::ghz(2.2));
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace aw::sim;
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(acc.cv(), 0.4);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator acc;
+    acc.add(3.5);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator acc;
+    acc.add(10.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    acc.add(2.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}
+
+TEST(Accumulator, NumericallyStableOnOffsetData)
+{
+    // Welford should keep precision with a large offset.
+    Accumulator acc;
+    const double offset = 1e12;
+    for (const double x : {1.0, 2.0, 3.0})
+        acc.add(offset + x);
+    EXPECT_NEAR(acc.variance(), 2.0 / 3.0, 1e-3);
+}
+
+TEST(Percentile, NearestRankExact)
+{
+    PercentileTracker t;
+    for (int i = 1; i <= 100; ++i)
+        t.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(t.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(t.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(t.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(t.percentile(1), 1.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0), 1.0);
+}
+
+TEST(Percentile, UnsortedInput)
+{
+    PercentileTracker t;
+    for (const double x : {5.0, 1.0, 4.0, 2.0, 3.0})
+        t.add(x);
+    EXPECT_DOUBLE_EQ(t.p50(), 3.0);
+    EXPECT_DOUBLE_EQ(t.percentile(100), 5.0);
+}
+
+TEST(Percentile, AddAfterQueryInvalidatesCache)
+{
+    PercentileTracker t;
+    t.add(1.0);
+    EXPECT_DOUBLE_EQ(t.p99(), 1.0);
+    t.add(100.0);
+    EXPECT_DOUBLE_EQ(t.p99(), 100.0);
+}
+
+TEST(Percentile, MeanMatches)
+{
+    PercentileTracker t;
+    for (const double x : {2.0, 4.0, 6.0})
+        t.add(x);
+    EXPECT_DOUBLE_EQ(t.mean(), 4.0);
+    EXPECT_EQ(t.count(), 3u);
+}
+
+TEST(PercentileDeathTest, EmptyPanics)
+{
+    PercentileTracker t;
+    EXPECT_DEATH(t.percentile(50), "empty");
+}
+
+TEST(PercentileDeathTest, OutOfRangePanics)
+{
+    PercentileTracker t;
+    t.add(1.0);
+    EXPECT_DEATH(t.percentile(101), "range");
+}
+
+TEST(Histogram, BinsCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.99);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(10.0); // upper edge is exclusive
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightsAndEdges)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 7);
+    EXPECT_EQ(h.binCount(1), 7u);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.binHi(1), 2.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.binCount(1), 0u);
+}
+
+TEST(HistogramDeathTest, BadConstruction)
+{
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "bin");
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "exceed");
+}
+
+TEST(WeightedShares, SharesSumToOne)
+{
+    WeightedShares ws(3);
+    ws.add(0, 10.0);
+    ws.add(1, 30.0);
+    ws.add(2, 60.0);
+    EXPECT_DOUBLE_EQ(ws.share(0), 0.1);
+    EXPECT_DOUBLE_EQ(ws.share(1), 0.3);
+    EXPECT_DOUBLE_EQ(ws.share(2), 0.6);
+    EXPECT_DOUBLE_EQ(ws.share(0) + ws.share(1) + ws.share(2), 1.0);
+}
+
+TEST(WeightedShares, EmptyIsZero)
+{
+    WeightedShares ws(2);
+    EXPECT_DOUBLE_EQ(ws.share(0), 0.0);
+    EXPECT_DOUBLE_EQ(ws.totalWeight(), 0.0);
+}
+
+TEST(WeightedShares, ResetClears)
+{
+    WeightedShares ws(2);
+    ws.add(0, 5.0);
+    ws.reset();
+    EXPECT_DOUBLE_EQ(ws.totalWeight(), 0.0);
+    EXPECT_DOUBLE_EQ(ws.weight(0), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for arrival-trace record/replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.hh"
+
+namespace {
+
+using namespace aw::workload;
+using namespace aw::sim;
+
+TEST(Trace, RecordCapturesGaps)
+{
+    PoissonArrivals src(1000.0);
+    Rng rng(5);
+    const auto trace = ArrivalTrace::record(src, rng, 100);
+    EXPECT_EQ(trace.size(), 100u);
+    EXPECT_GT(trace.duration(), Tick(0));
+}
+
+TEST(Trace, MeanRateTracksSource)
+{
+    PoissonArrivals src(1000.0);
+    Rng rng(5);
+    const auto trace = ArrivalTrace::record(src, rng, 50000);
+    EXPECT_NEAR(trace.meanRatePerSec(), 1000.0, 30.0);
+}
+
+TEST(Trace, ReplayIsBitIdentical)
+{
+    PoissonArrivals src(1000.0);
+    Rng rng(5);
+    const auto trace = ArrivalTrace::record(src, rng, 1000);
+
+    TraceArrivals a(trace), b(trace);
+    Rng unused(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextGap(unused), b.nextGap(unused));
+}
+
+TEST(Trace, LoopWrapsAround)
+{
+    ArrivalTrace trace({10, 20, 30});
+    TraceArrivals replay(trace, true);
+    Rng unused(1);
+    EXPECT_EQ(replay.nextGap(unused), Tick(10));
+    EXPECT_EQ(replay.nextGap(unused), Tick(20));
+    EXPECT_EQ(replay.nextGap(unused), Tick(30));
+    EXPECT_EQ(replay.nextGap(unused), Tick(10)); // wrapped
+    EXPECT_FALSE(replay.exhausted());
+}
+
+TEST(Trace, NonLoopingEnds)
+{
+    ArrivalTrace trace({10, 20});
+    TraceArrivals replay(trace, false);
+    Rng unused(1);
+    replay.nextGap(unused);
+    replay.nextGap(unused);
+    EXPECT_TRUE(replay.exhausted());
+    EXPECT_EQ(replay.nextGap(unused), kMaxTick);
+}
+
+TEST(Trace, RatePerSecFromTrace)
+{
+    // Two arrivals over 1 ms => 2000/s.
+    ArrivalTrace trace({fromUs(500.0), fromUs(500.0)});
+    TraceArrivals replay(trace);
+    EXPECT_NEAR(replay.ratePerSec(), 2000.0, 1e-6);
+}
+
+TEST(Trace, AppendGrows)
+{
+    ArrivalTrace trace;
+    EXPECT_TRUE(trace.empty());
+    trace.append(fromUs(1.0));
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.duration(), fromUs(1.0));
+}
+
+TEST(TraceDeathTest, EmptyReplayPanics)
+{
+    EXPECT_DEATH(TraceArrivals(ArrivalTrace{}), "empty");
+}
+
+TEST(Trace, EmptyTraceStatsAreZero)
+{
+    ArrivalTrace trace;
+    EXPECT_EQ(trace.duration(), Tick(0));
+    EXPECT_DOUBLE_EQ(trace.meanRatePerSec(), 0.0);
+}
+
+} // namespace

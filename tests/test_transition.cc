@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the transition latency engine: the Table 1
+ * envelopes must fall out of the underlying models, and the
+ * hardware-only C6A latency must beat C6 by >=900x.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aw_core.hh"
+#include "cstate/transition.hh"
+#include "uarch/cache.hh"
+#include "uarch/context.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::cstate;
+using namespace aw::sim;
+
+class TransitionTest : public ::testing::Test
+{
+  protected:
+    TransitionTest()
+        : caches(uarch::PrivateCaches::skylakeServer()),
+          engine(caches, context, model.controller().awLatencies())
+    {
+    }
+
+    core::AwCoreModel model;
+    uarch::PrivateCaches caches;
+    uarch::CoreContext context;
+    TransitionEngine engine;
+};
+
+TEST_F(TransitionTest, C1EnvelopeIsTwoMicroseconds)
+{
+    const auto lat = engine.latency(CStateId::C1, Frequency::ghz(2.2));
+    EXPECT_NEAR(toUs(lat.total()), 2.0, 0.05);
+}
+
+TEST_F(TransitionTest, C1EEnvelopeIsTenMicroseconds)
+{
+    const auto lat =
+        engine.latency(CStateId::C1E, Frequency::ghz(2.2));
+    EXPECT_NEAR(toUs(lat.total()), 10.0, 0.05);
+}
+
+TEST_F(TransitionTest, C6AEnvelopeMatchesC1PlusHardware)
+{
+    const auto lat =
+        engine.latency(CStateId::C6A, Frequency::ghz(2.2));
+    // Same 2 us software envelope plus the <100 ns hardware flow.
+    EXPECT_NEAR(toUs(lat.total()), 2.1, 0.05);
+}
+
+TEST_F(TransitionTest, C6EnvelopeAtPaperReferencePoint)
+{
+    // Table 1's 133 us envelope holds at the reference conditions:
+    // 800 MHz, 50% dirty caches.
+    caches.setDirtyFraction(0.5);
+    const auto lat =
+        engine.latency(CStateId::C6, Frequency::mhz(800.0));
+    EXPECT_NEAR(toUs(lat.total()), 133.0, 3.0);
+}
+
+TEST_F(TransitionTest, C6EntryBreakdownMatchesSection3)
+{
+    caches.setDirtyFraction(0.5);
+    const auto b = engine.c6EntryBreakdown(Frequency::mhz(800.0));
+    EXPECT_NEAR(toUs(b.flush), 75.0, 0.5);
+    EXPECT_NEAR(toUs(b.contextSave), 9.0, 0.5);
+    EXPECT_NEAR(toUs(b.total()), 87.0, 1.0);
+}
+
+TEST_F(TransitionTest, C6ExitBreakdownMatchesSection3)
+{
+    const auto b = engine.c6ExitBreakdown(Frequency::mhz(800.0));
+    EXPECT_NEAR(toUs(b.hwWake), 10.0, 0.1);
+    EXPECT_NEAR(toUs(b.total()), 30.0, 3.0);
+}
+
+TEST_F(TransitionTest, C6AHardwareIsUnderHundredNanoseconds)
+{
+    const auto hw =
+        engine.hardwareLatency(CStateId::C6A, Frequency::ghz(2.2));
+    EXPECT_LT(hw.entry, fromNs(20.0));
+    EXPECT_LT(hw.exit, fromNs(80.0));
+    EXPECT_LT(hw.total(), fromNs(100.0));
+}
+
+TEST_F(TransitionTest, NineHundredTimesFasterThanC6)
+{
+    caches.setDirtyFraction(0.5);
+    const auto c6 =
+        engine.latency(CStateId::C6, Frequency::mhz(800.0));
+    const auto c6a =
+        engine.hardwareLatency(CStateId::C6A, Frequency::ghz(2.2));
+    const double speedup = static_cast<double>(c6.total()) /
+                           static_cast<double>(c6a.total());
+    EXPECT_GE(speedup, 900.0);
+}
+
+TEST_F(TransitionTest, C6EntryDependsOnDirtyFraction)
+{
+    caches.setDirtyFraction(0.0);
+    const auto clean =
+        engine.latency(CStateId::C6, Frequency::ghz(2.2));
+    caches.setDirtyFraction(1.0);
+    const auto dirty =
+        engine.latency(CStateId::C6, Frequency::ghz(2.2));
+    EXPECT_GT(dirty.entry, clean.entry);
+    EXPECT_EQ(dirty.exit, clean.exit);
+}
+
+TEST_F(TransitionTest, C1HardwareIsNanoseconds)
+{
+    const auto hw =
+        engine.hardwareLatency(CStateId::C1, Frequency::ghz(2.2));
+    EXPECT_LT(hw.total(), fromNs(10.0));
+}
+
+TEST_F(TransitionTest, C0HasNoLatency)
+{
+    const auto lat = engine.latency(CStateId::C0, Frequency::ghz(2.2));
+    EXPECT_EQ(lat.total(), Tick(0));
+}
+
+TEST_F(TransitionTest, C6AEMatchesC6AHardware)
+{
+    const auto a =
+        engine.hardwareLatency(CStateId::C6A, Frequency::ghz(2.2));
+    const auto ae =
+        engine.hardwareLatency(CStateId::C6AE, Frequency::ghz(2.2));
+    EXPECT_EQ(a.total(), ae.total());
+    // But the software envelope differs (DVFS ramp).
+    EXPECT_GT(engine.latency(CStateId::C6AE, Frequency::ghz(2.2))
+                  .total(),
+              engine.latency(CStateId::C6A, Frequency::ghz(2.2))
+                  .total());
+}
+
+TEST(TransitionNoAw, PanicsOnAwStateWithoutLatencies)
+{
+    const auto caches = uarch::PrivateCaches::skylakeServer();
+    const uarch::CoreContext context;
+    const TransitionEngine engine(caches, context);
+    EXPECT_FALSE(engine.hasAwLatencies());
+    EXPECT_DEATH(engine.latency(CStateId::C6A, Frequency::ghz(2.2)),
+                 "without AW");
+}
+
+TEST(TransitionNoAw, LatenciesCanBeInstalledLater)
+{
+    const auto caches = uarch::PrivateCaches::skylakeServer();
+    const uarch::CoreContext context;
+    TransitionEngine engine(caches, context);
+    core::AwCoreModel model;
+    engine.setAwLatencies(model.controller().awLatencies());
+    EXPECT_TRUE(engine.hasAwLatencies());
+    EXPECT_GT(engine.latency(CStateId::C6A, Frequency::ghz(2.2))
+                  .total(),
+              Tick(0));
+}
+
+/** Property: exit latency never exceeds entry+exit envelope, and
+ *  entry/exit are positive for all idle states at all plausible
+ *  frequencies. */
+class TransitionSweep
+    : public ::testing::TestWithParam<std::tuple<CStateId, double>>
+{
+};
+
+TEST_P(TransitionSweep, LatenciesArePositiveAndBounded)
+{
+    const auto [state, ghz] = GetParam();
+    core::AwCoreModel model;
+    auto caches = uarch::PrivateCaches::skylakeServer();
+    caches.setDirtyFraction(0.5);
+    const uarch::CoreContext context;
+    const TransitionEngine engine(caches, context,
+                                  model.controller().awLatencies());
+    const auto lat = engine.latency(state, Frequency::ghz(ghz));
+    EXPECT_GT(lat.entry, Tick(0));
+    EXPECT_GT(lat.exit, Tick(0));
+    // Nothing takes longer than 200 us even at the slowest clock.
+    EXPECT_LT(lat.total(), fromUs(200.0));
+    // Hardware latency is always <= full latency.
+    const auto hw = engine.hardwareLatency(state, Frequency::ghz(ghz));
+    EXPECT_LE(hw.entry, lat.entry);
+    EXPECT_LE(hw.exit, lat.exit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStatesAndClocks, TransitionSweep,
+    ::testing::Combine(::testing::Values(CStateId::C1, CStateId::C1E,
+                                         CStateId::C6A,
+                                         CStateId::C6AE,
+                                         CStateId::C6),
+                       ::testing::Values(0.8, 1.2, 2.2, 3.0)));
+
+} // namespace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the turbo thermal-credit model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/turbo.hh"
+
+namespace {
+
+using namespace aw::server;
+using namespace aw::sim;
+
+TEST(Turbo, CreditAccruesBelowThreshold)
+{
+    TurboModel turbo;
+    turbo.setPower(0, 0.2); // deep idle, 1 W below the threshold
+    EXPECT_NEAR(turbo.credit(fromSec(0.1)),
+                (1.2 - 0.2) * 0.1, 1e-9);
+}
+
+TEST(Turbo, NoCreditAtOrAboveThreshold)
+{
+    TurboModel turbo;
+    turbo.setPower(0, 1.44); // C1 power: too hot to cool
+    EXPECT_DOUBLE_EQ(turbo.credit(fromSec(10.0)), 0.0);
+}
+
+TEST(Turbo, CreditCapsAtCapacity)
+{
+    TurboModel turbo;
+    turbo.setPower(0, 0.0);
+    EXPECT_DOUBLE_EQ(turbo.credit(fromSec(100.0)),
+                     turbo.params().capacity);
+}
+
+TEST(Turbo, CanBoostRequiresSufficientCredit)
+{
+    TurboModel turbo;
+    turbo.setPower(0, 0.2);
+    // After 10 ms: credit = 0.01 J. A 1 ms boost needs
+    // (7-4)*1e-3 = 3e-3 J -> affordable.
+    EXPECT_TRUE(turbo.canBoost(fromMs(10.0), fromMs(1.0)));
+    // A 10 ms boost needs 0.03 J -> not affordable yet.
+    EXPECT_FALSE(turbo.canBoost(fromMs(10.0), fromMs(10.0)));
+}
+
+TEST(Turbo, CommitBoostDrainsCredit)
+{
+    TurboModel turbo;
+    turbo.setPower(0, 0.2);
+    const Tick now = fromMs(10.0);
+    const auto before = turbo.credit(now);
+    turbo.commitBoost(now, fromMs(1.0));
+    EXPECT_NEAR(turbo.credit(now), before - 3e-3, 1e-9);
+}
+
+TEST(Turbo, DisabledNeverBoosts)
+{
+    TurboModel turbo(TurboModel::Params{}, false);
+    turbo.setPower(0, 0.0);
+    EXPECT_FALSE(turbo.canBoost(fromSec(10.0), fromNs(1.0)));
+}
+
+TEST(Turbo, ResetZeroesCredit)
+{
+    TurboModel turbo;
+    turbo.setPower(0, 0.0);
+    turbo.credit(fromSec(1.0));
+    turbo.reset(fromSec(1.0));
+    EXPECT_DOUBLE_EQ(turbo.credit(fromSec(1.0)), 0.0);
+}
+
+TEST(Turbo, C1EIdleAccruesButSlowerThanC6A)
+{
+    // The Fig 11 mechanism: C1E (0.88 W) accrues thermal headroom
+    // more slowly than C6A (0.3 W); C1 (1.44 W) accrues none.
+    TurboModel at_c1e, at_c6a, at_c1;
+    at_c1e.setPower(0, 0.88);
+    at_c6a.setPower(0, 0.30);
+    at_c1.setPower(0, 1.44);
+    const Tick t = fromSec(0.1);
+    EXPECT_GT(at_c6a.credit(t), at_c1e.credit(t));
+    EXPECT_GT(at_c1e.credit(t), 0.0);
+    EXPECT_DOUBLE_EQ(at_c1.credit(t), 0.0);
+}
+
+TEST(Turbo, PiecewiseAccrual)
+{
+    TurboModel turbo;
+    turbo.setPower(0, 0.2);              // cool for 10 ms
+    turbo.setPower(fromMs(10.0), 4.0);   // active for 10 ms (no gain)
+    turbo.setPower(fromMs(20.0), 0.2);   // cool again for 10 ms
+    EXPECT_NEAR(turbo.credit(fromMs(30.0)), 2 * (1.0 * 0.01), 1e-9);
+}
+
+} // namespace

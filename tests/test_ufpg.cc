@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the UFPG subsystem: the Table 3 UFPG power rows
+ * must emerge from the inventory + gate models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ufpg.hh"
+#include "uarch/core_units.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::core;
+using aw::power::asMilliwatts;
+
+class UfpgTest : public ::testing::Test
+{
+  protected:
+    UfpgTest()
+        : inventory(uarch::UnitInventory::skylakeServer()),
+          ufpg(Ufpg::skylakeServer(inventory))
+    {
+    }
+
+    uarch::UnitInventory inventory;
+    Ufpg ufpg;
+};
+
+TEST_F(UfpgTest, GatedLeakageIsSeventyPercentOfC1Power)
+{
+    // C1 power ~ core leakage; UFPG gates 70% of it.
+    EXPECT_NEAR(ufpg.gatedLeakageP1(), 1.44 * 0.70, 1e-9);
+    EXPECT_NEAR(ufpg.gatedLeakagePn(), 0.88 * 0.70, 1e-9);
+}
+
+TEST_F(UfpgTest, ResidualPowerP1MatchesTable3)
+{
+    // Table 3: ~30-50 mW at P1.
+    const auto r = ufpg.residualPowerP1();
+    EXPECT_NEAR(asMilliwatts(r.lo), 30.0, 1.0);
+    EXPECT_NEAR(asMilliwatts(r.hi), 50.0, 1.0);
+}
+
+TEST_F(UfpgTest, ResidualPowerPnMatchesTable3)
+{
+    // Table 3: ~18-30 mW at Pn.
+    const auto r = ufpg.residualPowerPn();
+    EXPECT_NEAR(asMilliwatts(r.lo), 18.0, 1.0);
+    EXPECT_NEAR(asMilliwatts(r.hi), 30.0, 1.5);
+}
+
+TEST_F(UfpgTest, ContextPowerMatchesTable3)
+{
+    EXPECT_NEAR(asMilliwatts(ufpg.contextPowerP1()), 2.0, 0.01);
+    EXPECT_NEAR(asMilliwatts(ufpg.contextPowerPn()), 1.0, 0.01);
+}
+
+TEST_F(UfpgTest, GatedAreaIsSeventyPercent)
+{
+    EXPECT_NEAR(ufpg.gatedAreaFraction(), 0.70, 1e-9);
+}
+
+TEST_F(UfpgTest, GateAreaOverheadOfCore)
+{
+    // 2-6% of the gated 70% -> 1.4-4.2% of the core.
+    const auto a = ufpg.gateAreaOverheadOfCore();
+    EXPECT_NEAR(a.lo, 0.014, 1e-9);
+    EXPECT_NEAR(a.hi, 0.042, 1e-9);
+}
+
+TEST_F(UfpgTest, FrequencyDegradationIsOnePercent)
+{
+    EXPECT_DOUBLE_EQ(Ufpg::kFrequencyDegradation, 0.01);
+}
+
+TEST_F(UfpgTest, SaveRestoreCycleCounts)
+{
+    EXPECT_EQ(Ufpg::kSaveCycles, 4u);
+    EXPECT_EQ(Ufpg::kRestoreCycles, 1u);
+}
+
+TEST(UfpgCustom, ScalesWithLeakageInput)
+{
+    const auto inv = uarch::UnitInventory::skylakeServer();
+    const Ufpg doubled(inv, 2.88, 1.76);
+    const auto base = Ufpg::skylakeServer(inv);
+    EXPECT_NEAR(doubled.residualPowerP1().lo,
+                2.0 * base.residualPowerP1().lo, 1e-9);
+}
+
+TEST(UfpgCustom, LargerContextCostsMore)
+{
+    const auto inv = uarch::UnitInventory::skylakeServer();
+    const Ufpg big(inv, 1.44, 0.88,
+                   aw::power::ContextRetention(32 * 1024.0));
+    EXPECT_NEAR(asMilliwatts(big.contextPowerP1()), 8.0, 0.01);
+}
+
+TEST_F(UfpgTest, PnResidualIsLowerThanP1)
+{
+    EXPECT_LT(ufpg.residualPowerPn().hi, ufpg.residualPowerP1().hi);
+    EXPECT_LT(ufpg.residualPowerPn().lo, ufpg.residualPowerP1().lo);
+}
+
+} // namespace

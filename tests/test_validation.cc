@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the power-model validation machinery (Sec 6.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/validation.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::analysis;
+
+TEST(ValidationPoint, AccuracyMath)
+{
+    ValidationPoint p;
+    p.measured = 2.0;
+    p.estimated = 1.9;
+    EXPECT_NEAR(p.accuracyPercent(), 95.0, 1e-9);
+    p.estimated = 2.1;
+    EXPECT_NEAR(p.accuracyPercent(), 95.0, 1e-9);
+    p.estimated = 2.0;
+    EXPECT_NEAR(p.accuracyPercent(), 100.0, 1e-9);
+}
+
+TEST(ValidationPoint, ZeroMeasuredIsZeroAccuracy)
+{
+    ValidationPoint p;
+    p.measured = 0.0;
+    p.estimated = 1.0;
+    EXPECT_DOUBLE_EQ(p.accuracyPercent(), 0.0);
+}
+
+TEST(ValidationSummary, MeanAndWorst)
+{
+    ValidationSummary s;
+    ValidationPoint a, b;
+    a.measured = 2.0;
+    a.estimated = 1.9; // 95%
+    b.measured = 2.0;
+    b.estimated = 1.98; // 99%
+    s.points = {a, b};
+    EXPECT_NEAR(s.meanAccuracyPercent(), 97.0, 1e-9);
+    EXPECT_NEAR(s.worstAccuracyPercent(), 95.0, 1e-9);
+}
+
+TEST(ValidationSummary, EmptyIsZero)
+{
+    ValidationSummary s;
+    EXPECT_DOUBLE_EQ(s.meanAccuracyPercent(), 0.0);
+    EXPECT_DOUBLE_EQ(s.worstAccuracyPercent(), 0.0);
+}
+
+TEST(Validation, ModelTracksSimulatedMeasurement)
+{
+    // The analytical Eq. 2 estimate from residencies should land
+    // close to the energy-meter "measurement": the gap is the
+    // power spent inside transitions, which the analytical model
+    // folds into C0. Validation runs at fixed frequency (Turbo
+    // off) like the paper's Sec 6.3 setup; with Turbo on, Eq. 4's
+    // measured-denominator form absorbs the boost-power variation
+    // instead. Paper reports >=94% accuracy; require 90%+ here.
+    server::ServerSim srv(server::ServerConfig::ntBaseline(),
+                          workload::WorkloadProfile::nginx(), 40e3);
+    const auto run = srv.run(sim::fromSec(0.5), sim::fromMs(50.0));
+    core::AwCoreModel aw_model;
+    const CStatePowerModel model(
+        server::StatePowers::fromModels(aw_model.ppa()));
+    const auto point = validateRun(model, run);
+    EXPECT_GT(point.accuracyPercent(), 90.0);
+    EXPECT_GT(point.measured, 0.0);
+    EXPECT_GT(point.estimated, 0.0);
+}
+
+TEST(Validation, SummaryCoversAllRateLevels)
+{
+    auto profile = workload::WorkloadProfile::nginx();
+    server::ServerConfig cfg = server::ServerConfig::ntBaseline();
+    const auto summary = validateWorkload(cfg, profile);
+    EXPECT_EQ(summary.workload, "nginx");
+    EXPECT_EQ(summary.points.size(), profile.rateLevels().size());
+    EXPECT_GT(summary.meanAccuracyPercent(), 90.0);
+}
+
+} // namespace

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * awsim -- command-line driver for the AgileWatts server simulator.
+ *
+ * Runs one workload x configuration x load point and prints the
+ * full result record. Example:
+ *
+ *   awsim --workload memcached --config aw --qps 100000 \
+ *         --seconds 2 --seed 7
+ *
+ * Run `awsim --help` for the knob list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/power_model.hh"
+#include "analysis/table.hh"
+#include "server/server_sim.hh"
+#include "sim/logging.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace aw;
+
+workload::WorkloadProfile
+profileByName(const std::string &name)
+{
+    if (name == "memcached")
+        return workload::WorkloadProfile::memcached();
+    if (name == "mysql")
+        return workload::WorkloadProfile::mysql();
+    if (name == "kafka")
+        return workload::WorkloadProfile::kafka();
+    if (name == "specpower")
+        return workload::WorkloadProfile::specpower();
+    if (name == "nginx")
+        return workload::WorkloadProfile::nginx();
+    if (name == "spark")
+        return workload::WorkloadProfile::spark();
+    if (name == "hive")
+        return workload::WorkloadProfile::hive();
+    sim::fatal("unknown workload '%s' (memcached|mysql|kafka|"
+               "specpower|nginx|spark|hive)",
+               name.c_str());
+}
+
+server::ServerConfig
+configByName(const std::string &name)
+{
+    using server::ServerConfig;
+    if (name == "baseline")
+        return ServerConfig::baseline();
+    if (name == "aw")
+        return ServerConfig::awBaseline();
+    if (name == "nt_baseline")
+        return ServerConfig::ntBaseline();
+    if (name == "nt_no_c6")
+        return ServerConfig::ntNoC6();
+    if (name == "nt_no_c6_no_c1e")
+        return ServerConfig::ntNoC6NoC1e();
+    if (name == "nt_aw")
+        return ServerConfig::ntAwNoC6NoC1e();
+    if (name == "t_no_c6")
+        return ServerConfig::tNoC6();
+    if (name == "t_no_c6_no_c1e")
+        return ServerConfig::tNoC6NoC1e();
+    if (name == "t_aw")
+        return ServerConfig::tAwNoC6NoC1e();
+    if (name == "c1c6")
+        return ServerConfig::legacyC1C6();
+    if (name == "c1only")
+        return ServerConfig::legacyC1Only();
+    if (name == "aw_c6a")
+        return ServerConfig::awC6aOnly();
+    sim::fatal("unknown config '%s'", name.c_str());
+}
+
+void
+usage()
+{
+    std::printf(
+        "awsim -- AgileWatts C-state server simulator\n\n"
+        "  --workload NAME   memcached|mysql|kafka|specpower|nginx|"
+        "spark|hive\n"
+        "  --config NAME     baseline|aw|nt_baseline|nt_no_c6|"
+        "nt_no_c6_no_c1e|nt_aw|\n"
+        "                    t_no_c6|t_no_c6_no_c1e|t_aw|c1c6|"
+        "c1only|aw_c6a\n"
+        "  --qps N           offered load, requests/s (default "
+        "100000)\n"
+        "  --seconds S       measured window (default: sized to "
+        "the rate)\n"
+        "  --warmup S        warmup (default: window/10)\n"
+        "  --cores N         core count (default 10)\n"
+        "  --seed N          RNG seed (default 42)\n"
+        "  --snoops N        snoop probes/s/core (default 0)\n"
+        "  --packing         CARB-style packing dispatch\n"
+        "  --package         enable PC2/PC6 package states\n"
+        "  --pn              run the active state at Pn (0.8 GHz)\n"
+        "  --estimate-aw     also print the Eq. 4 AW estimate\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name = "memcached";
+    std::string config_name = "baseline";
+    double qps = 100e3;
+    double seconds = 0.0;
+    double warmup = -1.0;
+    unsigned cores = 10;
+    std::uint64_t seed = 42;
+    double snoops = 0.0;
+    bool packing = false;
+    bool package = false;
+    bool pn = false;
+    bool estimate_aw = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                sim::fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--workload") {
+            workload_name = next("--workload");
+        } else if (arg == "--config") {
+            config_name = next("--config");
+        } else if (arg == "--qps") {
+            qps = std::atof(next("--qps"));
+        } else if (arg == "--seconds") {
+            seconds = std::atof(next("--seconds"));
+        } else if (arg == "--warmup") {
+            warmup = std::atof(next("--warmup"));
+        } else if (arg == "--cores") {
+            cores = static_cast<unsigned>(
+                std::atoi(next("--cores")));
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(
+                std::atoll(next("--seed")));
+        } else if (arg == "--snoops") {
+            snoops = std::atof(next("--snoops"));
+        } else if (arg == "--packing") {
+            packing = true;
+        } else if (arg == "--package") {
+            package = true;
+        } else if (arg == "--pn") {
+            pn = true;
+        } else if (arg == "--estimate-aw") {
+            estimate_aw = true;
+        } else {
+            usage();
+            sim::fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    auto profile = profileByName(workload_name);
+    auto cfg = configByName(config_name);
+    cfg.cores = cores;
+    cfg.seed = seed;
+    cfg.snoopRatePerSec = snoops;
+    cfg.runAtPn = pn;
+    cfg.packageCStatesEnabled = package;
+    if (packing)
+        cfg.dispatch = server::DispatchPolicy::Packing;
+
+    server::ServerSim srv(cfg, profile, qps);
+    const auto r =
+        seconds > 0.0
+            ? srv.run(sim::fromSec(seconds),
+                      sim::fromSec(warmup >= 0.0 ? warmup
+                                                 : seconds / 10.0))
+            : srv.run();
+
+    std::printf("workload=%s config=%s qps=%.0f cores=%u seed=%llu"
+                "%s%s%s\n\n",
+                r.workloadName.c_str(), r.configName.c_str(),
+                r.offeredQps, cores,
+                static_cast<unsigned long long>(seed),
+                packing ? " packing" : "",
+                package ? " package" : "", pn ? " pn" : "");
+
+    analysis::TableWriter t({"metric", "value"});
+    t.addRow({"window (s)", analysis::cell("%.3f",
+                                           sim::toSec(r.window))});
+    t.addRow({"requests", analysis::cell(
+                              "%llu", static_cast<unsigned long long>(
+                                          r.requests))});
+    t.addRow({"achieved qps", analysis::cell("%.0f",
+                                             r.achievedQps)});
+    t.addRow({"avg core power (W)",
+              analysis::cell("%.4f", r.avgCorePower)});
+    t.addRow({"package power (W)",
+              analysis::cell("%.2f", r.packagePower)});
+    t.addRow({"core energy (J)",
+              analysis::cell("%.2f", r.coreEnergy)});
+    t.addRow({"avg latency (us)",
+              analysis::cell("%.2f", r.avgLatencyUs)});
+    t.addRow({"p99 latency (us)",
+              analysis::cell("%.2f", r.p99LatencyUs)});
+    t.addRow({"avg latency e2e (us)",
+              analysis::cell("%.2f", r.avgLatencyE2eUs)});
+    t.addRow({"transitions/request",
+              analysis::cell("%.3f", r.transitionsPerRequest)});
+    t.addRow({"mispredicted entries",
+              analysis::cell("%llu",
+                             static_cast<unsigned long long>(
+                                 r.mispredictedEntries))});
+    t.print();
+
+    std::printf("\nresidency: ");
+    for (std::size_t i = 0; i < cstate::kNumCStates; ++i) {
+        const auto id = static_cast<cstate::CStateId>(i);
+        const double share = r.residency.shareOf(id);
+        if (share > 0.0005)
+            std::printf("%s=%.1f%% ", cstate::name(id),
+                        100.0 * share);
+    }
+    std::printf("\n");
+    if (package) {
+        std::printf("package:   PC0=%.1f%% PC2=%.1f%% PC6=%.1f%% "
+                    "uncore=%.2fW\n",
+                    100 * r.pkgResidency[0], 100 * r.pkgResidency[1],
+                    100 * r.pkgResidency[2], r.avgUncorePower);
+    }
+
+    if (estimate_aw) {
+        core::AwCoreModel aw_model;
+        const analysis::CStatePowerModel model(
+            server::StatePowers::fromModels(aw_model.ppa()));
+        std::printf("\nEq. 4 AW savings estimate from this run's "
+                    "residencies: %.1f%%\n",
+                    100.0 * model.awSavingsVsMeasured(
+                                r.residency, r.avgCorePower));
+    }
+    return 0;
+}
