@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+#
+# Regenerate every paper table/figure reproduction from the bench
+# harnesses into results/.
+#
+# Each bench binary prints its reproduction (tables/series) to stdout
+# before running its google-benchmark microbenchmarks; by default we
+# suppress the microbenchmarks (--benchmark_filter that matches
+# nothing) so the sweep stays fast. Set FULL=1 to run them too.
+#
+# Usage:
+#   scripts/reproduce.sh                 # reproductions only
+#   FULL=1 scripts/reproduce.sh          # + microbenchmarks
+#   BUILD_DIR=out scripts/reproduce.sh   # custom build dir
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+RESULTS_DIR="${RESULTS_DIR:-$ROOT/results}"
+FULL="${FULL:-0}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    cmake -B "$BUILD_DIR" -S "$ROOT" -DAW_BUILD_BENCH=ON
+fi
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+mkdir -p "$RESULTS_DIR"
+
+shopt -s nullglob
+benches=("$BUILD_DIR"/bench_*)
+# Filter out non-executables (e.g. CMake-generated files).
+runnable=()
+for b in "${benches[@]}"; do
+    [ -f "$b" ] && [ -x "$b" ] && runnable+=("$b")
+done
+if [ "${#runnable[@]}" -eq 0 ]; then
+    echo "error: no bench_* binaries in $BUILD_DIR" \
+         "(configure with -DAW_BUILD_BENCH=ON)" >&2
+    exit 1
+fi
+
+args=()
+if [ "$FULL" != "1" ]; then
+    # A regex no benchmark name matches: reproduction pass only.
+    args+=(--benchmark_filter='$^')
+fi
+
+failed=0
+for bench in "${runnable[@]}"; do
+    name="$(basename "$bench")"
+    out="$RESULTS_DIR/$name.txt"
+    echo "[reproduce] $name -> results/$name.txt"
+    if ! "$bench" "${args[@]}" >"$out" 2>&1; then
+        echo "[reproduce] FAILED: $name (see $out)" >&2
+        failed=1
+    fi
+done
+
+if [ "$failed" -ne 0 ]; then
+    exit 1
+fi
+echo "[reproduce] done: ${#runnable[@]} harnesses -> $RESULTS_DIR"

@@ -10,8 +10,8 @@ ServerSim::ServerSim(ServerConfig cfg,
                      workload::WorkloadProfile profile,
                      double total_qps)
     : _cfg(std::move(cfg)), _profile(std::move(profile)),
-      _totalQps(total_qps), _package(_cfg.packageParams),
-      _dispatchRng(_cfg.seed + 999331)
+      _totalQps(total_qps), _dispatchRng(_cfg.seed + 999331),
+      _package(_cfg.packageParams)
 {
     if (_cfg.cores == 0)
         sim::fatal("ServerSim: need at least one core");
