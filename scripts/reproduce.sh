@@ -56,6 +56,28 @@ for bench in "${runnable[@]}"; do
     fi
 done
 
+# Fleet smoke: the routing-policy sweep behind docs/FLEET.md, via
+# the awsim CLI (8 servers, AW vs tuned-C6, all four policies).
+AWSIM="$BUILD_DIR/awsim"
+if [ -x "$AWSIM" ]; then
+    out="$RESULTS_DIR/fleet_policies.txt"
+    echo "[reproduce] awsim fleet sweep -> results/fleet_policies.txt"
+    : > "$out"
+    for route in round-robin random least-outstanding pack-first; do
+        for config in aw c1c6; do
+            echo "=== --fleet 8 --route $route --config $config ===" >> "$out"
+            if ! "$AWSIM" --fleet 8 --route "$route" --config "$config" \
+                          --qps 400000 --seconds 0.3 >> "$out" 2>&1; then
+                echo "[reproduce] FAILED: fleet $route/$config (see $out)" >&2
+                failed=1
+            fi
+            echo >> "$out"
+        done
+    done
+else
+    echo "[reproduce] warning: awsim not built; skipping fleet sweep" >&2
+fi
+
 if [ "$failed" -ne 0 ]; then
     exit 1
 fi

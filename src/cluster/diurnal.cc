@@ -1,0 +1,157 @@
+#include "cluster/diurnal.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sim/logging.hh"
+
+namespace aw::cluster {
+
+RateSchedule::RateSchedule()
+    : RateSchedule({Segment{sim::kTicksPerSec, 1.0}})
+{}
+
+RateSchedule::RateSchedule(std::vector<Segment> segments)
+    : _segments(std::move(segments))
+{
+    if (_segments.empty())
+        sim::fatal("RateSchedule: need at least one segment");
+    double mass = 0.0;
+    for (const auto &seg : _segments) {
+        if (seg.duration == 0)
+            sim::fatal("RateSchedule: zero-length segment");
+        if (seg.scale < 0.0)
+            sim::fatal("RateSchedule: negative scale %f", seg.scale);
+        _period += seg.duration;
+        mass += seg.scale * sim::toSec(seg.duration);
+    }
+    if (mass <= 0.0)
+        sim::fatal("RateSchedule: all-zero schedule never arrives");
+}
+
+RateSchedule
+RateSchedule::sinusoidal(sim::Tick period, double amplitude,
+                         std::size_t steps)
+{
+    if (period == 0 || steps == 0)
+        sim::fatal("RateSchedule::sinusoidal: period and steps must "
+                   "be positive");
+    if (amplitude < 0.0)
+        sim::fatal("RateSchedule::sinusoidal: negative amplitude");
+
+    // Sample the sinusoid at segment midpoints, clamp at zero, then
+    // renormalize so the mean multiplier is exactly 1.
+    std::vector<double> scales(steps);
+    double mean = 0.0;
+    for (std::size_t k = 0; k < steps; ++k) {
+        const double phase = 2.0 * std::numbers::pi *
+                             (static_cast<double>(k) + 0.5) /
+                             static_cast<double>(steps);
+        scales[k] = std::max(0.0, 1.0 + amplitude * std::sin(phase));
+        mean += scales[k] / static_cast<double>(steps);
+    }
+
+    std::vector<Segment> segments(steps);
+    sim::Tick assigned = 0;
+    for (std::size_t k = 0; k < steps; ++k) {
+        // Distribute the period exactly: the last segment absorbs
+        // the division remainder.
+        const sim::Tick end =
+            k + 1 == steps ? period : (period / steps) * (k + 1);
+        segments[k] = Segment{end - assigned, scales[k] / mean};
+        assigned = end;
+    }
+    return RateSchedule(std::move(segments));
+}
+
+double
+RateSchedule::scaleAt(sim::Tick t) const
+{
+    sim::Tick offset = t % _period;
+    for (const auto &seg : _segments) {
+        if (offset < seg.duration)
+            return seg.scale;
+        offset -= seg.duration;
+    }
+    return _segments.back().scale; // unreachable (offset < period)
+}
+
+double
+RateSchedule::meanScale() const
+{
+    double mass = 0.0;
+    for (const auto &seg : _segments)
+        mass += seg.scale * sim::toSec(seg.duration);
+    return mass / sim::toSec(_period);
+}
+
+bool
+RateSchedule::isFlat() const
+{
+    for (const auto &seg : _segments)
+        if (seg.scale != 1.0)
+            return false;
+    return true;
+}
+
+DiurnalArrivals::DiurnalArrivals(
+    std::unique_ptr<workload::ArrivalProcess> base,
+    RateSchedule schedule)
+    : _base(std::move(base)), _schedule(std::move(schedule))
+{
+    if (!_base)
+        sim::fatal("DiurnalArrivals: null base process");
+    for (const auto &seg : _schedule.segments())
+        _periodMass += seg.scale * static_cast<double>(seg.duration);
+}
+
+sim::Tick
+DiurnalArrivals::nextGap(sim::Rng &rng)
+{
+    const sim::Tick base_gap = _base->nextGap(rng);
+    if (base_gap >= sim::kMaxTick)
+        return sim::kMaxTick; // base stream ended (finite trace)
+
+    // Advance wall-clock time until the integral of scale(t)
+    // covers the base gap (time-change of the counting process).
+    double need = static_cast<double>(base_gap);
+    double gap = 0.0;
+    const auto &segments = _schedule.segments();
+    while (true) {
+        // Fast-forward whole periods in O(1) when aligned at a
+        // period boundary: a gap spanning many periods (a sparse
+        // trace over a short schedule) must not walk each segment.
+        if (_segment == 0 && _segmentUsed == 0.0 &&
+            need >= _periodMass) {
+            const double whole = std::floor(need / _periodMass);
+            gap += whole * static_cast<double>(_schedule.period());
+            need = std::max(0.0, need - whole * _periodMass);
+            continue;
+        }
+        const auto &seg = segments[_segment];
+        const double left =
+            static_cast<double>(seg.duration) - _segmentUsed;
+        const double capacity = seg.scale * left;
+        if (seg.scale > 0.0 && need <= capacity) {
+            const double advance = need / seg.scale;
+            _segmentUsed += advance;
+            gap += advance;
+            break;
+        }
+        // Consume the rest of this segment and move on.
+        need -= capacity;
+        gap += left;
+        _segment = (_segment + 1) % segments.size();
+        _segmentUsed = 0.0;
+    }
+    return static_cast<sim::Tick>(gap + 0.5);
+}
+
+double
+DiurnalArrivals::ratePerSec() const
+{
+    return _base->ratePerSec() * _schedule.meanScale();
+}
+
+} // namespace aw::cluster

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Time-varying offered load: a piecewise-constant rate schedule
+ * (with a sinusoidal diurnal factory) and an ArrivalProcess wrapper
+ * that shapes any base stream to follow it.
+ *
+ * Production latency-critical fleets run a pronounced day/night
+ * cycle: the paper's Sec 2 provisioning argument (fleets sized for
+ * peak, idle in the trough) only shows up when a run actually
+ * sweeps that cycle. DiurnalArrivals rescales the base process by
+ * the schedule via the time-change theorem, so a Poisson base stays
+ * an (inhomogeneous) Poisson process with intensity
+ * rate * scale(t).
+ */
+
+#ifndef AW_CLUSTER_DIURNAL_HH
+#define AW_CLUSTER_DIURNAL_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workload/arrival.hh"
+
+namespace aw::cluster {
+
+/**
+ * Piecewise-constant rate multipliers over a repeating period.
+ * scaleAt(t) is the multiplier applied to the base arrival rate at
+ * simulated time t (wrapping modulo the period).
+ */
+class RateSchedule
+{
+  public:
+    struct Segment
+    {
+        sim::Tick duration = 0;
+        double scale = 1.0;
+    };
+
+    /** Flat schedule: multiplier 1 forever. */
+    RateSchedule();
+
+    /**
+     * Explicit segments, repeated cyclically. Durations must be
+     * positive, scales non-negative, and at least one scale
+     * positive (an all-zero schedule would never arrive).
+     */
+    explicit RateSchedule(std::vector<Segment> segments);
+
+    static RateSchedule flat() { return RateSchedule(); }
+
+    /**
+     * Sinusoidal diurnal profile sampled into @p steps equal
+     * segments: scale(t) ~ 1 + amplitude * sin(2*pi*t/period),
+     * clamped at zero and renormalized so the time-weighted mean
+     * multiplier is exactly 1 (the long-run rate equals the base
+     * rate).
+     *
+     * @param period     length of one simulated "day"
+     * @param amplitude  peak-to-mean swing (0 = flat, 1 = trough
+     *                   touches zero)
+     */
+    static RateSchedule sinusoidal(sim::Tick period, double amplitude,
+                                   std::size_t steps = 48);
+
+    /** Multiplier in effect at @p t (wraps modulo the period). */
+    double scaleAt(sim::Tick t) const;
+
+    /** Time-weighted mean multiplier over one period. */
+    double meanScale() const;
+
+    sim::Tick period() const { return _period; }
+    const std::vector<Segment> &segments() const { return _segments; }
+
+    /** True when every segment has multiplier 1. */
+    bool isFlat() const;
+
+  private:
+    std::vector<Segment> _segments;
+    sim::Tick _period = 0;
+};
+
+/**
+ * Shapes a base arrival process to follow a RateSchedule.
+ *
+ * Implemented by time rescaling: each base gap g is interpreted as
+ * an amount of "work" and the wrapper advances wall-clock time
+ * until the integral of scale(t) covers g. Segments with scale 0
+ * pass no arrivals and are skipped in one step.
+ */
+class DiurnalArrivals : public workload::ArrivalProcess
+{
+  public:
+    DiurnalArrivals(std::unique_ptr<workload::ArrivalProcess> base,
+                    RateSchedule schedule);
+
+    sim::Tick nextGap(sim::Rng &rng) override;
+
+    /** Long-run mean rate: base rate x mean schedule multiplier. */
+    double ratePerSec() const override;
+
+    const RateSchedule &schedule() const { return _schedule; }
+
+  private:
+    std::unique_ptr<workload::ArrivalProcess> _base;
+    RateSchedule _schedule;
+    double _periodMass = 0.0;    //!< integral of scale over a period
+    std::size_t _segment = 0;    //!< current segment index
+    double _segmentUsed = 0.0;   //!< ticks consumed inside it
+};
+
+} // namespace aw::cluster
+
+#endif // AW_CLUSTER_DIURNAL_HH

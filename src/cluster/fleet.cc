@@ -1,0 +1,233 @@
+#include "cluster/fleet.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace aw::cluster {
+
+namespace {
+
+/** Concrete FleetView over the balancer's outstanding counters. */
+class OutstandingView : public FleetView
+{
+  public:
+    explicit OutstandingView(const std::vector<unsigned> &counts)
+        : _counts(counts)
+    {}
+
+    std::size_t servers() const override { return _counts.size(); }
+    unsigned outstanding(std::size_t i) const override
+    {
+        return _counts.at(i);
+    }
+
+  private:
+    const std::vector<unsigned> &_counts;
+};
+
+/** One request in flight in the balancer's occupancy estimate. */
+struct InFlight
+{
+    sim::Tick done;
+    std::size_t server;
+
+    bool operator>(const InFlight &o) const { return done > o.done; }
+};
+
+} // namespace
+
+double
+deepIdleShare(const cstate::ResidencySnapshot &r)
+{
+    return r.shareOf(cstate::CStateId::C6) +
+           r.shareOf(cstate::CStateId::C6A) +
+           r.shareOf(cstate::CStateId::C6AE);
+}
+
+FleetSim::FleetSim(FleetConfig cfg, workload::WorkloadProfile profile,
+                   double total_qps)
+    : _cfg(std::move(cfg)), _profile(std::move(profile)),
+      _totalQps(total_qps)
+{
+    if (_cfg.servers == 0)
+        sim::fatal("FleetSim: need at least one server");
+    if (total_qps <= 0.0)
+        sim::fatal("FleetSim: offered load must be positive");
+    // Validate the policy name up front, not at run() time.
+    makeRoutingPolicy(_cfg.routing, packCapacity());
+}
+
+void
+FleetSim::setArrivalTrace(workload::ArrivalTrace trace)
+{
+    if (trace.empty())
+        sim::fatal("FleetSim: empty arrival trace");
+    _trace = std::move(trace);
+}
+
+unsigned
+FleetSim::packCapacity() const
+{
+    if (_cfg.packCapacity > 0)
+        return _cfg.packCapacity;
+    return std::max(1u, _cfg.server.cores / 2);
+}
+
+std::unique_ptr<workload::ArrivalProcess>
+FleetSim::makeOfferedStream() const
+{
+    std::unique_ptr<workload::ArrivalProcess> base;
+    if (_trace) {
+        base = std::make_unique<workload::TraceArrivals>(
+            *_trace, /*loop=*/true);
+    } else {
+        base = _profile.makeArrivals(_totalQps);
+    }
+    if (_cfg.schedule.isFlat())
+        return base;
+    return std::make_unique<DiurnalArrivals>(std::move(base),
+                                             _cfg.schedule);
+}
+
+FleetResult
+FleetSim::run(sim::Tick duration, sim::Tick warmup)
+{
+    const sim::Tick horizon = duration + warmup;
+    const unsigned K = _cfg.servers;
+
+    // ------------------------------------------------- balancer pass
+    // Split the offered stream into per-server gap sequences. The
+    // balancer keeps an occupancy estimate per server: each routed
+    // request holds its server for one drawn service time, the same
+    // outstanding-work signal real L7 balancers route on.
+    auto offered = makeOfferedStream();
+    auto policy = makeRoutingPolicy(_cfg.routing, packCapacity());
+    sim::Rng lb_rng(sim::deriveSeed(_cfg.seed, K));
+    sim::Rng est_rng(sim::deriveSeed(_cfg.seed, K + 1));
+
+    std::vector<std::vector<sim::Tick>> gaps(K);
+    std::vector<std::uint64_t> routed(K, 0);
+    std::vector<sim::Tick> last_arrival(K, 0);
+    std::vector<unsigned> outstanding(K, 0);
+    OutstandingView view(outstanding);
+    std::priority_queue<InFlight, std::vector<InFlight>,
+                        std::greater<InFlight>>
+        in_flight;
+
+    sim::Tick now = 0;
+    std::uint64_t total_routed = 0;
+    while (true) {
+        const sim::Tick gap = offered->nextGap(lb_rng);
+        if (gap >= sim::kMaxTick - now)
+            break; // finite stream ended
+        now += gap;
+        if (now >= horizon)
+            break;
+
+        while (!in_flight.empty() && in_flight.top().done <= now) {
+            --outstanding[in_flight.top().server];
+            in_flight.pop();
+        }
+
+        const std::size_t target = policy->route(view, lb_rng);
+        if (target >= K)
+            sim::panic("FleetSim: policy '%s' routed to server %zu "
+                       "of %u",
+                       policy->name(), target, K);
+        gaps[target].push_back(now - last_arrival[target]);
+        last_arrival[target] = now;
+        ++routed[target];
+        ++total_routed;
+
+        const sim::Tick estimate =
+            _profile.service().draw(est_rng).duration(
+                _profile.service().referenceFrequency());
+        in_flight.push(InFlight{now + estimate, target});
+        ++outstanding[target];
+    }
+
+    // ---------------------------------------------- per-server runs
+    FleetResult fr;
+    fr.routingName = policy->name();
+    fr.configName = _cfg.server.name;
+    fr.workloadName = _profile.name();
+    fr.servers = K;
+    fr.offeredQps = _totalQps;
+    fr.routed = total_routed;
+    fr.routedPerServer = routed;
+
+    sim::PercentileTracker pooled;
+    for (unsigned i = 0; i < K; ++i) {
+        server::ServerConfig scfg = _cfg.server;
+        scfg.seed = sim::deriveSeed(_cfg.seed, i);
+
+        // A server that received no traffic still burns idle power:
+        // drive it with a single never-arriving gap.
+        if (gaps[i].empty())
+            gaps[i].push_back(sim::kMaxTick);
+        server::ServerSim srv(
+            scfg, _profile,
+            std::make_unique<workload::TraceArrivals>(
+                workload::ArrivalTrace(std::move(gaps[i])),
+                /*loop=*/false));
+        auto r = srv.run(duration, warmup);
+        pooled.merge(srv.latencySamples());
+
+        fr.window = r.window;
+        fr.requests += r.requests;
+        fr.fleetPower += r.packagePower;
+        const double deep = deepIdleShare(r.residency);
+        if (i == 0) {
+            fr.minServerDeepShare = fr.maxServerDeepShare = deep;
+        } else {
+            fr.minServerDeepShare =
+                std::min(fr.minServerDeepShare, deep);
+            fr.maxServerDeepShare =
+                std::max(fr.maxServerDeepShare, deep);
+        }
+        for (std::size_t s = 0; s < cstate::kNumCStates; ++s) {
+            fr.residency.share[s] += r.residency.share[s] / K;
+            fr.residency.entries[s] += r.residency.entries[s];
+        }
+        fr.perServer.push_back(std::move(r));
+    }
+    fr.residency.window = fr.window;
+
+    // ------------------------------------------------- aggregation
+    fr.achievedQps = fr.window > 0
+                         ? fr.requests / sim::toSec(fr.window)
+                         : 0.0;
+    fr.fleetEnergy = fr.fleetPower * sim::toSec(fr.window);
+    fr.energyPerRequestMj =
+        fr.requests > 0 ? 1e3 * fr.fleetEnergy / fr.requests : 0.0;
+    fr.deepIdleShare = deepIdleShare(fr.residency);
+    if (!pooled.empty()) {
+        fr.avgLatencyUs = pooled.mean();
+        fr.p99LatencyUs = pooled.p99();
+    }
+    if (total_routed > 0) {
+        const auto busiest =
+            *std::max_element(routed.begin(), routed.end());
+        fr.busiestShareOfLoad =
+            static_cast<double>(busiest) / total_routed;
+    }
+    return fr;
+}
+
+FleetResult
+FleetSim::run()
+{
+    // Same sizing rule as ServerSim::run(), but for the fleet-wide
+    // request target; stretch to cover at least one schedule period
+    // so diurnal runs average a whole cycle.
+    const double target_requests = 60e3;
+    double sec = std::max(1.0, target_requests / _totalQps);
+    if (!_cfg.schedule.isFlat())
+        sec = std::max(sec, sim::toSec(_cfg.schedule.period()));
+    const sim::Tick duration = sim::fromSec(sec);
+    return run(duration, duration / 10);
+}
+
+} // namespace aw::cluster

@@ -1,0 +1,75 @@
+#include "cluster/routing.hh"
+
+#include "sim/logging.hh"
+
+namespace aw::cluster {
+
+std::size_t
+RoundRobinRouting::route(const FleetView &view, sim::Rng &)
+{
+    return _next++ % view.servers();
+}
+
+std::size_t
+RandomRouting::route(const FleetView &view, sim::Rng &rng)
+{
+    return static_cast<std::size_t>(
+        rng.uniformInt(0, view.servers() - 1));
+}
+
+std::size_t
+LeastOutstandingRouting::route(const FleetView &view, sim::Rng &)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < view.servers(); ++i) {
+        if (view.outstanding(i) < view.outstanding(best))
+            best = i;
+    }
+    return best;
+}
+
+PackFirstRouting::PackFirstRouting(unsigned capacity)
+    : _capacity(capacity)
+{
+    if (capacity == 0)
+        sim::fatal("PackFirstRouting: capacity must be positive");
+}
+
+std::size_t
+PackFirstRouting::route(const FleetView &view, sim::Rng &)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < view.servers(); ++i) {
+        if (view.outstanding(i) < _capacity)
+            return i;
+        if (view.outstanding(i) < view.outstanding(best))
+            best = i;
+    }
+    return best; // everyone at capacity: spill to the least loaded
+}
+
+std::unique_ptr<RoutingPolicy>
+makeRoutingPolicy(const std::string &name, unsigned pack_capacity)
+{
+    if (name == "round-robin")
+        return std::make_unique<RoundRobinRouting>();
+    if (name == "random")
+        return std::make_unique<RandomRouting>();
+    if (name == "least-outstanding")
+        return std::make_unique<LeastOutstandingRouting>();
+    if (name == "pack-first")
+        return std::make_unique<PackFirstRouting>(pack_capacity);
+    sim::fatal("unknown routing policy '%s' (round-robin|random|"
+               "least-outstanding|pack-first)",
+               name.c_str());
+}
+
+const std::vector<std::string> &
+routingPolicyNames()
+{
+    static const std::vector<std::string> names{
+        "round-robin", "random", "least-outstanding", "pack-first"};
+    return names;
+}
+
+} // namespace aw::cluster

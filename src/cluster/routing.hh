@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fleet request routing: the load balancer's per-arrival decision
+ * of which server takes the next request.
+ *
+ * Routing policy is the fleet-level analogue of the per-server
+ * dispatch policy (server::DispatchPolicy): spread policies
+ * (round-robin, random, least-outstanding) equalize load and leave
+ * every server at the shallow-idle utilization the paper's Sec 2
+ * measures, while pack-first consolidates traffic onto the fewest
+ * servers so the remainder sink into deep idle -- the knob that
+ * determines how much C-state residency a fleet can actually
+ * harvest from a given offered load.
+ */
+
+#ifndef AW_CLUSTER_ROUTING_HH
+#define AW_CLUSTER_ROUTING_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace aw::cluster {
+
+/**
+ * The load balancer's view of the fleet at one routing decision:
+ * how many requests it believes are outstanding at each server.
+ */
+class FleetView
+{
+  public:
+    virtual ~FleetView() = default;
+
+    virtual std::size_t servers() const = 0;
+
+    /** Requests in flight at server @p i (LB-side estimate). */
+    virtual unsigned outstanding(std::size_t i) const = 0;
+};
+
+/**
+ * Interface: pick a server for the next arrival.
+ */
+class RoutingPolicy
+{
+  public:
+    virtual ~RoutingPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Choose a server index in [0, view.servers()). */
+    virtual std::size_t route(const FleetView &view,
+                              sim::Rng &rng) = 0;
+};
+
+/** Cycle through the servers in index order. */
+class RoundRobinRouting : public RoutingPolicy
+{
+  public:
+    const char *name() const override { return "round-robin"; }
+    std::size_t route(const FleetView &view, sim::Rng &rng) override;
+
+  private:
+    std::size_t _next = 0;
+};
+
+/** Uniform random server choice. */
+class RandomRouting : public RoutingPolicy
+{
+  public:
+    const char *name() const override { return "random"; }
+    std::size_t route(const FleetView &view, sim::Rng &rng) override;
+};
+
+/** Fewest outstanding requests; ties break to the lowest index. */
+class LeastOutstandingRouting : public RoutingPolicy
+{
+  public:
+    const char *name() const override { return "least-outstanding"; }
+    std::size_t route(const FleetView &view, sim::Rng &rng) override;
+};
+
+/**
+ * Consolidation: the lowest-indexed server with outstanding work
+ * below @p capacity takes the request; only when every server is at
+ * capacity does the policy fall back to least-outstanding. High-
+ * numbered servers therefore see traffic only at peak and spend the
+ * rest of the time in uninterrupted deep idle.
+ */
+class PackFirstRouting : public RoutingPolicy
+{
+  public:
+    explicit PackFirstRouting(unsigned capacity);
+
+    const char *name() const override { return "pack-first"; }
+    std::size_t route(const FleetView &view, sim::Rng &rng) override;
+
+    unsigned capacity() const { return _capacity; }
+
+  private:
+    unsigned _capacity;
+};
+
+/**
+ * Build a policy by name: "round-robin", "random",
+ * "least-outstanding" or "pack-first". @p pack_capacity is the
+ * PackFirstRouting spill threshold (ignored by the others).
+ * Unknown names are fatal().
+ */
+std::unique_ptr<RoutingPolicy>
+makeRoutingPolicy(const std::string &name, unsigned pack_capacity);
+
+/** All routing policy names, for CLIs and sweeps. */
+const std::vector<std::string> &routingPolicyNames();
+
+} // namespace aw::cluster
+
+#endif // AW_CLUSTER_ROUTING_HH

@@ -62,6 +62,15 @@ struct ServerConfig
     /** Max queued requests per core before packing spills over. */
     unsigned packingQueueLimit = 4;
 
+    /** OS-tick idle-state promotion: a core still idle when the
+     *  next tick fires re-runs state selection with the observed
+     *  idle length and sinks into a deeper enabled state (cpuidle's
+     *  tick re-selection). Off by default to keep the paper's
+     *  expected-case single-server calibration; the fleet layer
+     *  enables it so spare servers do not camp in C1 forever. */
+    bool idlePromotion = false;
+    sim::Tick idlePromotionTick = sim::fromMs(4.0);
+
     /** Optional package C-state hierarchy (PC2/PC6). Off by
      *  default, matching the paper's evaluation. */
     bool packageCStatesEnabled = false;

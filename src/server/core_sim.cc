@@ -193,7 +193,57 @@ CoreSim::onIdleEntered()
     if (_wakePending) {
         _wakePending = false;
         beginWake();
+        return;
     }
+    maybeSchedulePromotion();
+}
+
+void
+CoreSim::maybeSchedulePromotion()
+{
+    if (!_cfg.idlePromotion)
+        return;
+    // Already as deep as the platform allows: nothing to promote to.
+    if (_idleState == _governor.config().deepestEnabled())
+        return;
+    // Stale-check by idle-period start time instead of event
+    // cancellation: a wake in the meantime starts a new period.
+    _sim.scheduleIn(_cfg.idlePromotionTick,
+                    [this, stamp = _idleStart]() {
+                        onPromotionTick(stamp);
+                    });
+}
+
+void
+CoreSim::onPromotionTick(sim::Tick idle_start)
+{
+    if (_mode != Mode::Idle || _idleStart != idle_start)
+        return; // the core woke since; this tick is stale
+    const sim::Tick elapsed = _sim.now() - _idleStart;
+    const CStateId target = _governor.selectFor(elapsed);
+    if (cstate::descriptor(target).depth <=
+        cstate::descriptor(_idleState).depth) {
+        // Not yet past the next state's target residency; keep
+        // ticking (the observed idle only grows).
+        maybeSchedulePromotion();
+        return;
+    }
+    // Promote: run the deeper state's entry flow from here. The
+    // idle period continues -- _idleStart is preserved so the
+    // governor's eventual observation covers the whole gap. Like
+    // the other transition windows, the entry flow is accounted as
+    // C0 residency at active power.
+    _mode = Mode::EnteringIdle;
+    _wakePending = false;
+    _idleState = target;
+    _residency.recordEnter(CStateId::C0, _sim.now());
+    updatePower();
+    if (_idleState == CStateId::C6)
+        _caches.flush();
+    const sim::Tick entry =
+        _transitions.latency(_idleState, effectiveBaseFrequency())
+            .entry;
+    _sim.scheduleIn(entry, [this]() { onIdleEntered(); });
 }
 
 void

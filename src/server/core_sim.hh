@@ -144,6 +144,11 @@ class CoreSim
     void onWakeDone();
     /** @} */
 
+    /** @{ OS-tick idle promotion (ServerConfig::idlePromotion). */
+    void maybeSchedulePromotion();
+    void onPromotionTick(sim::Tick idle_start);
+    /** @} */
+
     /** @{ Snoop handling. */
     void scheduleNextSnoop();
     void onSnoop();

@@ -13,10 +13,35 @@ ServerSim::ServerSim(ServerConfig cfg,
       _totalQps(total_qps), _dispatchRng(_cfg.seed + 999331),
       _package(_cfg.packageParams)
 {
-    if (_cfg.cores == 0)
-        sim::fatal("ServerSim: need at least one core");
     if (total_qps <= 0.0)
         sim::fatal("ServerSim: offered load must be positive");
+
+    const bool packing = _cfg.dispatch == DispatchPolicy::Packing;
+    buildCores(packing ? 0.0 : total_qps / _cfg.cores);
+    if (packing)
+        _dispatchArrivals = _profile.makeArrivals(total_qps);
+}
+
+ServerSim::ServerSim(ServerConfig cfg,
+                     workload::WorkloadProfile profile,
+                     std::unique_ptr<workload::ArrivalProcess> arrivals)
+    : _cfg(std::move(cfg)), _profile(std::move(profile)),
+      _totalQps(arrivals ? arrivals->ratePerSec() : 0.0),
+      _dispatchArrivals(std::move(arrivals)),
+      _dispatchRng(_cfg.seed + 999331), _package(_cfg.packageParams)
+{
+    if (!_dispatchArrivals)
+        sim::fatal("ServerSim: null arrival stream");
+    // All requests flow through the central dispatcher, so cores do
+    // not generate their own arrivals.
+    buildCores(0.0);
+}
+
+void
+ServerSim::buildCores(double per_core_rate)
+{
+    if (_cfg.cores == 0)
+        sim::fatal("ServerSim: need at least one core");
 
     _aw = std::make_unique<core::AwCoreModel>();
 
@@ -28,13 +53,10 @@ ServerSim::ServerSim(ServerConfig cfg,
         _package = PackageCStateModel(_cfg.packageParams);
     }
 
-    const bool packing = _cfg.dispatch == DispatchPolicy::Packing;
-    const double per_core =
-        packing ? 0.0 : total_qps / _cfg.cores;
     _latency.reserve(1 << 16);
     for (unsigned i = 0; i < _cfg.cores; ++i) {
         _cores.push_back(std::make_unique<CoreSim>(
-            _sim, _cfg, *_aw, _profile, per_core, i,
+            _sim, _cfg, *_aw, _profile, per_core_rate, i,
             [this](const workload::Request &req) {
                 _latency.add(sim::toUs(req.serverLatency()));
             }));
@@ -44,8 +66,6 @@ ServerSim::ServerSim(ServerConfig cfg,
                 [this]() { onCoreStateChange(); });
         }
     }
-    if (packing)
-        _dispatchArrivals = _profile.makeArrivals(total_qps);
     _uncoreMeter.setPower(0, _cfg.uncorePower);
 }
 
@@ -86,11 +106,18 @@ void
 ServerSim::scheduleNextDispatch()
 {
     const sim::Tick gap = _dispatchArrivals->nextGap(_dispatchRng);
+    // A finite (non-looping) trace signals its end with kMaxTick.
+    if (gap >= sim::kMaxTick - _sim.now())
+        return;
     _sim.scheduleIn(gap, [this]() {
         workload::Request req;
         req.arrival = _sim.now();
         req.demand = _profile.service().draw(_dispatchRng);
-        pickPackingTarget().inject(std::move(req));
+        CoreSim &target =
+            _cfg.dispatch == DispatchPolicy::Packing
+                ? pickPackingTarget()
+                : *_cores[_rrNext++ % _cores.size()];
+        target.inject(std::move(req));
         scheduleNextDispatch();
     });
 }

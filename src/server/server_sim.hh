@@ -79,6 +79,17 @@ class ServerSim
               double total_qps);
 
     /**
+     * Drive the server from an externally supplied arrival stream
+     * (a captured trace, a diurnal-shaped process, or a fleet load
+     * balancer's per-server split) instead of the profile's
+     * synthetic generators. Requests are dispatched centrally:
+     * round-robin across cores under Static dispatch, or via the
+     * packing policy when the config selects Packing.
+     */
+    ServerSim(ServerConfig cfg, workload::WorkloadProfile profile,
+              std::unique_ptr<workload::ArrivalProcess> arrivals);
+
+    /**
      * Run @p warmup of unmeasured time followed by @p duration of
      * measured time.
      */
@@ -90,8 +101,18 @@ class ServerSim
     const core::AwCoreModel &awModel() const { return *_aw; }
     const ServerConfig &config() const { return _cfg; }
 
+    /** Per-request latency samples of the last measured window;
+     *  fleet aggregation pools these for exact global percentiles. */
+    const sim::PercentileTracker &latencySamples() const
+    {
+        return _latency;
+    }
+
   private:
-    /** Packing dispatch: route one request and draw the next. */
+    /** Shared constructor body: validate and build the cores. */
+    void buildCores(double per_core_rate);
+
+    /** Central dispatch: route one request and draw the next. */
     void scheduleNextDispatch();
     CoreSim &pickPackingTarget();
 
@@ -107,10 +128,12 @@ class ServerSim
     std::vector<std::unique_ptr<CoreSim>> _cores;
     sim::PercentileTracker _latency;
 
-    /** Central dispatcher state (Packing policy). */
+    /** Central dispatcher state (Packing policy or an external
+     *  arrival stream). */
     std::unique_ptr<workload::ArrivalProcess> _dispatchArrivals;
     sim::Rng _dispatchRng{1};
     std::uint64_t _nextDispatchId = 0;
+    std::size_t _rrNext = 0; //!< round-robin cursor (Static dispatch)
 
     /** Package C-state machinery. */
     PackageCStateModel _package;

@@ -7,6 +7,24 @@
 
 namespace aw::sim {
 
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Advance the SplitMix64 counter by the stream index, then
+    // finalize: equivalent to taking the (stream+1)-th output of a
+    // SplitMix64 generator seeded with splitmix64 state `base`.
+    return splitmix64(base + stream * 0x9E3779B97F4A7C15ull);
+}
+
 double
 Rng::lognormalMeanCv(double mean, double cv)
 {

@@ -17,6 +17,21 @@
 namespace aw::sim {
 
 /**
+ * SplitMix64 finalizer: one bijective avalanche step over a 64-bit
+ * word. Used to whiten seeds before they reach the Mersenne Twister.
+ */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/**
+ * Derive the seed for sub-stream @p stream of a component seeded
+ * with @p base (splitmix-style stream splitting). Distinct streams
+ * of the same base are decorrelated, and the mapping is pure, so a
+ * fleet of simulators can hand each member an independent stream
+ * while the whole ensemble stays reproducible from one top seed.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
+
+/**
  * A seeded pseudo-random source with convenience draws.
  *
  * Wraps a 64-bit Mersenne Twister. Not thread-safe; use one Rng per

@@ -115,6 +115,16 @@ class PercentileTracker
 
     double mean() const;
 
+    /** Append every sample of @p other; lets aggregators pool
+     *  per-component trackers into exact global percentiles. */
+    void
+    merge(const PercentileTracker &other)
+    {
+        _samples.insert(_samples.end(), other._samples.begin(),
+                        other._samples.end());
+        _sorted = false;
+    }
+
     void
     reset()
     {

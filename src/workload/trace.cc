@@ -1,5 +1,12 @@
 #include "workload/trace.hh"
 
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
 #include "sim/logging.hh"
 
 namespace aw::workload {
@@ -13,6 +20,67 @@ ArrivalTrace::record(ArrivalProcess &source, sim::Rng &rng,
     for (std::size_t i = 0; i < n; ++i)
         gaps.push_back(source.nextGap(rng));
     return ArrivalTrace(std::move(gaps));
+}
+
+ArrivalTrace
+ArrivalTrace::loadCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("ArrivalTrace::loadCsv: cannot open '%s'",
+                   path.c_str());
+
+    std::vector<sim::Tick> gaps;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip a trailing comment and treat commas as separators.
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        for (auto &c : line)
+            if (c == ',')
+                c = ' ';
+        std::istringstream fields(line);
+        std::string token;
+        while (fields >> token) {
+            char *end = nullptr;
+            const double us = std::strtod(token.c_str(), &end);
+            if (end == token.c_str() || *end != '\0' ||
+                !std::isfinite(us)) {
+                sim::fatal("ArrivalTrace::loadCsv: '%s' line %zu: "
+                           "bad gap value '%s'",
+                           path.c_str(), lineno, token.c_str());
+            }
+            if (us < 0.0)
+                sim::fatal("ArrivalTrace::loadCsv: '%s' line %zu: "
+                           "negative gap %f",
+                           path.c_str(), lineno, us);
+            gaps.push_back(sim::fromUs(us));
+        }
+    }
+    if (gaps.empty())
+        sim::fatal("ArrivalTrace::loadCsv: '%s' holds no gaps",
+                   path.c_str());
+    return ArrivalTrace(std::move(gaps));
+}
+
+void
+ArrivalTrace::saveCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("ArrivalTrace::saveCsv: cannot write '%s'",
+                   path.c_str());
+    out << "# inter-arrival gaps, microseconds, one per line\n";
+    // Full double precision so save/load round trips reproduce the
+    // tick values exactly (bit-identical replay is the point).
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const auto g : _gaps)
+        out << sim::toUs(g) << "\n";
+    if (!out)
+        sim::fatal("ArrivalTrace::saveCsv: write to '%s' failed",
+                   path.c_str());
 }
 
 sim::Tick
@@ -38,6 +106,10 @@ TraceArrivals::TraceArrivals(ArrivalTrace trace, bool loop)
 {
     if (_trace.empty())
         sim::panic("TraceArrivals: empty trace");
+    // A looping trace that spans no time would replay infinitely
+    // many arrivals at the same tick.
+    if (_loop && _trace.duration() == 0)
+        sim::fatal("TraceArrivals: zero-duration trace cannot loop");
 }
 
 bool

@@ -14,6 +14,7 @@
 #ifndef AW_WORKLOAD_TRACE_HH
 #define AW_WORKLOAD_TRACE_HH
 
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -38,6 +39,18 @@ class ArrivalTrace
      */
     static ArrivalTrace record(ArrivalProcess &source, sim::Rng &rng,
                                std::size_t n);
+
+    /**
+     * Load a trace of captured inter-arrival gaps from a text/CSV
+     * file. Each value is one gap in microseconds (floating point);
+     * values may be separated by newlines, commas or whitespace.
+     * Blank lines and lines starting with '#' are skipped.
+     * Unreadable files and non-numeric tokens are fatal().
+     */
+    static ArrivalTrace loadCsv(const std::string &path);
+
+    /** Write the trace in loadCsv() format (one gap/line, in us). */
+    void saveCsv(const std::string &path) const;
 
     const std::vector<sim::Tick> &gaps() const { return _gaps; }
     std::size_t size() const { return _gaps.size(); }

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "workload/trace.hh"
 
 namespace {
@@ -86,11 +89,131 @@ TEST(TraceDeathTest, EmptyReplayPanics)
     EXPECT_DEATH(TraceArrivals(ArrivalTrace{}), "empty");
 }
 
+TEST(TraceDeathTest, ZeroDurationLoopIsFatal)
+{
+    // Looping a trace that spans no time would replay arrivals
+    // forever at one tick; non-looping replay is still fine.
+    EXPECT_EXIT(TraceArrivals(ArrivalTrace({0, 0}), true),
+                ::testing::ExitedWithCode(1), "zero-duration");
+    TraceArrivals once(ArrivalTrace({0, 0}), false);
+    Rng unused(1);
+    EXPECT_EQ(once.nextGap(unused), Tick(0));
+}
+
 TEST(Trace, EmptyTraceStatsAreZero)
 {
     ArrivalTrace trace;
     EXPECT_EQ(trace.duration(), Tick(0));
     EXPECT_DOUBLE_EQ(trace.meanRatePerSec(), 0.0);
+}
+
+/** RAII temp file helper for the CSV tests. */
+class TempTraceFile
+{
+  public:
+    explicit TempTraceFile(const std::string &content)
+        : _path(std::string(::testing::TempDir()) +
+                "aw_trace_test_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(
+                    this)) +
+                ".csv")
+    {
+        std::ofstream out(_path);
+        out << content;
+    }
+
+    ~TempTraceFile() { std::remove(_path.c_str()); }
+
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+TEST(TraceCsv, LoadsGapsInMicroseconds)
+{
+    TempTraceFile file("# captured gaps\n"
+                       "100\n"
+                       "250.5\n"
+                       "0.5\n");
+    const auto trace = ArrivalTrace::loadCsv(file.path());
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.gaps()[0], fromUs(100.0));
+    EXPECT_EQ(trace.gaps()[1], fromUs(250.5));
+    EXPECT_EQ(trace.gaps()[2], fromUs(0.5));
+}
+
+TEST(TraceCsv, AcceptsCommasWhitespaceAndComments)
+{
+    TempTraceFile file("10, 20,30\n"
+                       "\n"
+                       "40 50 # trailing comment\n");
+    const auto trace = ArrivalTrace::loadCsv(file.path());
+    ASSERT_EQ(trace.size(), 5u);
+    EXPECT_EQ(trace.gaps()[2], fromUs(30.0));
+    EXPECT_EQ(trace.gaps()[4], fromUs(50.0));
+}
+
+TEST(TraceCsv, SaveLoadRoundTrips)
+{
+    // Includes tick values that need more than the default 6
+    // significant digits -- replay must stay bit-identical.
+    ArrivalTrace original({fromUs(10.0), fromUs(0.25),
+                           fromUs(1000.0), Tick(123456789012),
+                           Tick(987654321)});
+    TempTraceFile file("");
+    original.saveCsv(file.path());
+    const auto loaded = ArrivalTrace::loadCsv(file.path());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i)
+        EXPECT_EQ(loaded.gaps()[i], original.gaps()[i]);
+}
+
+TEST(TraceCsv, LoadedTraceDrivesReplay)
+{
+    TempTraceFile file("100\n200\n");
+    TraceArrivals replay(ArrivalTrace::loadCsv(file.path()), false);
+    Rng unused(1);
+    EXPECT_EQ(replay.nextGap(unused), fromUs(100.0));
+    EXPECT_EQ(replay.nextGap(unused), fromUs(200.0));
+    EXPECT_TRUE(replay.exhausted());
+}
+
+TEST(TraceCsvDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(ArrivalTrace::loadCsv("/nonexistent/trace.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceCsvDeathTest, BadTokenIsFatal)
+{
+    TempTraceFile file("10\nbogus\n");
+    EXPECT_EXIT(ArrivalTrace::loadCsv(file.path()),
+                ::testing::ExitedWithCode(1), "bad gap");
+}
+
+TEST(TraceCsvDeathTest, NonFiniteGapIsFatal)
+{
+    TempTraceFile file("10\nnan\n");
+    EXPECT_EXIT(ArrivalTrace::loadCsv(file.path()),
+                ::testing::ExitedWithCode(1), "bad gap");
+    TempTraceFile inf_file("inf\n");
+    EXPECT_EXIT(ArrivalTrace::loadCsv(inf_file.path()),
+                ::testing::ExitedWithCode(1), "bad gap");
+}
+
+TEST(TraceCsvDeathTest, NegativeGapIsFatal)
+{
+    TempTraceFile file("10\n-5\n");
+    EXPECT_EXIT(ArrivalTrace::loadCsv(file.path()),
+                ::testing::ExitedWithCode(1), "negative");
+}
+
+TEST(TraceCsvDeathTest, EmptyFileIsFatal)
+{
+    TempTraceFile file("# nothing but comments\n");
+    EXPECT_EXIT(ArrivalTrace::loadCsv(file.path()),
+                ::testing::ExitedWithCode(1), "no gaps");
 }
 
 } // namespace

@@ -8,19 +8,31 @@
  *   awsim --workload memcached --config aw --qps 100000 \
  *         --seconds 2 --seed 7
  *
+ * With --fleet N the same workload drives a cluster of N servers
+ * behind a routing policy (see src/cluster/):
+ *
+ *   awsim --fleet 8 --route pack-first --config aw --qps 400000
+ *
  * Run `awsim --help` for the knob list.
  */
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/power_model.hh"
 #include "analysis/table.hh"
+#include "cluster/fleet.hh"
 #include "server/server_sim.hh"
 #include "sim/logging.hh"
 #include "workload/profiles.hh"
+#include "workload/trace.hh"
 
 namespace {
 
@@ -101,7 +113,127 @@ usage()
         "  --packing         CARB-style packing dispatch\n"
         "  --package         enable PC2/PC6 package states\n"
         "  --pn              run the active state at Pn (0.8 GHz)\n"
-        "  --estimate-aw     also print the Eq. 4 AW estimate\n");
+        "  --estimate-aw     also print the Eq. 4 AW estimate\n"
+        "  --trace FILE      replay inter-arrival gaps from FILE\n"
+        "                    (CSV, one gap in us per value; loops)\n"
+        "\nfleet mode (--fleet):\n"
+        "  --fleet N         simulate N servers behind a balancer\n"
+        "  --route NAME      round-robin|random|least-outstanding|"
+        "pack-first\n"
+        "                    (default round-robin)\n"
+        "  --pack-cap N      pack-first spill threshold "
+        "(default cores/2)\n"
+        "  --diurnal A       sinusoidal diurnal load, amplitude A "
+        "in [0,1]\n"
+        "  --diurnal-period S  length of one simulated \"day\" "
+        "(default 1 s)\n");
+}
+
+/** Parse a non-negative integer flag value or die. */
+unsigned
+parseUnsigned(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0' || value[0] == '-' ||
+        errno == ERANGE ||
+        v > std::numeric_limits<unsigned>::max()) {
+        sim::fatal("%s: bad value '%s'", flag, value);
+    }
+    return static_cast<unsigned>(v);
+}
+
+/** Parse a floating-point flag value or die. */
+double
+parseDouble(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value, &end);
+    if (end == value || *end != '\0' || !std::isfinite(v))
+        sim::fatal("%s: bad value '%s'", flag, value);
+    return v;
+}
+
+void
+runFleet(const cluster::FleetConfig &fleet_cfg,
+         const workload::WorkloadProfile &profile, double qps,
+         double seconds, double warmup,
+         const std::string &trace_path)
+{
+    // A replayed trace defines the offered rate, like the
+    // single-server path.
+    std::optional<workload::ArrivalTrace> trace;
+    if (!trace_path.empty()) {
+        trace = workload::ArrivalTrace::loadCsv(trace_path);
+        qps = trace->meanRatePerSec();
+    }
+    cluster::FleetSim fleet(fleet_cfg, profile, qps);
+    if (trace)
+        fleet.setArrivalTrace(std::move(*trace));
+
+    const auto r =
+        seconds > 0.0
+            ? fleet.run(sim::fromSec(seconds),
+                        sim::fromSec(warmup >= 0.0 ? warmup
+                                                   : seconds / 10.0))
+            : fleet.run();
+
+    std::printf("fleet=%u route=%s workload=%s config=%s "
+                "qps=%.0f seed=%llu%s\n\n",
+                r.servers, r.routingName.c_str(),
+                r.workloadName.c_str(), r.configName.c_str(),
+                r.offeredQps,
+                static_cast<unsigned long long>(fleet_cfg.seed),
+                fleet_cfg.schedule.isFlat() ? "" : " diurnal");
+
+    analysis::TableWriter t({"metric", "value"});
+    t.addRow({"window (s)",
+              analysis::cell("%.3f", sim::toSec(r.window))});
+    t.addRow({"requests", analysis::cell(
+                              "%llu", static_cast<unsigned long long>(
+                                          r.requests))});
+    t.addRow({"achieved qps",
+              analysis::cell("%.0f", r.achievedQps)});
+    t.addRow({"fleet power (W)",
+              analysis::cell("%.2f", r.fleetPower)});
+    t.addRow({"fleet energy (J)",
+              analysis::cell("%.2f", r.fleetEnergy)});
+    t.addRow({"energy/request (mJ)",
+              analysis::cell("%.3f", r.energyPerRequestMj)});
+    t.addRow({"avg latency (us)",
+              analysis::cell("%.2f", r.avgLatencyUs)});
+    t.addRow({"p99 latency (us)",
+              analysis::cell("%.2f", r.p99LatencyUs)});
+    t.addRow({"deep idle (C6 family)",
+              analysis::cell("%.1f%%", 100 * r.deepIdleShare)});
+    t.addRow({"deep idle spread",
+              analysis::cell("%.1f%% .. %.1f%%",
+                             100 * r.minServerDeepShare,
+                             100 * r.maxServerDeepShare)});
+    t.addRow({"busiest server load share",
+              analysis::cell("%.1f%%", 100 * r.busiestShareOfLoad)});
+    t.print();
+
+    std::printf("\nper-server:\n");
+    analysis::TableWriter ps({"server", "routed", "completed",
+                              "pkg W", "deep idle", "p99 (us)"});
+    for (unsigned i = 0; i < r.servers; ++i) {
+        const auto &s = r.perServer[i];
+        ps.addRow({analysis::cell("%u", i),
+                   analysis::cell("%llu",
+                                  static_cast<unsigned long long>(
+                                      r.routedPerServer[i])),
+                   analysis::cell("%llu",
+                                  static_cast<unsigned long long>(
+                                      s.requests)),
+                   analysis::cell("%.2f", s.packagePower),
+                   analysis::cell(
+                       "%.1f%%",
+                       100 * cluster::deepIdleShare(s.residency)),
+                   analysis::cell("%.1f", s.p99LatencyUs)});
+    }
+    ps.print();
 }
 
 } // namespace
@@ -121,6 +253,13 @@ main(int argc, char **argv)
     bool package = false;
     bool pn = false;
     bool estimate_aw = false;
+    std::string trace_path;
+    unsigned fleet = 0;
+    std::string route = "round-robin";
+    unsigned pack_cap = 0;
+    double diurnal = 0.0;
+    double diurnal_period = 1.0;
+    const char *fleet_flag = nullptr; //!< last fleet-only flag seen
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -158,6 +297,26 @@ main(int argc, char **argv)
             pn = true;
         } else if (arg == "--estimate-aw") {
             estimate_aw = true;
+        } else if (arg == "--trace") {
+            trace_path = next("--trace");
+        } else if (arg == "--fleet") {
+            fleet = parseUnsigned("--fleet", next("--fleet"));
+            if (fleet == 0)
+                sim::fatal("--fleet: need at least 1 server");
+        } else if (arg == "--route") {
+            route = next("--route");
+            fleet_flag = "--route";
+        } else if (arg == "--pack-cap") {
+            pack_cap =
+                parseUnsigned("--pack-cap", next("--pack-cap"));
+            fleet_flag = "--pack-cap";
+        } else if (arg == "--diurnal") {
+            diurnal = parseDouble("--diurnal", next("--diurnal"));
+            fleet_flag = "--diurnal";
+        } else if (arg == "--diurnal-period") {
+            diurnal_period = parseDouble("--diurnal-period",
+                                         next("--diurnal-period"));
+            fleet_flag = "--diurnal-period";
         } else {
             usage();
             sim::fatal("unknown argument '%s'", arg.c_str());
@@ -174,7 +333,42 @@ main(int argc, char **argv)
     if (packing)
         cfg.dispatch = server::DispatchPolicy::Packing;
 
-    server::ServerSim srv(cfg, profile, qps);
+    if (fleet == 0 && fleet_flag)
+        sim::fatal("%s requires --fleet N", fleet_flag);
+    if (diurnal < 0.0 || diurnal > 1.0)
+        sim::fatal("--diurnal: amplitude must be in [0, 1]");
+    if (diurnal > 0.0 && diurnal_period <= 0.0)
+        sim::fatal("--diurnal-period: must be positive");
+    if (fleet > 0) {
+        cluster::FleetConfig fc;
+        fc.servers = fleet;
+        fc.server = cfg;
+        // Fleet runs model cpuidle's tick re-selection so spare
+        // servers sink to the deepest state (see docs/FLEET.md).
+        fc.server.idlePromotion = true;
+        fc.routing = route;
+        fc.packCapacity = pack_cap;
+        fc.seed = seed;
+        if (diurnal > 0.0)
+            fc.schedule = cluster::RateSchedule::sinusoidal(
+                sim::fromSec(diurnal_period), diurnal);
+        runFleet(fc, profile, qps, seconds, warmup, trace_path);
+        return 0;
+    }
+
+    std::unique_ptr<server::ServerSim> srv_owner;
+    if (!trace_path.empty()) {
+        auto trace = workload::ArrivalTrace::loadCsv(trace_path);
+        qps = trace.meanRatePerSec();
+        srv_owner = std::make_unique<server::ServerSim>(
+            cfg, profile,
+            std::make_unique<workload::TraceArrivals>(
+                std::move(trace), /*loop=*/true));
+    } else {
+        srv_owner = std::make_unique<server::ServerSim>(cfg, profile,
+                                                        qps);
+    }
+    server::ServerSim &srv = *srv_owner;
     const auto r =
         seconds > 0.0
             ? srv.run(sim::fromSec(seconds),
