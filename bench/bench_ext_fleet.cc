@@ -13,12 +13,21 @@
  * pack-first + AgileWatts beats spread + tuned C6 on fleet energy
  * at comparable p99, and C6A makes even the consolidated (loaded)
  * servers cheap to wake.
+ *
+ * Both grids run through exp::SweepRunner (the policy x config grid
+ * and the per-server-load fleet scaling sweep), executing the fleet
+ * runs in parallel.
  */
 
 #include "bench_common.hh"
 
+#include <vector>
+
 #include "analysis/table.hh"
 #include "cluster/fleet.hh"
+#include "cluster/routing.hh"
+#include "exp/runner.hh"
+#include "sim/logging.hh"
 #include "workload/profiles.hh"
 
 namespace {
@@ -27,46 +36,48 @@ using namespace aw;
 using cluster::FleetConfig;
 using cluster::FleetSim;
 
-struct ConfigPoint
+/** Pretty label per config registry name. */
+const char *
+configLabel(const std::string &key)
 {
-    const char *label;
-    server::ServerConfig cfg;
-};
-
-std::vector<ConfigPoint>
-configPoints()
-{
-    return {
-        {"C1-only", server::ServerConfig::legacyC1Only()},
-        {"tuned C6", server::ServerConfig::legacyC1C6()},
-        {"AW (C6A)", server::ServerConfig::awC6aOnly()},
-    };
+    if (key == "c1only")
+        return "C1-only";
+    if (key == "c1c6")
+        return "tuned C6";
+    if (key == "aw_c6a")
+        return "AW (C6A)";
+    sim::fatal("no pretty label for config '%s'", key.c_str());
 }
 
 void
 reproduce()
 {
-    const auto profile = workload::WorkloadProfile::memcached();
-    const double fleet_qps = 400e3; // 50 KQPS/server at K = 8
-    const sim::Tick window = sim::fromSec(0.4);
-    const sim::Tick warmup = sim::fromMs(40.0);
+    const double window_s = 0.4;
+    const double warmup_s = 0.04;
 
     banner("Extension: fleet energy -- routing policy x C-state "
            "config (K = 8)");
+
+    exp::ExperimentSpec grid;
+    grid.name = "fleet-policy-config";
+    grid.workloads = {"memcached"};
+    grid.configs = {"c1only", "c1c6", "aw_c6a"};
+    grid.policies = cluster::routingPolicyNames();
+    grid.fleetSizes = {8};
+    grid.qps = {400e3}; // 50 KQPS/server at K = 8
+    grid.seconds = window_s;
+    grid.warmupSeconds = warmup_s;
+    const auto sweep = exp::SweepRunner().run(grid);
+
     analysis::TableWriter t({"policy", "config", "fleet W", "mJ/req",
                              "avg (us)", "p99 (us)", "deep idle",
                              "spare deep"});
-    for (const auto &policy : cluster::routingPolicyNames()) {
-        for (const auto &point : configPoints()) {
-            FleetConfig fc;
-            fc.servers = 8;
-            fc.server = point.cfg;
-            fc.server.idlePromotion = true;
-            fc.routing = policy;
-            FleetSim fleet(fc, profile, fleet_qps);
-            const auto r = fleet.run(window, warmup);
-            t.addRow({policy, point.label,
-                      analysis::cell("%.1f", r.fleetPower),
+    for (const auto &policy : grid.policies) {
+        for (const auto &config : grid.configs) {
+            const auto &r =
+                sweep.at({.config = config, .policy = policy});
+            t.addRow({policy, configLabel(config),
+                      analysis::cell("%.1f", r.powerW),
                       analysis::cell("%.3f", r.energyPerRequestMj),
                       analysis::cell("%.1f", r.avgLatencyUs),
                       analysis::cell("%.1f", r.p99LatencyUs),
@@ -87,20 +98,28 @@ reproduce()
 
     banner("Extension: fleet size scaling at fixed per-server load "
            "(50 KQPS/server, tuned C6)");
+
+    exp::ExperimentSpec scaling;
+    scaling.name = "fleet-size-scaling";
+    scaling.workloads = {"memcached"};
+    scaling.configs = {"c1c6"};
+    scaling.policies = {"round-robin", "pack-first"};
+    scaling.fleetSizes = {2, 4, 8, 16};
+    scaling.qps = {50e3};
+    scaling.qpsPerServer = true;
+    scaling.seconds = window_s;
+    scaling.warmupSeconds = warmup_s;
+    const auto ssweep = exp::SweepRunner().run(scaling);
+
     analysis::TableWriter s({"K", "policy", "fleet W", "W/server",
                              "mJ/req", "p99 (us)", "deep idle"});
-    for (const unsigned k : {2u, 4u, 8u, 16u}) {
-        for (const char *policy : {"round-robin", "pack-first"}) {
-            FleetConfig fc;
-            fc.servers = k;
-            fc.server = server::ServerConfig::legacyC1C6();
-            fc.server.idlePromotion = true;
-            fc.routing = policy;
-            FleetSim fleet(fc, profile, 50e3 * k);
-            const auto r = fleet.run(window, warmup);
+    for (const unsigned k : scaling.fleetSizes) {
+        for (const auto &policy : scaling.policies) {
+            const auto &r =
+                ssweep.at({.policy = policy, .servers = k});
             s.addRow({analysis::cell("%u", k), policy,
-                      analysis::cell("%.1f", r.fleetPower),
-                      analysis::cell("%.1f", r.fleetPower / k),
+                      analysis::cell("%.1f", r.powerW),
+                      analysis::cell("%.1f", r.powerW / k),
                       analysis::cell("%.3f", r.energyPerRequestMj),
                       analysis::cell("%.1f", r.p99LatencyUs),
                       analysis::cell("%.1f%%",

@@ -4,6 +4,10 @@
  * (NT_Baseline, NT_No_C6, NT_No_C6,No_C1E) across the Memcached
  * rate sweep -- average latency, tail latency, package power and
  * C-state residency.
+ *
+ * The config x rate grid runs through exp::SweepRunner, so the 21
+ * points execute in parallel and the tables below are just ordered
+ * lookups into the folded SweepResult.
  */
 
 #include "bench_common.hh"
@@ -11,6 +15,8 @@
 #include <vector>
 
 #include "analysis/table.hh"
+#include "cstate/cstate.hh"
+#include "exp/runner.hh"
 #include "server/server_sim.hh"
 #include "workload/profiles.hh"
 
@@ -24,71 +30,76 @@ reproduce()
 {
     const auto profile = workload::WorkloadProfile::memcached();
     const auto &rates = profile.rateLevels();
-    const std::vector<server::ServerConfig> configs = {
-        server::ServerConfig::ntBaseline(),
-        server::ServerConfig::ntNoC6(),
-        server::ServerConfig::ntNoC6NoC1e(),
+
+    exp::ExperimentSpec spec;
+    spec.name = "fig9-tuned-configs";
+    spec.workloads = {"memcached"};
+    spec.configs = {"nt_baseline", "nt_no_c6", "nt_no_c6_no_c1e"};
+    spec.qps = rates;
+
+    const auto sweep = exp::SweepRunner().run(spec);
+
+    std::vector<std::string> pretty;
+    for (const auto &c : spec.configs)
+        pretty.push_back(exp::configByName(c).name);
+
+    auto at = [&](std::size_t cfg_idx, double rate)
+        -> const exp::PointResult & {
+        return sweep.at({.config = spec.configs[cfg_idx],
+                         .qps = rate});
     };
 
-    std::vector<std::vector<server::RunResult>> runs;
-    for (const auto &cfg : configs)
-        runs.push_back(server::sweepRates(cfg, profile, rates));
-
     banner("Fig 9(a): average latency (us)");
-    analysis::TableWriter ta({"KQPS", configs[0].name,
-                              configs[1].name, configs[2].name});
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        ta.addRow({analysis::cell("%.0f", rates[i] / 1e3),
-                   analysis::cell("%.1f", runs[0][i].avgLatencyUs),
-                   analysis::cell("%.1f", runs[1][i].avgLatencyUs),
+    analysis::TableWriter ta({"KQPS", pretty[0], pretty[1],
+                              pretty[2]});
+    for (const double rate : rates) {
+        ta.addRow({analysis::cell("%.0f", rate / 1e3),
+                   analysis::cell("%.1f", at(0, rate).avgLatencyUs),
+                   analysis::cell("%.1f", at(1, rate).avgLatencyUs),
                    analysis::cell("%.1f",
-                                  runs[2][i].avgLatencyUs)});
+                                  at(2, rate).avgLatencyUs)});
     }
     ta.print();
 
     banner("Fig 9(b): tail (p99) latency (us)");
-    analysis::TableWriter tb({"KQPS", configs[0].name,
-                              configs[1].name, configs[2].name});
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        tb.addRow({analysis::cell("%.0f", rates[i] / 1e3),
-                   analysis::cell("%.1f", runs[0][i].p99LatencyUs),
-                   analysis::cell("%.1f", runs[1][i].p99LatencyUs),
+    analysis::TableWriter tb({"KQPS", pretty[0], pretty[1],
+                              pretty[2]});
+    for (const double rate : rates) {
+        tb.addRow({analysis::cell("%.0f", rate / 1e3),
+                   analysis::cell("%.1f", at(0, rate).p99LatencyUs),
+                   analysis::cell("%.1f", at(1, rate).p99LatencyUs),
                    analysis::cell("%.1f",
-                                  runs[2][i].p99LatencyUs)});
+                                  at(2, rate).p99LatencyUs)});
     }
     tb.print();
 
     banner("Fig 9(c): package power (W)");
-    analysis::TableWriter tpow({"KQPS", configs[0].name,
-                                configs[1].name, configs[2].name});
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        tpow.addRow({analysis::cell("%.0f", rates[i] / 1e3),
-                     analysis::cell("%.1f",
-                                    runs[0][i].packagePower),
-                     analysis::cell("%.1f",
-                                    runs[1][i].packagePower),
-                     analysis::cell("%.1f",
-                                    runs[2][i].packagePower)});
+    analysis::TableWriter tpow({"KQPS", pretty[0], pretty[1],
+                                pretty[2]});
+    for (const double rate : rates) {
+        tpow.addRow({analysis::cell("%.0f", rate / 1e3),
+                     analysis::cell("%.1f", at(0, rate).powerW),
+                     analysis::cell("%.1f", at(1, rate).powerW),
+                     analysis::cell("%.1f", at(2, rate).powerW)});
     }
     tpow.print();
 
     banner("Fig 9(d): C-state residency (%) per config");
     analysis::TableWriter tres({"KQPS", "config", "C0", "C1",
                                 "C1E", "C6"});
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        for (std::size_t c = 0; c < configs.size(); ++c) {
-            const auto &r = runs[c][i].residency;
+    for (const double rate : rates) {
+        for (std::size_t c = 0; c < spec.configs.size(); ++c) {
+            const auto &res = at(c, rate).residency;
             tres.addRow(
-                {analysis::cell("%.0f", rates[i] / 1e3),
-                 configs[c].name,
+                {analysis::cell("%.0f", rate / 1e3), pretty[c],
                  analysis::cell("%.1f",
-                                100 * r.shareOf(CStateId::C0)),
+                                100 * res[cstate::index(CStateId::C0)]),
                  analysis::cell("%.1f",
-                                100 * r.shareOf(CStateId::C1)),
+                                100 * res[cstate::index(CStateId::C1)]),
                  analysis::cell("%.1f",
-                                100 * r.shareOf(CStateId::C1E)),
+                                100 * res[cstate::index(CStateId::C1E)]),
                  analysis::cell("%.1f",
-                                100 * r.shareOf(CStateId::C6))});
+                                100 * res[cstate::index(CStateId::C6)])});
         }
     }
     tres.print();

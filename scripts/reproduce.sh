@@ -8,9 +8,14 @@
 # suppress the microbenchmarks (--benchmark_filter that matches
 # nothing) so the sweep stays fast. Set FULL=1 to run them too.
 #
+# The harnesses run JOBS at a time (default: all cores), and the
+# fleet policy sweep runs through awsweep's thread pool, so the
+# whole reproduction scales with the machine.
+#
 # Usage:
 #   scripts/reproduce.sh                 # reproductions only
 #   FULL=1 scripts/reproduce.sh          # + microbenchmarks
+#   JOBS=4 scripts/reproduce.sh          # cap the parallelism
 #   BUILD_DIR=out scripts/reproduce.sh   # custom build dir
 set -euo pipefail
 
@@ -18,6 +23,15 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
 RESULTS_DIR="${RESULTS_DIR:-$ROOT/results}"
 FULL="${FULL:-0}"
+JOBS="${JOBS:-$(nproc)}"
+
+# Microbenchmark timings are only meaningful uncontended: FULL runs
+# are serialized regardless of the JOBS request.
+if [ "$FULL" = "1" ] && [ "$JOBS" != "1" ]; then
+    echo "[reproduce] FULL=1: forcing JOBS=1 for stable" \
+         "microbenchmark timings" >&2
+    JOBS=1
+fi
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
     cmake -B "$BUILD_DIR" -S "$ROOT" -DAW_BUILD_BENCH=ON
@@ -45,37 +59,52 @@ if [ "$FULL" != "1" ]; then
     args+=(--benchmark_filter='$^')
 fi
 
+# Run up to JOBS harnesses concurrently; each writes its own file,
+# and per-pid exit statuses are collected at the end.
 failed=0
+pids=()
+names=()
 for bench in "${runnable[@]}"; do
     name="$(basename "$bench")"
     out="$RESULTS_DIR/$name.txt"
     echo "[reproduce] $name -> results/$name.txt"
-    if ! "$bench" "${args[@]}" >"$out" 2>&1; then
-        echo "[reproduce] FAILED: $name (see $out)" >&2
+    "$bench" "${args[@]}" >"$out" 2>&1 &
+    pids+=($!)
+    names+=("$name")
+    while [ "$(jobs -rp | wc -l)" -ge "$JOBS" ]; do
+        wait -n || true # status re-checked per pid below
+    done
+done
+for i in "${!pids[@]}"; do
+    if ! wait "${pids[$i]}"; then
+        echo "[reproduce] FAILED: ${names[$i]}" \
+             "(see results/${names[$i]}.txt)" >&2
         failed=1
     fi
 done
 
-# Fleet smoke: the routing-policy sweep behind docs/FLEET.md, via
-# the awsim CLI (8 servers, AW vs tuned-C6, all four policies).
-AWSIM="$BUILD_DIR/awsim"
-if [ -x "$AWSIM" ]; then
-    out="$RESULTS_DIR/fleet_policies.txt"
-    echo "[reproduce] awsim fleet sweep -> results/fleet_policies.txt"
-    : > "$out"
-    for route in round-robin random least-outstanding pack-first; do
-        for config in aw c1c6; do
-            echo "=== --fleet 8 --route $route --config $config ===" >> "$out"
-            if ! "$AWSIM" --fleet 8 --route "$route" --config "$config" \
-                          --qps 400000 --seconds 0.3 >> "$out" 2>&1; then
-                echo "[reproduce] FAILED: fleet $route/$config (see $out)" >&2
-                failed=1
-            fi
-            echo >> "$out"
-        done
-    done
+# Fleet sweep: the routing-policy x config grid behind docs/FLEET.md,
+# via the awsweep experiment engine (8 servers, AW vs tuned C6, all
+# four policies), emitting both the summary table and the CSV
+# artifact.
+AWSWEEP="$BUILD_DIR/awsweep"
+if [ -x "$AWSWEEP" ]; then
+    echo "[reproduce] awsweep fleet sweep ->" \
+         "results/fleet_policies.{txt,csv}"
+    if ! "$AWSWEEP" \
+            --workloads memcached \
+            --configs aw,c1c6 \
+            --policies round-robin,random,least-outstanding,pack-first \
+            --fleet 8 --qps 400000 --seconds 0.3 \
+            --threads "$JOBS" \
+            --csv "$RESULTS_DIR/fleet_policies.csv" \
+            >"$RESULTS_DIR/fleet_policies.txt" 2>&1; then
+        echo "[reproduce] FAILED: awsweep fleet sweep" \
+             "(see results/fleet_policies.txt)" >&2
+        failed=1
+    fi
 else
-    echo "[reproduce] warning: awsim not built; skipping fleet sweep" >&2
+    echo "[reproduce] warning: awsweep not built; skipping fleet sweep" >&2
 fi
 
 if [ "$failed" -ne 0 ]; then

@@ -34,4 +34,25 @@ powerGatingSchemes(const C6aController &controller)
     return rows;
 }
 
+const PowerGatingScheme *
+findScheme(const std::vector<PowerGatingScheme> &rows,
+           const std::string &technique)
+{
+    for (const auto &row : rows)
+        if (row.technique == technique)
+            return &row;
+    return nullptr;
+}
+
+double
+schemeWakeNs(const std::vector<PowerGatingScheme> &rows,
+             const std::string &technique)
+{
+    const auto *row = findScheme(rows, technique);
+    if (!row)
+        sim::fatal("unknown power-gating scheme '%s'",
+                   technique.c_str());
+    return sim::toNs(row->wakeOverheadTime);
+}
+
 } // namespace aw::core

@@ -38,6 +38,21 @@ struct PowerGatingScheme
 std::vector<PowerGatingScheme>
 powerGatingSchemes(const C6aController &controller);
 
+/** Look a row up by its technique tag; nullptr when absent. */
+const PowerGatingScheme *
+findScheme(const std::vector<PowerGatingScheme> &rows,
+           const std::string &technique);
+
+/**
+ * Wake-up overhead of @p technique in nanoseconds (0 when the
+ * source reports only cycle counts); fatal() on an unknown tag.
+ * The one lookup the Table 4 sweep (bench and golden test) keys
+ * its "wake_ns" metric off.
+ */
+double
+schemeWakeNs(const std::vector<PowerGatingScheme> &rows,
+             const std::string &technique);
+
 } // namespace aw::core
 
 #endif // AW_CORE_SCHEMES_HH

@@ -1,0 +1,206 @@
+#include "exp/emit.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace aw::exp {
+
+namespace {
+
+/** Schedule-independent double rendering ("%.10g"). */
+std::string
+num(double v)
+{
+    return sim::strprintf("%.10g", v);
+}
+
+/** Quote a CSV field only when it needs it. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            // RFC 8259 forbids raw control characters in strings.
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += sim::strprintf("\\u%04x",
+                                      static_cast<unsigned>(
+                                          static_cast<unsigned char>(
+                                              c)));
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+const char *const kResidencyColumns[] = {
+    "res_c0", "res_c1", "res_c1e", "res_c6a", "res_c6ae", "res_c6",
+};
+static_assert(sizeof(kResidencyColumns) /
+                  sizeof(kResidencyColumns[0]) ==
+              cstate::kNumCStates);
+
+} // namespace
+
+std::string
+csvHeader(const SweepResult &result)
+{
+    std::string h =
+        "index,workload,config,policy,variant,servers,qps,replica,"
+        "seed,requests,achieved_qps,window_s,power_w,mj_per_request,"
+        "avg_latency_us,p99_latency_us,deep_idle,min_server_deep,"
+        "max_server_deep,busiest_share";
+    for (const char *col : kResidencyColumns) {
+        h += ',';
+        h += col;
+    }
+    if (!result.points.empty())
+        for (const auto &[key, value] : result.points.front().extras) {
+            (void)value;
+            h += ',';
+            h += csvField(key);
+        }
+    return h;
+}
+
+std::string
+toCsv(const SweepResult &result)
+{
+    std::string out = csvHeader(result);
+    out += '\n';
+    for (const auto &p : result.points) {
+        const auto &pt = p.point;
+        out += sim::strprintf(
+            "%zu,%s,%s,%s,%s,%u,%s,%u,%llu,%llu", pt.index,
+            csvField(pt.workload).c_str(),
+            csvField(pt.config).c_str(),
+            csvField(pt.policy).c_str(),
+            csvField(pt.variant).c_str(), pt.servers,
+            num(pt.qps).c_str(), pt.replica,
+            static_cast<unsigned long long>(pt.seed),
+            static_cast<unsigned long long>(p.requests));
+        for (const double v :
+             {p.achievedQps, p.windowSeconds, p.powerW,
+              p.energyPerRequestMj, p.avgLatencyUs, p.p99LatencyUs,
+              p.deepIdleShare, p.minServerDeepShare,
+              p.maxServerDeepShare, p.busiestShareOfLoad}) {
+            out += ',';
+            out += num(v);
+        }
+        for (const double share : p.residency) {
+            out += ',';
+            out += num(share);
+        }
+        for (const auto &[key, value] : p.extras) {
+            (void)key;
+            out += ',';
+            out += num(value);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+toJson(const SweepResult &result)
+{
+    const auto &spec = result.spec;
+    std::string out = "{\n";
+    out += "  \"name\": " + jsonString(spec.name) + ",\n";
+    out += sim::strprintf("  \"seed\": %llu,\n",
+                          static_cast<unsigned long long>(spec.seed));
+    out += sim::strprintf("  \"replicas\": %u,\n", spec.replicas);
+    out += sim::strprintf("  \"points\": [");
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const auto &p = result.points[i];
+        const auto &pt = p.point;
+        out += i ? ",\n    {" : "\n    {";
+        out += sim::strprintf("\"index\": %zu, ", pt.index);
+        out += "\"workload\": " + jsonString(pt.workload) + ", ";
+        out += "\"config\": " + jsonString(pt.config) + ", ";
+        out += "\"policy\": " + jsonString(pt.policy) + ", ";
+        out += "\"variant\": " + jsonString(pt.variant) + ", ";
+        out += sim::strprintf(
+            "\"servers\": %u, \"qps\": %s, \"replica\": %u, "
+            "\"seed\": %llu, \"requests\": %llu",
+            pt.servers, num(pt.qps).c_str(), pt.replica,
+            static_cast<unsigned long long>(pt.seed),
+            static_cast<unsigned long long>(p.requests));
+        const std::pair<const char *, double> metrics[] = {
+            {"achieved_qps", p.achievedQps},
+            {"window_s", p.windowSeconds},
+            {"power_w", p.powerW},
+            {"mj_per_request", p.energyPerRequestMj},
+            {"avg_latency_us", p.avgLatencyUs},
+            {"p99_latency_us", p.p99LatencyUs},
+            {"deep_idle", p.deepIdleShare},
+            {"min_server_deep", p.minServerDeepShare},
+            {"max_server_deep", p.maxServerDeepShare},
+            {"busiest_share", p.busiestShareOfLoad},
+        };
+        for (const auto &[key, value] : metrics)
+            out += sim::strprintf(", \"%s\": %s", key,
+                                  num(value).c_str());
+        out += ", \"residency\": [";
+        for (std::size_t s = 0; s < p.residency.size(); ++s) {
+            if (s)
+                out += ", ";
+            out += num(p.residency[s]);
+        }
+        out += "]";
+        for (const auto &[key, value] : p.extras)
+            out += ", " + jsonString(key) + ": " + num(value);
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        sim::fatal("cannot open '%s' for writing", path.c_str());
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    const int rc = std::fclose(f);
+    if (n != content.size() || rc != 0)
+        sim::fatal("short write to '%s'", path.c_str());
+}
+
+} // namespace aw::exp

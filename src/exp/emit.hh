@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Sweep artifact emission: CSV and JSON with a stable schema.
+ *
+ * The emitters are pure functions of the SweepResult's points (the
+ * wall-clock is deliberately excluded), so two runs of the same
+ * spec produce byte-identical artifacts regardless of thread count
+ * -- which is what the determinism tests and the golden regression
+ * suite diff against.
+ */
+
+#ifndef AW_EXP_EMIT_HH
+#define AW_EXP_EMIT_HH
+
+#include <string>
+
+#include "exp/runner.hh"
+
+namespace aw::exp {
+
+/**
+ * The fixed CSV column schema (extras columns, taken from the
+ * first point, are appended after these):
+ *
+ *   index,workload,config,policy,variant,servers,qps,replica,seed,
+ *   requests,achieved_qps,window_s,power_w,mj_per_request,
+ *   avg_latency_us,p99_latency_us,deep_idle,min_server_deep,
+ *   max_server_deep,busiest_share,res_c0,res_c1,res_c1e,res_c6a,
+ *   res_c6ae,res_c6
+ */
+std::string csvHeader(const SweepResult &result);
+
+/** Render the whole sweep as CSV (header + one row per point). */
+std::string toCsv(const SweepResult &result);
+
+/** Render the whole sweep as a JSON document. */
+std::string toJson(const SweepResult &result);
+
+/** Write @p content to @p path; fatal() on I/O errors. */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace aw::exp
+
+#endif // AW_EXP_EMIT_HH

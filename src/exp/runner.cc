@@ -1,0 +1,304 @@
+#include "exp/runner.hh"
+
+#include <chrono>
+
+#include "cluster/fleet.hh"
+#include "server/server_sim.hh"
+#include "sim/logging.hh"
+
+namespace aw::exp {
+
+// ------------------------------------------------------- ThreadPool
+
+unsigned
+ThreadPool::resolveThreads(unsigned threads)
+{
+    if (threads > 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = resolveThreads(threads);
+    _workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _workers.push_back(std::make_unique<Worker>());
+    _threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(_mtx);
+        _stop = true;
+    }
+    _workCv.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    Worker &w = *_workers[_nextWorker];
+    _nextWorker = (_nextWorker + 1) % _workers.size();
+    {
+        // Push and account under _mtx so (a) a worker that races
+        // the push cannot decrement _pending before the increment
+        // and (b) the state change is ordered against the sleep in
+        // workerLoop (lock order is always _mtx then queue mutex).
+        std::lock_guard<std::mutex> lock(_mtx);
+        {
+            std::lock_guard<std::mutex> qlock(w.mtx);
+            w.queue.push_back(std::move(task));
+        }
+        ++_pending;
+    }
+    _workCv.notify_one();
+}
+
+std::optional<std::function<void()>>
+ThreadPool::take(std::size_t self)
+{
+    // Own queue first (back: newest, cache-warm) ...
+    {
+        Worker &w = *_workers[self];
+        std::lock_guard<std::mutex> qlock(w.mtx);
+        if (!w.queue.empty()) {
+            auto task = std::move(w.queue.back());
+            w.queue.pop_back();
+            return task;
+        }
+    }
+    // ... then steal from a peer (front: oldest).
+    for (std::size_t off = 1; off < _workers.size(); ++off) {
+        Worker &w = *_workers[(self + off) % _workers.size()];
+        std::lock_guard<std::mutex> qlock(w.mtx);
+        if (!w.queue.empty()) {
+            auto task = std::move(w.queue.front());
+            w.queue.pop_front();
+            return task;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+ThreadPool::haveWork() const
+{
+    for (const auto &w : _workers) {
+        std::lock_guard<std::mutex> qlock(w->mtx);
+        if (!w->queue.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    while (true) {
+        auto task = take(self);
+        if (!task) {
+            // submit() pushes under _mtx, so holding _mtx across
+            // the haveWork() probe and the sleep closes the
+            // lost-wakeup window.
+            std::unique_lock<std::mutex> lock(_mtx);
+            _workCv.wait(lock,
+                         [&] { return _stop || haveWork(); });
+            if (_stop)
+                return;
+            continue;
+        }
+        (*task)();
+        {
+            std::lock_guard<std::mutex> lock(_mtx);
+            --_pending;
+            if (_pending == 0)
+                _doneCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mtx);
+    _doneCv.wait(lock, [&] { return _pending == 0; });
+}
+
+// ------------------------------------------------------ SweepResult
+
+bool
+SweepResult::Query::matches(const GridPoint &pt) const
+{
+    if (workload && *workload != pt.workload)
+        return false;
+    if (config && *config != pt.config)
+        return false;
+    if (policy && *policy != pt.policy)
+        return false;
+    if (variant && *variant != pt.variant)
+        return false;
+    if (servers && *servers != pt.servers)
+        return false;
+    if (qps && *qps != pt.qps)
+        return false;
+    if (replica && *replica != pt.replica)
+        return false;
+    return true;
+}
+
+std::vector<const PointResult *>
+SweepResult::select(const Query &q) const
+{
+    std::vector<const PointResult *> out;
+    for (const auto &p : points)
+        if (q.matches(p.point))
+            out.push_back(&p);
+    return out;
+}
+
+const PointResult &
+SweepResult::at(const Query &q) const
+{
+    const auto matches = select(q);
+    if (matches.size() != 1)
+        sim::fatal("SweepResult::at: %zu matches (want exactly 1)",
+                   matches.size());
+    return *matches.front();
+}
+
+// ------------------------------------------------------ SweepRunner
+
+PointResult
+SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
+{
+    const auto profile = profileByName(pt.workload);
+    auto cfg = configByName(pt.config);
+    if (spec.cores > 0)
+        cfg.cores = spec.cores;
+
+    const sim::Tick duration =
+        spec.seconds > 0.0 ? sim::fromSec(spec.seconds) : 0;
+    const sim::Tick warmup =
+        spec.warmupSeconds >= 0.0 ? sim::fromSec(spec.warmupSeconds)
+                                  : duration / 10;
+
+    PointResult res;
+    res.point = pt;
+
+    if (pt.servers > 0) {
+        cluster::FleetConfig fc;
+        fc.servers = pt.servers;
+        fc.server = cfg;
+        // Fleet runs model cpuidle's tick re-selection so spare
+        // servers reach deep idle (matches awsim's fleet mode).
+        fc.server.idlePromotion = true;
+        fc.routing = pt.policy;
+        fc.seed = pt.seed;
+        cluster::FleetSim fleet(fc, profile, pt.qps);
+        const auto r = duration > 0 ? fleet.run(duration, warmup)
+                                    : fleet.run();
+        res.requests = r.requests;
+        res.achievedQps = r.achievedQps;
+        res.windowSeconds = sim::toSec(r.window);
+        res.powerW = r.fleetPower;
+        res.energyPerRequestMj = r.energyPerRequestMj;
+        res.avgLatencyUs = r.avgLatencyUs;
+        res.p99LatencyUs = r.p99LatencyUs;
+        res.deepIdleShare = r.deepIdleShare;
+        res.minServerDeepShare = r.minServerDeepShare;
+        res.maxServerDeepShare = r.maxServerDeepShare;
+        res.busiestShareOfLoad = r.busiestShareOfLoad;
+        res.residency = r.residency.share;
+    } else {
+        cfg.seed = pt.seed;
+        server::ServerSim srv(cfg, profile, pt.qps);
+        const auto r = duration > 0 ? srv.run(duration, warmup)
+                                    : srv.run();
+        res.requests = r.requests;
+        res.achievedQps = r.achievedQps;
+        res.windowSeconds = sim::toSec(r.window);
+        res.powerW = r.packagePower;
+        res.energyPerRequestMj =
+            r.requests > 0 ? 1e3 * r.packagePower *
+                                 sim::toSec(r.window) / r.requests
+                           : 0.0;
+        res.avgLatencyUs = r.avgLatencyUs;
+        res.p99LatencyUs = r.p99LatencyUs;
+        const double deep = cluster::deepIdleShare(r.residency);
+        res.deepIdleShare = deep;
+        res.minServerDeepShare = deep;
+        res.maxServerDeepShare = deep;
+        res.busiestShareOfLoad = 1.0;
+        res.residency = r.residency.share;
+    }
+    return res;
+}
+
+SweepResult
+SweepRunner::run(const ExperimentSpec &spec) const
+{
+    return run(spec, [&spec](const GridPoint &pt) {
+        return runPoint(spec, pt);
+    });
+}
+
+SweepResult
+SweepRunner::run(const ExperimentSpec &spec, const PointFn &fn) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    SweepResult result;
+    result.spec = spec;
+    const auto grid = spec.expand();
+    result.points.resize(grid.size());
+
+    // One slot per grid cell: workers write disjoint entries, so
+    // the fold needs no ordering and no locks.
+    if (threads() <= 1 || grid.size() <= 1) {
+        for (const auto &pt : grid)
+            result.points[pt.index] = fn(pt);
+    } else {
+        ThreadPool pool(threads());
+        for (const auto &pt : grid)
+            pool.submit([&fn, &pt, &result] {
+                result.points[pt.index] = fn(pt);
+            });
+        pool.wait();
+    }
+
+    // The engine's contract: same extras schema (keys, in order) at
+    // every point, so CSV columns label every row correctly.
+    const auto &first = result.points.front();
+    for (const auto &p : result.points) {
+        if (p.extras.size() != first.extras.size())
+            sim::fatal("SweepRunner: point '%s' reports %zu extra "
+                       "metrics, point '%s' reports %zu",
+                       p.point.label().c_str(), p.extras.size(),
+                       first.point.label().c_str(),
+                       first.extras.size());
+        for (std::size_t i = 0; i < p.extras.size(); ++i)
+            if (p.extras[i].first != first.extras[i].first)
+                sim::fatal("SweepRunner: point '%s' extra #%zu is "
+                           "'%s', point '%s' has '%s'",
+                           p.point.label().c_str(), i,
+                           p.extras[i].first.c_str(),
+                           first.point.label().c_str(),
+                           first.extras[i].first.c_str());
+    }
+
+    result.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+} // namespace aw::exp

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Parallel sweep execution.
+ *
+ * ThreadPool is a small work-stealing pool: each worker owns a
+ * deque, submissions are distributed round-robin, an idle worker
+ * steals from the front of a peer's deque. SweepRunner expands an
+ * ExperimentSpec and executes the grid points on the pool; every
+ * point's RNG stream is derived from (spec seed, grid index) and
+ * each result is written into its pre-assigned slot, so the folded
+ * SweepResult is bit-identical regardless of thread count or
+ * completion order.
+ */
+
+#ifndef AW_EXP_RUNNER_HH
+#define AW_EXP_RUNNER_HH
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cstate/cstate.hh"
+#include "exp/spec.hh"
+
+namespace aw::exp {
+
+/**
+ * Work-stealing thread pool. submit() may only be called from the
+ * thread that owns the pool; tasks must not throw.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads  worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /** The worker count a thread argument resolves to. */
+    static unsigned resolveThreads(unsigned threads);
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> queue;
+        std::mutex mtx;
+    };
+
+    void workerLoop(std::size_t self);
+    std::optional<std::function<void()>> take(std::size_t self);
+    bool haveWork() const;
+
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::vector<std::thread> _threads;
+    std::size_t _nextWorker = 0; //!< round-robin submission cursor
+
+    std::mutex _mtx;
+    std::condition_variable _workCv; //!< wakes idle workers
+    std::condition_variable _doneCv; //!< wakes wait()
+    std::size_t _pending = 0;        //!< submitted, not yet finished
+    bool _stop = false;
+};
+
+/**
+ * Metrics of one executed grid point. The simulation fields are
+ * filled by the default point function (single-server and fleet
+ * runs alike; for a single server, power is the package power and
+ * the per-server spread collapses to the deep-idle share). Custom
+ * point functions may instead (or additionally) report named
+ * extras, which the emitters append as CSV/JSON columns; every
+ * point of a sweep must report the same extras keys in the same
+ * order.
+ */
+struct PointResult
+{
+    GridPoint point;
+
+    std::uint64_t requests = 0;
+    double achievedQps = 0.0;
+    double windowSeconds = 0.0;
+    double powerW = 0.0; //!< package power (fleet: summed)
+    double energyPerRequestMj = 0.0;
+    double avgLatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double deepIdleShare = 0.0;
+    double minServerDeepShare = 0.0;
+    double maxServerDeepShare = 0.0;
+    double busiestShareOfLoad = 0.0; //!< 1/K even .. 1.0 (single srv)
+    std::array<double, cstate::kNumCStates> residency{};
+
+    std::vector<std::pair<std::string, double>> extras;
+};
+
+/** Execute one grid point; must be pure in the point (same point,
+ *  same result) for the determinism guarantee to hold. */
+using PointFn = std::function<PointResult(const GridPoint &)>;
+
+/**
+ * An ordered sweep: one PointResult per grid cell, in expansion
+ * order.
+ */
+struct SweepResult
+{
+    ExperimentSpec spec;
+    std::vector<PointResult> points;
+
+    /** Wall-clock of the run (diagnostics only; never emitted into
+     *  artifacts, which must be schedule-independent). */
+    double wallSeconds = 0.0;
+
+    /** Coordinate filter for lookups; unset fields match any. */
+    struct Query
+    {
+        std::optional<std::string> workload;
+        std::optional<std::string> config;
+        std::optional<std::string> policy;
+        std::optional<std::string> variant;
+        std::optional<unsigned> servers;
+        std::optional<double> qps;
+        std::optional<unsigned> replica;
+
+        bool matches(const GridPoint &pt) const;
+    };
+
+    /** All points matching @p q, in grid order. */
+    std::vector<const PointResult *> select(const Query &q) const;
+
+    /** Exactly one match or fatal(). */
+    const PointResult &at(const Query &q) const;
+};
+
+/**
+ * Expand a spec and execute it on a ThreadPool.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads  0 = hardware concurrency. */
+    explicit SweepRunner(unsigned threads = 0) : _threads(threads) {}
+
+    /** Run with the default simulation point function. */
+    SweepResult run(const ExperimentSpec &spec) const;
+
+    /** Run with a custom point function. */
+    SweepResult run(const ExperimentSpec &spec,
+                    const PointFn &fn) const;
+
+    /**
+     * The default point function: a FleetSim run for fleet points
+     * (idle promotion on, like awsim's fleet mode), a ServerSim run
+     * for single-server points. Exposed so custom functions can
+     * wrap it.
+     */
+    static PointResult runPoint(const ExperimentSpec &spec,
+                                const GridPoint &pt);
+
+    unsigned threads() const
+    {
+        return ThreadPool::resolveThreads(_threads);
+    }
+
+  private:
+    unsigned _threads;
+};
+
+} // namespace aw::exp
+
+#endif // AW_EXP_RUNNER_HH

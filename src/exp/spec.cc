@@ -1,0 +1,236 @@
+#include "exp/spec.hh"
+
+#include <cmath>
+
+#include "cluster/routing.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace aw::exp {
+
+namespace {
+
+/** One registry table per axis: the lookup functions and the
+ *  advertised name lists both derive from it, so a new entry can
+ *  never be half-registered. */
+template <typename T> struct RegistryEntry
+{
+    const char *name;
+    T (*make)();
+};
+
+const std::vector<RegistryEntry<workload::WorkloadProfile>> &
+workloadRegistry()
+{
+    using workload::WorkloadProfile;
+    static const std::vector<RegistryEntry<WorkloadProfile>> reg{
+        {"memcached", &WorkloadProfile::memcached},
+        {"mysql", &WorkloadProfile::mysql},
+        {"kafka", &WorkloadProfile::kafka},
+        {"specpower", &WorkloadProfile::specpower},
+        {"nginx", &WorkloadProfile::nginx},
+        {"spark", &WorkloadProfile::spark},
+        {"hive", &WorkloadProfile::hive},
+    };
+    return reg;
+}
+
+const std::vector<RegistryEntry<server::ServerConfig>> &
+configRegistry()
+{
+    using server::ServerConfig;
+    static const std::vector<RegistryEntry<ServerConfig>> reg{
+        {"baseline", &ServerConfig::baseline},
+        {"aw", &ServerConfig::awBaseline},
+        {"nt_baseline", &ServerConfig::ntBaseline},
+        {"nt_no_c6", &ServerConfig::ntNoC6},
+        {"nt_no_c6_no_c1e", &ServerConfig::ntNoC6NoC1e},
+        {"nt_aw", &ServerConfig::ntAwNoC6NoC1e},
+        {"t_no_c6", &ServerConfig::tNoC6},
+        {"t_no_c6_no_c1e", &ServerConfig::tNoC6NoC1e},
+        {"t_aw", &ServerConfig::tAwNoC6NoC1e},
+        {"c1c6", &ServerConfig::legacyC1C6},
+        {"c1only", &ServerConfig::legacyC1Only},
+        {"aw_c6a", &ServerConfig::awC6aOnly},
+    };
+    return reg;
+}
+
+template <typename T>
+T
+byName(const std::vector<RegistryEntry<T>> &reg,
+       const std::string &name, const char *what)
+{
+    for (const auto &entry : reg)
+        if (name == entry.name)
+            return entry.make();
+    std::string known;
+    for (const auto &entry : reg) {
+        if (!known.empty())
+            known += '|';
+        known += entry.name;
+    }
+    sim::fatal("unknown %s '%s' (%s)", what, name.c_str(),
+               known.c_str());
+}
+
+template <typename T>
+std::vector<std::string>
+registryNames(const std::vector<RegistryEntry<T>> &reg)
+{
+    std::vector<std::string> names;
+    names.reserve(reg.size());
+    for (const auto &entry : reg)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+} // namespace
+
+workload::WorkloadProfile
+profileByName(const std::string &name)
+{
+    return byName(workloadRegistry(), name, "workload");
+}
+
+server::ServerConfig
+configByName(const std::string &name)
+{
+    return byName(configRegistry(), name, "config");
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names =
+        registryNames(workloadRegistry());
+    return names;
+}
+
+const std::vector<std::string> &
+configNames()
+{
+    static const std::vector<std::string> names =
+        registryNames(configRegistry());
+    return names;
+}
+
+std::string
+GridPoint::label() const
+{
+    std::string l = workload + "/" + config;
+    if (!policy.empty())
+        l += "/" + policy;
+    if (servers > 0)
+        l += sim::strprintf("/K%u", servers);
+    l += sim::strprintf("/%.0fqps", qps);
+    if (!variant.empty())
+        l += "/" + variant;
+    l += sim::strprintf("/r%u", replica);
+    return l;
+}
+
+void
+ExperimentSpec::validate() const
+{
+    if (workloads.empty())
+        sim::fatal("ExperimentSpec '%s': empty workload axis",
+                   name.c_str());
+    if (configs.empty())
+        sim::fatal("ExperimentSpec '%s': empty config axis",
+                   name.c_str());
+    if (qps.empty())
+        sim::fatal("ExperimentSpec '%s': empty qps axis",
+                   name.c_str());
+    if (replicas == 0)
+        sim::fatal("ExperimentSpec '%s': need at least one replica",
+                   name.c_str());
+    if (fleetSizes.empty() && !policies.empty())
+        sim::fatal("ExperimentSpec '%s': routing policies require a "
+                   "fleet-size axis",
+                   name.c_str());
+    if (qpsPerServer && fleetSizes.empty())
+        sim::fatal("ExperimentSpec '%s': qpsPerServer requires a "
+                   "fleet-size axis",
+                   name.c_str());
+    if (warmupSeconds >= 0.0 && seconds <= 0.0)
+        sim::fatal("ExperimentSpec '%s': warmupSeconds requires an "
+                   "explicit seconds (the auto-sized window picks "
+                   "its own warmup)",
+                   name.c_str());
+
+    // Resolve every axis value now so a bad name dies here, on the
+    // caller's thread, not inside a worker mid-sweep.
+    for (const auto &w : workloads)
+        profileByName(w);
+    for (const auto &c : configs)
+        configByName(c);
+    for (const auto &p : policies)
+        cluster::makeRoutingPolicy(p, 1);
+    for (const unsigned k : fleetSizes)
+        if (k == 0)
+            sim::fatal("ExperimentSpec '%s': fleet size 0",
+                       name.c_str());
+    for (const double q : qps)
+        if (!(q > 0.0) || !std::isfinite(q))
+            sim::fatal("ExperimentSpec '%s': qps values must be "
+                       "positive (got %f)",
+                       name.c_str(), q);
+}
+
+std::size_t
+ExperimentSpec::gridSize() const
+{
+    const std::size_t fleets =
+        fleetSizes.empty() ? 1 : fleetSizes.size();
+    const std::size_t pols =
+        fleetSizes.empty() ? 1
+                           : (policies.empty() ? 1 : policies.size());
+    const std::size_t vars = variants.empty() ? 1 : variants.size();
+    return workloads.size() * configs.size() * pols * fleets *
+           qps.size() * vars * replicas;
+}
+
+std::vector<GridPoint>
+ExperimentSpec::expand() const
+{
+    validate();
+
+    // Dummy single-element axes keep the loop nest uniform.
+    const std::vector<std::string> pols =
+        fleetSizes.empty()
+            ? std::vector<std::string>{""}
+            : (policies.empty()
+                   ? std::vector<std::string>{"round-robin"}
+                   : policies);
+    const std::vector<unsigned> fleets =
+        fleetSizes.empty() ? std::vector<unsigned>{0} : fleetSizes;
+    const std::vector<std::string> vars =
+        variants.empty() ? std::vector<std::string>{""} : variants;
+
+    std::vector<GridPoint> grid;
+    grid.reserve(gridSize());
+    for (const auto &w : workloads)
+        for (const auto &c : configs)
+            for (const auto &p : pols)
+                for (const unsigned k : fleets)
+                    for (const double q : qps)
+                        for (const auto &v : vars)
+                            for (unsigned r = 0; r < replicas; ++r) {
+                                GridPoint pt;
+                                pt.index = grid.size();
+                                pt.workload = w;
+                                pt.config = c;
+                                pt.policy = p;
+                                pt.servers = k;
+                                pt.qps = qpsPerServer ? q * k : q;
+                                pt.variant = v;
+                                pt.replica = r;
+                                pt.seed =
+                                    sim::deriveSeed(seed, pt.index);
+                                grid.push_back(std::move(pt));
+                            }
+    return grid;
+}
+
+} // namespace aw::exp

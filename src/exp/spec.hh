@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Declarative experiment specifications.
+ *
+ * Every figure and table in the paper -- and every fleet finding of
+ * the cluster layer -- is a grid of (workload x configuration x
+ * routing policy x fleet size x offered load x seed replica) runs.
+ * An ExperimentSpec names those axes once; expand() turns it into
+ * an ordered cartesian grid of GridPoints, each carrying a
+ * deterministically derived seed, so a runner can execute the
+ * points in any order (or in parallel) and still reproduce the same
+ * ensemble bit for bit.
+ */
+
+#ifndef AW_EXP_SPEC_HH
+#define AW_EXP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/config.hh"
+#include "workload/profiles.hh"
+
+namespace aw::exp {
+
+/**
+ * One cell of the expanded grid. The coordinates identify the run;
+ * index is the cell's position in the spec's expansion order and
+ * seed is derived from (spec seed, index), so a point's RNG stream
+ * depends only on the spec, never on scheduling.
+ */
+struct GridPoint
+{
+    std::size_t index = 0;
+
+    std::string workload; //!< workload profile registry name
+    std::string config;   //!< server configuration registry name
+    std::string policy;   //!< routing policy ("" = single server)
+    unsigned servers = 0; //!< fleet size (0 = single server)
+    double qps = 0.0;     //!< effective offered load (already scaled)
+    std::string variant;  //!< free-form axis ("" when unused)
+    unsigned replica = 0; //!< seed replica number
+
+    std::uint64_t seed = 0; //!< deriveSeed(spec.seed, index)
+
+    /** "memcached/c1c6/pack-first/K8/400000qps/r0" style label. */
+    std::string label() const;
+};
+
+/**
+ * A declarative sweep: named axes plus run-shaping knobs.
+ *
+ * Fleet mode is selected by a non-empty fleetSizes axis; policies
+ * then defaults to {"round-robin"} if left empty. With fleetSizes
+ * empty the grid is single-server and policies must be empty.
+ * variants is a free-form axis for custom point functions (e.g.
+ * the Table 4 scheme registry); the default runner ignores it.
+ */
+struct ExperimentSpec
+{
+    std::string name = "sweep";
+
+    /** @{ Grid axes. */
+    std::vector<std::string> workloads{"memcached"};
+    std::vector<std::string> configs{"baseline"};
+    std::vector<std::string> policies;
+    std::vector<unsigned> fleetSizes;
+    std::vector<double> qps{100e3};
+    std::vector<std::string> variants;
+    unsigned replicas = 1;
+    /** @} */
+
+    /** Interpret the qps axis as per-server load, scaled by the
+     *  point's fleet size (fleet-size scaling sweeps). */
+    bool qpsPerServer = false;
+
+    /** Top-level seed every grid point derives its stream from. */
+    std::uint64_t seed = 42;
+
+    /** @{ Run shaping. seconds <= 0 selects the simulator's
+     *  auto-sized window (ServerSim::run() / FleetSim::run()
+     *  defaults, which pick their own warmup); warmupSeconds < 0 =
+     *  seconds/10. Setting warmupSeconds without seconds is a
+     *  validation error. */
+    double seconds = 0.0;
+    double warmupSeconds = -1.0;
+    /** @} */
+
+    /** Core-count override (0 = config default). */
+    unsigned cores = 0;
+
+    /** fatal() on empty or unknown axis values. */
+    void validate() const;
+
+    /** Number of grid cells. */
+    std::size_t gridSize() const;
+
+    /** The ordered cartesian grid. Expansion order (outer to
+     *  inner): workload, config, policy, fleet size, qps, variant,
+     *  replica. Calls validate(). */
+    std::vector<GridPoint> expand() const;
+};
+
+/** @{ Name registries shared by awsim, awsweep and the spec
+ *  validator. Unknown names are fatal() with the known list. */
+workload::WorkloadProfile profileByName(const std::string &name);
+server::ServerConfig configByName(const std::string &name);
+const std::vector<std::string> &workloadNames();
+const std::vector<std::string> &configNames();
+/** @} */
+
+} // namespace aw::exp
+
+#endif // AW_EXP_SPEC_HH

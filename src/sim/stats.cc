@@ -23,10 +23,10 @@ Accumulator::cv() const
 double
 PercentileTracker::percentile(double p) const
 {
-    if (_samples.empty())
-        panic("PercentileTracker::percentile on empty tracker");
     if (p < 0.0 || p > 100.0)
         panic("percentile out of range: %f", p);
+    if (_samples.empty())
+        return 0.0;
     if (!_sorted) {
         std::sort(_samples.begin(), _samples.end());
         _sorted = true;

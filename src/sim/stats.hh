@@ -103,8 +103,10 @@ class PercentileTracker
 
     /**
      * The p-th percentile (p in [0, 100]) using nearest-rank on the
-     * sorted samples.
-     * @pre !empty()
+     * sorted samples. An empty tracker reports 0.0 for every
+     * percentile (like the empty Accumulator's accessors), so
+     * aggregation paths need no special case for windows that
+     * completed no requests. p outside [0, 100] is a panic.
      */
     double percentile(double p) const;
 

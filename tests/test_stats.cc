@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
+#include "sim/random.hh"
 #include "sim/stats.hh"
 
 namespace {
@@ -105,10 +109,22 @@ TEST(Percentile, MeanMatches)
     EXPECT_EQ(t.count(), 3u);
 }
 
-TEST(PercentileDeathTest, EmptyPanics)
+TEST(Percentile, EmptyTrackerIsDefinedAndZero)
 {
+    // Every percentile of an empty tracker is 0.0, matching the
+    // empty Accumulator accessors: aggregation over a window with
+    // no completed requests must not abort.
     PercentileTracker t;
-    EXPECT_DEATH(t.percentile(50), "empty");
+    EXPECT_TRUE(t.empty());
+    for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(t.percentile(p), 0.0) << p;
+    EXPECT_DOUBLE_EQ(t.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(t.p99(), 0.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+
+    // And the tracker still works normally afterwards.
+    t.add(7.0);
+    EXPECT_DOUBLE_EQ(t.p99(), 7.0);
 }
 
 TEST(PercentileDeathTest, OutOfRangePanics)
@@ -116,6 +132,95 @@ TEST(PercentileDeathTest, OutOfRangePanics)
     PercentileTracker t;
     t.add(1.0);
     EXPECT_DEATH(t.percentile(101), "range");
+    EXPECT_DEATH(t.percentile(-0.5), "range");
+}
+
+/** Straight-line nearest-rank reference: sort a copy, take the
+ *  1-based ceil(p/100 * n)-th order statistic. */
+double
+referencePercentile(std::vector<double> samples, double p)
+{
+    std::sort(samples.begin(), samples.end());
+    if (p == 0.0)
+        return samples.front();
+    const auto n = static_cast<double>(samples.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    rank = std::max<std::size_t>(rank, 1);
+    return samples[rank - 1];
+}
+
+TEST(PercentileProperty, MatchesReferenceOnRandomSamples)
+{
+    aw::sim::Rng rng(1234);
+    for (int round = 0; round < 50; ++round) {
+        const auto n =
+            static_cast<std::size_t>(rng.uniformInt(1, 200));
+        std::vector<double> samples;
+        PercentileTracker t;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Mix of heavy-tailed and discrete values so ties and
+            // duplicates are exercised too.
+            const double x = rng.bernoulli(0.3)
+                                 ? std::floor(rng.uniform(0, 5))
+                                 : rng.boundedPareto(1.0, 1e4, 1.1);
+            samples.push_back(x);
+            t.add(x);
+        }
+        for (const double p :
+             {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+            EXPECT_DOUBLE_EQ(t.percentile(p),
+                             referencePercentile(samples, p))
+                << "n=" << n << " p=" << p;
+        }
+    }
+}
+
+TEST(PercentileProperty, BoundsAreMinAndMax)
+{
+    aw::sim::Rng rng(99);
+    PercentileTracker t;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.normal(10.0, 4.0);
+        t.add(x);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), lo);
+    EXPECT_DOUBLE_EQ(t.percentile(100.0), hi);
+}
+
+TEST(PercentileProperty, MergedTrackersEqualPooledSamples)
+{
+    aw::sim::Rng rng(4321);
+    for (int round = 0; round < 20; ++round) {
+        PercentileTracker a;
+        PercentileTracker b;
+        PercentileTracker pooled;
+        const auto na =
+            static_cast<std::size_t>(rng.uniformInt(0, 100));
+        const auto nb =
+            static_cast<std::size_t>(rng.uniformInt(1, 100));
+        for (std::size_t i = 0; i < na; ++i) {
+            const double x = rng.exponential(3.0);
+            a.add(x);
+            pooled.add(x);
+        }
+        for (std::size_t i = 0; i < nb; ++i) {
+            const double x = rng.lognormalMeanCv(5.0, 1.5);
+            b.add(x);
+            pooled.add(x);
+        }
+        // Query a first so merge() must invalidate its sort cache.
+        if (!a.empty())
+            (void)a.p50();
+        a.merge(b);
+        ASSERT_EQ(a.count(), pooled.count());
+        for (const double p : {0.0, 10.0, 50.0, 95.0, 99.0, 100.0})
+            EXPECT_DOUBLE_EQ(a.percentile(p), pooled.percentile(p))
+                << "na=" << na << " nb=" << nb << " p=" << p;
+    }
 }
 
 TEST(Histogram, BinsCorrectly)

@@ -29,6 +29,7 @@
 #include "analysis/power_model.hh"
 #include "analysis/table.hh"
 #include "cluster/fleet.hh"
+#include "exp/spec.hh"
 #include "server/server_sim.hh"
 #include "sim/logging.hh"
 #include "workload/profiles.hh"
@@ -37,59 +38,8 @@
 namespace {
 
 using namespace aw;
-
-workload::WorkloadProfile
-profileByName(const std::string &name)
-{
-    if (name == "memcached")
-        return workload::WorkloadProfile::memcached();
-    if (name == "mysql")
-        return workload::WorkloadProfile::mysql();
-    if (name == "kafka")
-        return workload::WorkloadProfile::kafka();
-    if (name == "specpower")
-        return workload::WorkloadProfile::specpower();
-    if (name == "nginx")
-        return workload::WorkloadProfile::nginx();
-    if (name == "spark")
-        return workload::WorkloadProfile::spark();
-    if (name == "hive")
-        return workload::WorkloadProfile::hive();
-    sim::fatal("unknown workload '%s' (memcached|mysql|kafka|"
-               "specpower|nginx|spark|hive)",
-               name.c_str());
-}
-
-server::ServerConfig
-configByName(const std::string &name)
-{
-    using server::ServerConfig;
-    if (name == "baseline")
-        return ServerConfig::baseline();
-    if (name == "aw")
-        return ServerConfig::awBaseline();
-    if (name == "nt_baseline")
-        return ServerConfig::ntBaseline();
-    if (name == "nt_no_c6")
-        return ServerConfig::ntNoC6();
-    if (name == "nt_no_c6_no_c1e")
-        return ServerConfig::ntNoC6NoC1e();
-    if (name == "nt_aw")
-        return ServerConfig::ntAwNoC6NoC1e();
-    if (name == "t_no_c6")
-        return ServerConfig::tNoC6();
-    if (name == "t_no_c6_no_c1e")
-        return ServerConfig::tNoC6NoC1e();
-    if (name == "t_aw")
-        return ServerConfig::tAwNoC6NoC1e();
-    if (name == "c1c6")
-        return ServerConfig::legacyC1C6();
-    if (name == "c1only")
-        return ServerConfig::legacyC1Only();
-    if (name == "aw_c6a")
-        return ServerConfig::awC6aOnly();
-    sim::fatal("unknown config '%s'", name.c_str());
-}
+using exp::configByName;
+using exp::profileByName;
 
 void
 usage()

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * awsweep -- declarative parallel experiment sweeps.
+ *
+ * Expands a (workload x config x policy x fleet size x qps x
+ * replica) grid, executes the points on a work-stealing thread
+ * pool, prints a summary table and optionally writes CSV/JSON
+ * artifacts. The artifacts are bit-identical for a given spec
+ * regardless of --threads. Examples:
+ *
+ *   # the PR-2 fleet finding: routing policy x C-state config
+ *   awsweep --fleet 8 --policies round-robin,pack-first \
+ *           --configs c1c6,aw_c6a --qps 400000 --seconds 0.4 \
+ *           --threads 8 --csv fleet.csv
+ *
+ *   # single-server rate sweep, 3 seed replicas per point
+ *   awsweep --configs nt_baseline,nt_no_c6 \
+ *           --qps 100000,200000,300000 --replicas 3
+ *
+ * Run `awsweep --help` for the full knob list.
+ */
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "cluster/routing.hh"
+#include "exp/emit.hh"
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace aw;
+
+void
+usage()
+{
+    std::printf(
+        "awsweep -- parallel experiment sweeps over the AgileWatts "
+        "simulator\n\n"
+        "grid axes (comma-separated lists):\n"
+        "  --workloads A,B   workload profiles (default memcached)\n"
+        "  --configs A,B     server configs (default baseline)\n"
+        "  --policies A,B    routing policies (fleet mode only;\n"
+        "                    default round-robin)\n"
+        "  --fleet N,M       fleet sizes; omit for single-server\n"
+        "  --qps N,M         offered load levels (default 100000)\n"
+        "  --replicas N      seed replicas per point (default 1)\n"
+        "\nrun shaping:\n"
+        "  --per-server-qps  scale each qps level by the fleet size\n"
+        "  --seconds S       measured window (default: auto-sized)\n"
+        "  --warmup S        warmup (default: window/10)\n"
+        "  --cores N         per-server core count (default: config)\n"
+        "  --seed N          top-level seed (default 42)\n"
+        "\nexecution and artifacts:\n"
+        "  --threads N       worker threads (default: hardware)\n"
+        "  --csv FILE        write the sweep as CSV\n"
+        "  --json FILE       write the sweep as JSON\n"
+        "  --name NAME       spec name recorded in the artifacts\n"
+        "  --quiet           no summary table, just artifacts\n");
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        const std::size_t comma = arg.find(',', start);
+        const std::string item =
+            arg.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+unsigned
+parseUnsigned(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0' || value[0] == '-' ||
+        errno == ERANGE || v > std::numeric_limits<unsigned>::max())
+        sim::fatal("%s: bad value '%s'", flag, value);
+    return static_cast<unsigned>(v);
+}
+
+double
+parseDouble(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value, &end);
+    if (end == value || *end != '\0' || !std::isfinite(v))
+        sim::fatal("%s: bad value '%s'", flag, value);
+    return v;
+}
+
+std::uint64_t
+parseUint64(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || value[0] == '-' ||
+        errno == ERANGE)
+        sim::fatal("%s: bad value '%s'", flag, value);
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    exp::ExperimentSpec spec;
+    spec.name = "awsweep";
+    unsigned threads = 0;
+    std::string csv_path;
+    std::string json_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                sim::fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--workloads") {
+            spec.workloads = splitList(next("--workloads"));
+        } else if (arg == "--configs") {
+            spec.configs = splitList(next("--configs"));
+        } else if (arg == "--policies") {
+            spec.policies = splitList(next("--policies"));
+        } else if (arg == "--fleet") {
+            spec.fleetSizes.clear();
+            for (const auto &v : splitList(next("--fleet")))
+                spec.fleetSizes.push_back(
+                    parseUnsigned("--fleet", v.c_str()));
+        } else if (arg == "--qps") {
+            spec.qps.clear();
+            for (const auto &v : splitList(next("--qps")))
+                spec.qps.push_back(parseDouble("--qps", v.c_str()));
+        } else if (arg == "--replicas") {
+            spec.replicas =
+                parseUnsigned("--replicas", next("--replicas"));
+        } else if (arg == "--per-server-qps") {
+            spec.qpsPerServer = true;
+        } else if (arg == "--seconds") {
+            spec.seconds = parseDouble("--seconds", next("--seconds"));
+        } else if (arg == "--warmup") {
+            spec.warmupSeconds =
+                parseDouble("--warmup", next("--warmup"));
+        } else if (arg == "--cores") {
+            spec.cores = parseUnsigned("--cores", next("--cores"));
+        } else if (arg == "--seed") {
+            spec.seed = parseUint64("--seed", next("--seed"));
+        } else if (arg == "--threads") {
+            threads = parseUnsigned("--threads", next("--threads"));
+        } else if (arg == "--csv") {
+            csv_path = next("--csv");
+        } else if (arg == "--json") {
+            json_path = next("--json");
+        } else if (arg == "--name") {
+            spec.name = next("--name");
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            usage();
+            sim::fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    // expand() inside run() validates on this thread before any
+    // worker spawns.
+    exp::SweepRunner runner(threads);
+    const auto result = runner.run(spec);
+
+    if (!quiet) {
+        std::printf("sweep=%s points=%zu threads=%u seed=%llu "
+                    "wall=%.2fs\n\n",
+                    spec.name.c_str(), result.points.size(),
+                    runner.threads(),
+                    static_cast<unsigned long long>(spec.seed),
+                    result.wallSeconds);
+        analysis::TableWriter t(
+            {"workload", "config", "policy", "K", "qps", "rep",
+             "power W", "mJ/req", "avg us", "p99 us", "deep idle"});
+        for (const auto &p : result.points) {
+            const auto &pt = p.point;
+            t.addRow({pt.workload, pt.config,
+                      pt.policy.empty() ? "-" : pt.policy,
+                      pt.servers ? analysis::cell("%u", pt.servers)
+                                 : std::string("-"),
+                      analysis::cell("%.0f", pt.qps),
+                      analysis::cell("%u", pt.replica),
+                      analysis::cell("%.1f", p.powerW),
+                      analysis::cell("%.3f", p.energyPerRequestMj),
+                      analysis::cell("%.1f", p.avgLatencyUs),
+                      analysis::cell("%.1f", p.p99LatencyUs),
+                      analysis::cell("%.1f%%",
+                                     100 * p.deepIdleShare)});
+        }
+        t.print();
+    }
+
+    if (!csv_path.empty())
+        exp::writeFile(csv_path, exp::toCsv(result));
+    if (!json_path.empty())
+        exp::writeFile(json_path, exp::toJson(result));
+    if (!quiet && (!csv_path.empty() || !json_path.empty())) {
+        std::printf("\nartifacts:%s%s%s%s\n",
+                    csv_path.empty() ? "" : " csv=",
+                    csv_path.c_str(),
+                    json_path.empty() ? "" : " json=",
+                    json_path.c_str());
+    }
+    return 0;
+}
