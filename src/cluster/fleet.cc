@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "cstate/governors.hh"
 #include "sim/logging.hh"
 
 namespace aw::cluster {
@@ -55,8 +56,19 @@ FleetSim::FleetSim(FleetConfig cfg, workload::WorkloadProfile profile,
         sim::fatal("FleetSim: need at least one server");
     if (total_qps <= 0.0)
         sim::fatal("FleetSim: offered load must be positive");
-    // Validate the policy name up front, not at run() time.
+    // Validate the policy and governor names up front, not at
+    // run() time. Fleet servers are driven by centrally dispatched
+    // per-server splits, so clairvoyant governors have no per-core
+    // foreknowledge to draw on.
     makeRoutingPolicy(_cfg.routing, packCapacity());
+    if (cstate::makeGovernor(_cfg.server.governor,
+                             _cfg.server.cstates)
+            ->needsOracle()) {
+        sim::fatal("FleetSim: governor '%s' is single-server only "
+                   "(fleet dispatch has no per-core arrival "
+                   "foreknowledge)",
+                   _cfg.server.governor.c_str());
+    }
 }
 
 void

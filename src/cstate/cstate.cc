@@ -1,5 +1,7 @@
 #include "cstate/cstate.hh"
 
+#include <cctype>
+
 #include "sim/logging.hh"
 
 namespace aw::cstate {
@@ -16,6 +18,24 @@ name(CStateId id)
       case CStateId::C6: return "C6";
       default: return "?";
     }
+}
+
+bool
+cstateFromName(const std::string &name_str, CStateId &out)
+{
+    std::string upper;
+    upper.reserve(name_str.size());
+    for (const char c : name_str)
+        upper += static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+    for (std::size_t i = 0; i < kNumCStates; ++i) {
+        const auto id = static_cast<CStateId>(i);
+        if (upper == name(id)) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
 }
 
 const char *

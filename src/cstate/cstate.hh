@@ -47,6 +47,10 @@ index(CStateId id)
 /** Printable name ("C0", "C1E", "C6A", ...). */
 const char *name(CStateId id);
 
+/** Inverse of name(): parse a C-state by its printable name
+ *  (case-insensitive). Returns false on unknown names. */
+bool cstateFromName(const std::string &name, CStateId &out);
+
 /** @{ Table 2 component-state attributes. */
 enum class ClockState { Running, Stopped };
 enum class PllState { On, Off };

@@ -42,13 +42,7 @@ IdlePredictor::predict() const
 }
 
 CStateId
-IdleGovernor::select() const
-{
-    return selectFor(_predictor.predict());
-}
-
-CStateId
-IdleGovernor::selectFor(sim::Tick predicted_idle) const
+GovernorPolicy::deepestFitting(sim::Tick predicted_idle) const
 {
     const auto states = _config.enabledStates();
     if (states.empty())

@@ -1,8 +1,22 @@
 /**
  * @file
- * OS idle governor: predicts the length of the next idle interval
- * and selects the deepest enabled C-state whose target residency the
- * prediction covers (Linux menu-governor in spirit).
+ * Idle-governance policy API.
+ *
+ * Idle-state selection is a pluggable policy: GovernorPolicy is the
+ * abstract per-core decision maker (which C-state should a core
+ * going idle now enter?), and MenuGovernor is the default concrete
+ * implementation -- a Linux-menu-style predictor feeding a
+ * deepest-affordable-state selection. The other built-in policies
+ * (teo, ladder, static:<state>, oracle) live in
+ * cstate/governors.hh together with the string-keyed registry that
+ * builds any of them from a spec like "menu" or "static:C6A".
+ *
+ * The paper's core claim (Sec 1) is that servers "rarely enter a
+ * deep idle power state" because the OS governor's mispredictions
+ * make deep entries too risky -- and that AgileWatts' fast C6A wake
+ * makes the *quality* of this policy far less critical. Making the
+ * policy an axis lets the simulator quantify exactly that
+ * sensitivity.
  */
 
 #ifndef AW_CSTATE_GOVERNOR_HH
@@ -10,6 +24,9 @@
 
 #include <array>
 #include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
 
 #include "cstate/config.hh"
 #include "cstate/cstate.hh"
@@ -63,6 +80,11 @@ class IdlePredictor
     void
     reset()
     {
+        // Zero the sample window too: predict() only reads the
+        // first min(_next, kWindow) slots, but stale samples
+        // surviving a reset are a landmine for any future reader
+        // that walks the whole window.
+        _window.fill(0);
         _seeded = false;
         _next = 0;
         _last = 0;
@@ -77,42 +99,153 @@ class IdlePredictor
 };
 
 /**
- * The governor proper: state selection given a prediction.
+ * Abstract idle-governance policy: one instance per core.
+ *
+ * The core simulator drives the policy with exactly three events:
+ * select() when the core runs out of work, observeIdle() with the
+ * realized idle interval when it wakes, and reselect() at OS-tick
+ * promotion points while it stays idle. Policies are built once per
+ * server from a registry spec and then clone()d per core, so no
+ * mutable prediction state is ever shared between cores.
  */
-class IdleGovernor
+class GovernorPolicy
 {
   public:
-    explicit IdleGovernor(CStateConfig config,
-                          double cv_threshold = 0.5)
-        : _config(std::move(config)), _predictor(cv_threshold)
-    {}
+    /** A clairvoyant callback: the true length of the idle period
+     *  that starts at @p now (what an oracle is "told" by the
+     *  simulator). */
+    using OracleFn = std::function<sim::Tick(sim::Tick now)>;
 
+    /** Host-supplied energy estimate (J) of idling in @p state for
+     *  a known interval: transition flows at active power plus the
+     *  resident window at state power, from the live transition-
+     *  latency and power models. Lets a clairvoyant policy pick the
+     *  truly cheapest state instead of trusting the descriptor's
+     *  conservative target residencies. */
+    using CostFn =
+        std::function<double(CStateId state, sim::Tick idle_len)>;
+
+    explicit GovernorPolicy(CStateConfig config)
+        : _config(std::move(config))
+    {}
+    virtual ~GovernorPolicy() = default;
+
+    /** Enabled idle states this policy selects from. */
     const CStateConfig &config() const { return _config; }
-    IdlePredictor &predictor() { return _predictor; }
+
+    /** The registry spec that rebuilds this policy, e.g. "menu" or
+     *  "static:C6A". */
+    virtual std::string spec() const = 0;
+
+    /** Select the idle state for a core going idle at @p now. */
+    virtual CStateId select(sim::Tick now) = 0;
+
+    /** Feed back the realized length of an idle interval once the
+     *  core wakes (or a wake arrives mid-entry). */
+    virtual void observeIdle(sim::Tick idle) { (void)idle; }
+
+    /** Forget all learned history (fresh-boot state). */
+    virtual void reset() {}
+
+    /** Fresh per-core instance: same configuration and parameters,
+     *  no shared mutable state. */
+    virtual std::unique_ptr<GovernorPolicy> clone() const = 0;
 
     /**
-     * Select the idle state for a core going idle now.
-     *
+     * cpuidle-style OS-tick re-selection: the core has already been
+     * idle for @p elapsed and is still idle, so the observed
+     * interval can only grow. Default: the deepest enabled state
+     * whose target residency @p elapsed already covers.
+     */
+    virtual CStateId
+    reselect(sim::Tick now, sim::Tick elapsed)
+    {
+        (void)now;
+        return deepestFitting(elapsed);
+    }
+
+    /** True if reselect() can ever deepen a choice: lets the host
+     *  skip scheduling OS promotion ticks entirely for policies
+     *  that are pinned (static) or already optimal (oracle), so an
+     *  idle core does not churn the event queue for nothing. */
+    virtual bool canPromote() const { return true; }
+
+    /** True if select() needs the simulator's clairvoyant callback
+     *  (the oracle policy). The host must setOracle() before the
+     *  first select(), and must refuse to run the policy when it
+     *  has no foreknowledge to offer. */
+    virtual bool needsOracle() const { return false; }
+
+    /** Install the clairvoyant callback (no-op for real policies). */
+    virtual void setOracle(OracleFn fn) { (void)fn; }
+
+    /** Install the per-state energy estimate (no-op for real
+     *  policies; optional even for the oracle, which falls back to
+     *  target-residency selection without it). */
+    virtual void setCostModel(CostFn fn) { (void)fn; }
+
+  protected:
+    /**
      * Deepest enabled state whose target residency is <= the
      * predicted idle length; falls back to the shallowest enabled
      * state (there is always something shallower than the
      * prediction horizon to halt in), or C0 (poll) if no idle state
      * is enabled.
      */
-    CStateId select() const;
+    CStateId deepestFitting(sim::Tick predicted_idle) const;
 
-    /** select() with an explicit prediction (for tests/model use). */
-    CStateId selectFor(sim::Tick predicted_idle) const;
+  private:
+    CStateConfig _config;
+};
 
-    /** Feed an observed idle interval back into the predictor. */
+/**
+ * The default policy: menu-style prediction feeding deepest-
+ * affordable selection (the repo's original IdleGovernor, verbatim
+ * -- "menu" in the registry and the behavior-preserving default of
+ * every ServerConfig).
+ */
+class MenuGovernor : public GovernorPolicy
+{
+  public:
+    explicit MenuGovernor(CStateConfig config,
+                          double cv_threshold = 0.5)
+        : GovernorPolicy(std::move(config)), _predictor(cv_threshold)
+    {}
+
+    std::string spec() const override { return "menu"; }
+
+    CStateId
+    select(sim::Tick now) override
+    {
+        (void)now;
+        return selectFor(_predictor.predict());
+    }
+
     void
-    observeIdle(sim::Tick idle)
+    observeIdle(sim::Tick idle) override
     {
         _predictor.observe(idle);
     }
 
+    void reset() override { _predictor.reset(); }
+
+    std::unique_ptr<GovernorPolicy>
+    clone() const override
+    {
+        return std::make_unique<MenuGovernor>(
+            config(), _predictor.cvThreshold());
+    }
+
+    /** select() with an explicit prediction (for tests/model use). */
+    CStateId
+    selectFor(sim::Tick predicted_idle) const
+    {
+        return deepestFitting(predicted_idle);
+    }
+
+    IdlePredictor &predictor() { return _predictor; }
+
   private:
-    CStateConfig _config;
     IdlePredictor _predictor;
 };
 

@@ -1,0 +1,327 @@
+#include "cstate/governors.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace aw::cstate {
+
+// ------------------------------------------------------ TeoGovernor
+
+TeoGovernor::TeoGovernor(CStateConfig config)
+    : GovernorPolicy(std::move(config)),
+      _states(this->config().enabledStates()),
+      _bins(_states.size(), 0)
+{}
+
+void
+TeoGovernor::observeIdle(sim::Tick idle)
+{
+    if (_states.empty())
+        return;
+    // The state that would have been the right call for this
+    // interval: deepest whose target residency it covers (bin 0 --
+    // the shallowest -- catches everything shorter).
+    std::size_t bin = 0;
+    for (std::size_t i = 0; i < _states.size(); ++i) {
+        if (descriptor(_states[i]).targetResidency <= idle)
+            bin = i;
+    }
+    for (auto &b : _bins)
+        b -= b / kDecayDiv;
+    _bins[bin] += kPulse;
+}
+
+CStateId
+TeoGovernor::select(sim::Tick now)
+{
+    (void)now;
+    if (_states.empty())
+        return CStateId::C0;
+    std::uint64_t total = 0;
+    for (const auto b : _bins)
+        total += b;
+    if (total == 0)
+        return _states.front(); // no history yet: be conservative
+
+    // Deepest state whose own-or-deeper bins hold at least half the
+    // retained history; the mass in shallower bins is the recent
+    // "intercept" evidence vetoing a deeper entry.
+    std::uint64_t deep_mass = 0;
+    for (std::size_t i = _states.size(); i-- > 0;) {
+        deep_mass += _bins[i];
+        if (2 * deep_mass >= total)
+            return _states[i];
+    }
+    return _states.front();
+}
+
+void
+TeoGovernor::reset()
+{
+    std::fill(_bins.begin(), _bins.end(), 0);
+}
+
+std::unique_ptr<GovernorPolicy>
+TeoGovernor::clone() const
+{
+    return std::make_unique<TeoGovernor>(config());
+}
+
+// --------------------------------------------------- LadderGovernor
+
+LadderGovernor::LadderGovernor(CStateConfig config)
+    : GovernorPolicy(std::move(config)),
+      _states(this->config().enabledStates())
+{}
+
+CStateId
+LadderGovernor::select(sim::Tick now)
+{
+    (void)now;
+    if (_states.empty())
+        return CStateId::C0;
+    return _states[_rung];
+}
+
+void
+LadderGovernor::observeIdle(sim::Tick idle)
+{
+    if (_states.empty())
+        return;
+    if (idle >= descriptor(_states[_rung]).targetResidency) {
+        if (++_hits >= kPromoteHits) {
+            _hits = 0;
+            if (_rung + 1 < _states.size())
+                ++_rung;
+        }
+    } else {
+        _hits = 0;
+        if (_rung > 0)
+            --_rung;
+    }
+}
+
+void
+LadderGovernor::reset()
+{
+    _rung = 0;
+    _hits = 0;
+}
+
+std::unique_ptr<GovernorPolicy>
+LadderGovernor::clone() const
+{
+    return std::make_unique<LadderGovernor>(config());
+}
+
+// --------------------------------------------------- StaticGovernor
+
+StaticGovernor::StaticGovernor(CStateConfig config,
+                               const std::string &state_arg)
+    : GovernorPolicy(std::move(config)), _state(CStateId::C0),
+      _arg(state_arg)
+{
+    const auto &cfg = this->config();
+    if (state_arg == "deepest") {
+        _state = cfg.deepestEnabled();
+    } else if (state_arg == "shallowest") {
+        _state = cfg.shallowestEnabled();
+    } else if (state_arg.empty()) {
+        sim::fatal("static governor needs a state, e.g. "
+                   "'static:C6' or 'static:deepest'");
+    } else {
+        CStateId id;
+        if (!cstateFromName(state_arg, id))
+            sim::fatal("static governor: unknown C-state '%s' "
+                       "(C1|C1E|C6A|C6AE|C6|deepest|shallowest)",
+                       state_arg.c_str());
+        if (id != CStateId::C0 && !cfg.enabled(id))
+            sim::fatal("static:%s requires %s enabled, but the "
+                       "C-state config is %s",
+                       name(id), name(id), cfg.describe().c_str());
+        _state = id;
+    }
+}
+
+std::string
+StaticGovernor::spec() const
+{
+    return "static:" + _arg;
+}
+
+CStateId
+StaticGovernor::select(sim::Tick now)
+{
+    (void)now;
+    return _state;
+}
+
+std::unique_ptr<GovernorPolicy>
+StaticGovernor::clone() const
+{
+    return std::make_unique<StaticGovernor>(config(), _arg);
+}
+
+// --------------------------------------------------- OracleGovernor
+
+CStateId
+OracleGovernor::select(sim::Tick now)
+{
+    if (!_oracle)
+        sim::panic("oracle governor selected with no foreknowledge "
+                   "installed (host must call setOracle())");
+    const sim::Tick true_idle = _oracle(now);
+    if (!_cost)
+        return _lastChoice = deepestFitting(true_idle);
+
+    // Least estimated energy over the known interval; ties break to
+    // the shallower state (cheaper wake for free). C0 -- polling at
+    // active power with an instant wake -- is a real candidate: for
+    // an idle shorter than even C1's transition flows, not idling
+    // at all is the cheapest choice.
+    CStateId best = CStateId::C0;
+    double best_energy = _cost(best, true_idle);
+    for (const auto id : _states) {
+        const double energy = _cost(id, true_idle);
+        if (energy < best_energy) {
+            best = id;
+            best_energy = energy;
+        }
+    }
+    return _lastChoice = best;
+}
+
+std::unique_ptr<GovernorPolicy>
+OracleGovernor::clone() const
+{
+    // The clairvoyant callback is per-core state the host installs
+    // on each clone; never share it.
+    return std::make_unique<OracleGovernor>(config());
+}
+
+// ------------------------------------------------- GovernorRegistry
+
+GovernorSpec
+parseGovernorSpec(const std::string &spec)
+{
+    GovernorSpec parsed;
+    const auto colon = spec.find(':');
+    parsed.kind = spec.substr(0, colon);
+    if (colon != std::string::npos)
+        parsed.arg = spec.substr(colon + 1);
+    if (parsed.kind.empty())
+        sim::fatal("empty governor spec");
+    return parsed;
+}
+
+namespace {
+
+/** Argless kinds reject a stray ":arg" instead of silently running
+ *  unparameterized under a mislabeled spec. */
+void
+requireNoArg(const char *kind, const std::string &arg)
+{
+    if (!arg.empty())
+        sim::fatal("governor '%s' takes no argument (got '%s:%s')",
+                   kind, kind, arg.c_str());
+}
+
+} // namespace
+
+GovernorRegistry::GovernorRegistry()
+{
+    add("menu", "menu-style predictor (default)",
+        [](const std::string &arg, const CStateConfig &config) {
+            requireNoArg("menu", arg);
+            return std::make_unique<MenuGovernor>(config);
+        });
+    add("teo", "timer-events-oriented recent-intercept bins",
+        [](const std::string &arg, const CStateConfig &config) {
+            requireNoArg("teo", arg);
+            return std::make_unique<TeoGovernor>(config);
+        });
+    add("ladder", "step up on consecutive hits, down on a miss",
+        [](const std::string &arg, const CStateConfig &config) {
+            requireNoArg("ladder", arg);
+            return std::make_unique<LadderGovernor>(config);
+        });
+    add("static",
+        "always static:<state> (C1|...|C6|deepest|shallowest)",
+        [](const std::string &arg, const CStateConfig &config) {
+            return std::make_unique<StaticGovernor>(config, arg);
+        });
+    add("oracle", "clairvoyant upper bound (single-server only)",
+        [](const std::string &arg, const CStateConfig &config) {
+            requireNoArg("oracle", arg);
+            return std::make_unique<OracleGovernor>(config);
+        });
+}
+
+GovernorRegistry &
+GovernorRegistry::instance()
+{
+    static GovernorRegistry registry;
+    return registry;
+}
+
+void
+GovernorRegistry::add(const std::string &kind,
+                      const std::string &summary, Factory factory)
+{
+    for (const auto &k : _kinds)
+        if (k == kind)
+            sim::fatal("governor kind '%s' registered twice",
+                       kind.c_str());
+    _kinds.push_back(kind);
+    _entries.push_back(Entry{summary, std::move(factory)});
+}
+
+std::unique_ptr<GovernorPolicy>
+GovernorRegistry::make(const std::string &spec,
+                       const CStateConfig &config) const
+{
+    const auto parsed = parseGovernorSpec(spec);
+    for (std::size_t i = 0; i < _kinds.size(); ++i)
+        if (_kinds[i] == parsed.kind)
+            return _entries[i].factory(parsed.arg, config);
+    sim::fatal("unknown governor '%s' (%s)", spec.c_str(),
+               describeKinds().c_str());
+}
+
+std::string
+GovernorRegistry::summary(const std::string &kind) const
+{
+    for (std::size_t i = 0; i < _kinds.size(); ++i)
+        if (_kinds[i] == kind)
+            return _entries[i].summary;
+    return "";
+}
+
+std::string
+GovernorRegistry::describeKinds() const
+{
+    std::string out;
+    for (const auto &kind : _kinds) {
+        if (!out.empty())
+            out += '|';
+        out += kind;
+        if (kind == "static")
+            out += ":<state>";
+    }
+    return out;
+}
+
+std::unique_ptr<GovernorPolicy>
+makeGovernor(const std::string &spec, const CStateConfig &config)
+{
+    return GovernorRegistry::instance().make(spec, config);
+}
+
+const std::vector<std::string> &
+governorKinds()
+{
+    return GovernorRegistry::instance().kinds();
+}
+
+} // namespace aw::cstate

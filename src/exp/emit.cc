@@ -80,10 +80,10 @@ std::string
 csvHeader(const SweepResult &result)
 {
     std::string h =
-        "index,workload,config,policy,variant,servers,qps,replica,"
-        "seed,requests,achieved_qps,window_s,power_w,mj_per_request,"
-        "avg_latency_us,p99_latency_us,deep_idle,min_server_deep,"
-        "max_server_deep,busiest_share";
+        "index,workload,config,governor,policy,variant,servers,qps,"
+        "replica,seed,requests,achieved_qps,window_s,power_w,"
+        "mj_per_request,avg_latency_us,p99_latency_us,deep_idle,"
+        "min_server_deep,max_server_deep,busiest_share";
     for (const char *col : kResidencyColumns) {
         h += ',';
         h += col;
@@ -105,9 +105,10 @@ toCsv(const SweepResult &result)
     for (const auto &p : result.points) {
         const auto &pt = p.point;
         out += sim::strprintf(
-            "%zu,%s,%s,%s,%s,%u,%s,%u,%llu,%llu", pt.index,
+            "%zu,%s,%s,%s,%s,%s,%u,%s,%u,%llu,%llu", pt.index,
             csvField(pt.workload).c_str(),
             csvField(pt.config).c_str(),
+            csvField(pt.governor).c_str(),
             csvField(pt.policy).c_str(),
             csvField(pt.variant).c_str(), pt.servers,
             num(pt.qps).c_str(), pt.replica,
@@ -152,6 +153,7 @@ toJson(const SweepResult &result)
         out += sim::strprintf("\"index\": %zu, ", pt.index);
         out += "\"workload\": " + jsonString(pt.workload) + ", ";
         out += "\"config\": " + jsonString(pt.config) + ", ";
+        out += "\"governor\": " + jsonString(pt.governor) + ", ";
         out += "\"policy\": " + jsonString(pt.policy) + ", ";
         out += "\"variant\": " + jsonString(pt.variant) + ", ";
         out += sim::strprintf(

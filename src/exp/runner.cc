@@ -141,6 +141,8 @@ SweepResult::Query::matches(const GridPoint &pt) const
         return false;
     if (config && *config != pt.config)
         return false;
+    if (governor && *governor != pt.governor)
+        return false;
     if (policy && *policy != pt.policy)
         return false;
     if (variant && *variant != pt.variant)
@@ -183,6 +185,10 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
     auto cfg = configByName(pt.config);
     if (spec.cores > 0)
         cfg.cores = spec.cores;
+    if (!pt.governor.empty())
+        cfg.governor = pt.governor;
+    if (!spec.dispatch.empty())
+        cfg.dispatch = server::dispatchPolicyByName(spec.dispatch);
 
     const sim::Tick duration =
         spec.seconds > 0.0 ? sim::fromSec(spec.seconds) : 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cluster/routing.hh"
+#include "cstate/governors.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -119,6 +120,8 @@ std::string
 GridPoint::label() const
 {
     std::string l = workload + "/" + config;
+    if (!governor.empty())
+        l += "/" + governor;
     if (!policy.empty())
         l += "/" + policy;
     if (servers > 0)
@@ -165,6 +168,28 @@ ExperimentSpec::validate() const
         profileByName(w);
     for (const auto &c : configs)
         configByName(c);
+    for (const auto &g : governors) {
+        // Resolve every (config, governor) pairing the grid will
+        // actually run, so a static:<state> spec naming a state
+        // some config disables dies here -- before the sweep
+        // launches -- instead of killing a worker mid-run with all
+        // completed points lost.
+        for (const auto &c : configs) {
+            const auto policy =
+                cstate::makeGovernor(g, configByName(c).cstates);
+            if (policy->needsOracle() && !fleetSizes.empty())
+                sim::fatal("ExperimentSpec '%s': governor '%s' is "
+                           "single-server only (fleet dispatch has "
+                           "no per-core arrival foreknowledge)",
+                           name.c_str(), g.c_str());
+            if (policy->needsOracle() && dispatch == "packing")
+                sim::fatal("ExperimentSpec '%s': governor '%s' "
+                           "needs static dispatch",
+                           name.c_str(), g.c_str());
+        }
+    }
+    if (!dispatch.empty())
+        server::dispatchPolicyByName(dispatch);
     for (const auto &p : policies)
         cluster::makeRoutingPolicy(p, 1);
     for (const unsigned k : fleetSizes)
@@ -187,7 +212,8 @@ ExperimentSpec::gridSize() const
         fleetSizes.empty() ? 1
                            : (policies.empty() ? 1 : policies.size());
     const std::size_t vars = variants.empty() ? 1 : variants.size();
-    return workloads.size() * configs.size() * pols * fleets *
+    const std::size_t govs = governors.empty() ? 1 : governors.size();
+    return workloads.size() * configs.size() * govs * pols * fleets *
            qps.size() * vars * replicas;
 }
 
@@ -207,29 +233,35 @@ ExperimentSpec::expand() const
         fleetSizes.empty() ? std::vector<unsigned>{0} : fleetSizes;
     const std::vector<std::string> vars =
         variants.empty() ? std::vector<std::string>{""} : variants;
+    const std::vector<std::string> govs =
+        governors.empty() ? std::vector<std::string>{""} : governors;
 
     std::vector<GridPoint> grid;
     grid.reserve(gridSize());
     for (const auto &w : workloads)
         for (const auto &c : configs)
-            for (const auto &p : pols)
-                for (const unsigned k : fleets)
-                    for (const double q : qps)
-                        for (const auto &v : vars)
-                            for (unsigned r = 0; r < replicas; ++r) {
-                                GridPoint pt;
-                                pt.index = grid.size();
-                                pt.workload = w;
-                                pt.config = c;
-                                pt.policy = p;
-                                pt.servers = k;
-                                pt.qps = qpsPerServer ? q * k : q;
-                                pt.variant = v;
-                                pt.replica = r;
-                                pt.seed =
-                                    sim::deriveSeed(seed, pt.index);
-                                grid.push_back(std::move(pt));
-                            }
+            for (const auto &g : govs)
+                for (const auto &p : pols)
+                    for (const unsigned k : fleets)
+                        for (const double q : qps)
+                            for (const auto &v : vars)
+                                for (unsigned r = 0; r < replicas;
+                                     ++r) {
+                                    GridPoint pt;
+                                    pt.index = grid.size();
+                                    pt.workload = w;
+                                    pt.config = c;
+                                    pt.governor = g;
+                                    pt.policy = p;
+                                    pt.servers = k;
+                                    pt.qps =
+                                        qpsPerServer ? q * k : q;
+                                    pt.variant = v;
+                                    pt.replica = r;
+                                    pt.seed = sim::deriveSeed(
+                                        seed, pt.index);
+                                    grid.push_back(std::move(pt));
+                                }
     return grid;
 }
 

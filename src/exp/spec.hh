@@ -36,6 +36,7 @@ struct GridPoint
 
     std::string workload; //!< workload profile registry name
     std::string config;   //!< server configuration registry name
+    std::string governor; //!< governor spec ("" = config default)
     std::string policy;   //!< routing policy ("" = single server)
     unsigned servers = 0; //!< fleet size (0 = single server)
     double qps = 0.0;     //!< effective offered load (already scaled)
@@ -64,6 +65,12 @@ struct ExperimentSpec
     /** @{ Grid axes. */
     std::vector<std::string> workloads{"memcached"};
     std::vector<std::string> configs{"baseline"};
+    /** Governor specs (cstate::GovernorRegistry grammar, e.g.
+     *  "menu", "teo", "static:C6"). Empty = each config's own
+     *  default, leaving the grid identical to a spec without the
+     *  axis. "oracle" is single-server only (it needs per-core
+     *  arrival foreknowledge) and is rejected on fleet grids. */
+    std::vector<std::string> governors;
     std::vector<std::string> policies;
     std::vector<unsigned> fleetSizes;
     std::vector<double> qps{100e3};
@@ -90,6 +97,10 @@ struct ExperimentSpec
     /** Core-count override (0 = config default). */
     unsigned cores = 0;
 
+    /** Dispatch-policy override applied to every point ("" = each
+     *  config's default; see server::dispatchPolicyNames()). */
+    std::string dispatch;
+
     /** fatal() on empty or unknown axis values. */
     void validate() const;
 
@@ -97,8 +108,8 @@ struct ExperimentSpec
     std::size_t gridSize() const;
 
     /** The ordered cartesian grid. Expansion order (outer to
-     *  inner): workload, config, policy, fleet size, qps, variant,
-     *  replica. Calls validate(). */
+     *  inner): workload, config, governor, policy, fleet size, qps,
+     *  variant, replica. Calls validate(). */
     std::vector<GridPoint> expand() const;
 };
 

@@ -1,6 +1,46 @@
 #include "server/config.hh"
 
+#include "sim/logging.hh"
+
 namespace aw::server {
+
+const char *
+name(DispatchPolicy policy)
+{
+    switch (policy) {
+      case DispatchPolicy::Static: return "static";
+      case DispatchPolicy::Packing: return "packing";
+    }
+    return "?";
+}
+
+DispatchPolicy
+dispatchPolicyByName(const std::string &name_str)
+{
+    for (const auto policy :
+         {DispatchPolicy::Static, DispatchPolicy::Packing}) {
+        if (name_str == name(policy))
+            return policy;
+    }
+    std::string known;
+    for (const auto &n : dispatchPolicyNames()) {
+        if (!known.empty())
+            known += '|';
+        known += n;
+    }
+    sim::fatal("unknown dispatch policy '%s' (%s)", name_str.c_str(),
+               known.c_str());
+}
+
+const std::vector<std::string> &
+dispatchPolicyNames()
+{
+    static const std::vector<std::string> names{
+        name(DispatchPolicy::Static),
+        name(DispatchPolicy::Packing),
+    };
+    return names;
+}
 
 ServerConfig
 ServerConfig::baseline()

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cstate/config.hh"
 #include "power/units.hh"
@@ -34,6 +35,16 @@ enum class DispatchPolicy
     Packing,
 };
 
+/** @{ Name <-> value registry for DispatchPolicy, the same naming
+ *  convention as the routing-policy and governor registries, so
+ *  every policy axis parses and prints identically across awsim,
+ *  awsweep and ExperimentSpec. Unknown names are fatal() with the
+ *  known list. */
+const char *name(DispatchPolicy policy);
+DispatchPolicy dispatchPolicyByName(const std::string &name);
+const std::vector<std::string> &dispatchPolicyNames();
+/** @} */
+
 /**
  * Everything needed to instantiate a ServerSim.
  */
@@ -46,6 +57,13 @@ struct ServerConfig
 
     /** Enabled idle states. */
     cstate::CStateConfig cstates = cstate::CStateConfig::legacyBaseline();
+
+    /** Idle-governance policy spec (cstate::GovernorRegistry):
+     *  "menu" (the behavior-preserving default), "teo", "ladder",
+     *  "static:<state>" or "oracle". Each core clones its own
+     *  instance from one prototype, so no prediction state is
+     *  shared between cores. */
+    std::string governor = "menu";
 
     /** Turbo Boost. P-states are disabled throughout the paper's
      *  evaluation, so there is no pstatesEnabled knob; C1E/C6AE

@@ -22,6 +22,7 @@ StatePowers::fromModels(const core::AwPpaModel &ppa)
 }
 
 CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
+                 const cstate::GovernorPolicy &governor,
                  const core::AwCoreModel &aw,
                  const workload::WorkloadProfile &profile,
                  double per_core_rate, unsigned id,
@@ -31,7 +32,7 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
       _caches(uarch::PrivateCaches::skylakeServer()),
       _context(),
       _transitions(_caches, _context, aw.controller().awLatencies()),
-      _governor(cfg.cstates),
+      _governor(governor.clone()),
       _residency(simr.now()),
       _turbo(cfg.turboParams, cfg.turboEnabled),
       _snoops(cfg.snoopRatePerSec, cfg.snoopHitFraction,
@@ -42,6 +43,44 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
                     : nullptr),
       _rng(cfg.seed + id)
 {
+    if (_governor->needsOracle()) {
+        // Clairvoyance only exists where this core generates its
+        // own arrivals: there is always exactly one future arrival
+        // event scheduled, at a known time. Centrally dispatched
+        // streams (packing, traces, fleet splits) decide targets at
+        // arrival time, so no per-core foreknowledge exists.
+        if (!_arrivals)
+            sim::fatal(
+                "governor '%s' needs per-core arrival "
+                "foreknowledge; it only works with static dispatch "
+                "over synthetic per-core arrivals (not packing, "
+                "trace replay or fleet mode)",
+                _governor->spec().c_str());
+        _governor->setOracle([this](sim::Tick now) {
+            return _nextArrivalAt > now ? _nextArrivalAt - now
+                                        : sim::Tick(0);
+        });
+        // Energy of one idle period in a given state, from the live
+        // transition and power models: entry+exit flows run at
+        // active power, the remainder of the interval at the
+        // state's resident power. This is what the simulator itself
+        // will charge, so the oracle's choice is truly the cheapest.
+        _governor->setCostModel([this](CStateId s, sim::Tick idle) {
+            const double active =
+                (_cfg.runAtPn ? _powers.activePn
+                              : _powers.activeP1) *
+                _profile.activePowerScale();
+            if (s == CStateId::C0) // polling: active power throughout
+                return active * sim::toSec(idle);
+            const auto lat =
+                _transitions.latency(s, effectiveBaseFrequency());
+            const sim::Tick resident =
+                idle > lat.entry ? idle - lat.entry : 0;
+            return active * sim::toSec(lat.entry + lat.exit) +
+                   _powers.idle[cstate::index(s)] *
+                       sim::toSec(resident);
+        });
+    }
     // A moderately warm cache going into the first idle period.
     _caches.setDirtyFraction(0.3);
     updatePower();
@@ -79,6 +118,7 @@ void
 CoreSim::scheduleNextArrival()
 {
     const sim::Tick gap = _arrivals->nextGap(_rng);
+    _nextArrivalAt = _sim.now() + gap;
     _sim.scheduleIn(gap, [this]() {
         workload::Request req;
         req.id = _nextReqId++;
@@ -104,11 +144,11 @@ CoreSim::onArrival(workload::Request req)
         if (!_wakePending) {
             _wakePending = true;
             ++_mispredictedEntries;
-            _governor.observeIdle(_sim.now() - _idleStart);
+            _governor->observeIdle(_sim.now() - _idleStart);
         }
         break;
       case Mode::Idle:
-        _governor.observeIdle(_sim.now() - _idleStart);
+        _governor->observeIdle(_sim.now() - _idleStart);
         beginWake();
         break;
     }
@@ -162,7 +202,7 @@ void
 CoreSim::beginIdle()
 {
     _idleStart = _sim.now();
-    _idleState = _governor.select();
+    _idleState = _governor->select(_sim.now());
     if (_idleState == CStateId::C0) {
         // No idle state enabled: poll in C0. Stay "Idle" at active
         // power with zero-latency wake.
@@ -203,8 +243,12 @@ CoreSim::maybeSchedulePromotion()
 {
     if (!_cfg.idlePromotion)
         return;
+    // A pinned or clairvoyant policy never changes its pick: don't
+    // tick an idle core's event queue for nothing.
+    if (!_governor->canPromote())
+        return;
     // Already as deep as the platform allows: nothing to promote to.
-    if (_idleState == _governor.config().deepestEnabled())
+    if (_idleState == _governor->config().deepestEnabled())
         return;
     // Stale-check by idle-period start time instead of event
     // cancellation: a wake in the meantime starts a new period.
@@ -220,7 +264,7 @@ CoreSim::onPromotionTick(sim::Tick idle_start)
     if (_mode != Mode::Idle || _idleStart != idle_start)
         return; // the core woke since; this tick is stale
     const sim::Tick elapsed = _sim.now() - _idleStart;
-    const CStateId target = _governor.selectFor(elapsed);
+    const CStateId target = _governor->reselect(_sim.now(), elapsed);
     if (cstate::descriptor(target).depth <=
         cstate::descriptor(_idleState).depth) {
         // Not yet past the next state's target residency; keep

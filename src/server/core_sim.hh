@@ -74,6 +74,8 @@ class CoreSim
     /**
      * @param simr          the shared simulator
      * @param cfg           server configuration
+     * @param governor      idle-governance prototype; the core
+     *                      clone()s its own private instance
      * @param aw            shared AW constants (latencies, PPA)
      * @param profile       workload profile
      * @param per_core_rate this core's arrival rate (req/s);
@@ -83,6 +85,7 @@ class CoreSim
      * @param on_complete   invoked at each request completion
      */
     CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
+            const cstate::GovernorPolicy &governor,
             const core::AwCoreModel &aw,
             const workload::WorkloadProfile &profile,
             double per_core_rate, unsigned id,
@@ -129,6 +132,12 @@ class CoreSim
     Mode mode() const { return _mode; }
     cstate::CStateId idleState() const { return _idleState; }
 
+    /** This core's private idle-governance instance. */
+    const cstate::GovernorPolicy &governor() const
+    {
+        return *_governor;
+    }
+
     /** Effective base frequency (AW's ~1% gate IR-drop applied). */
     sim::Frequency effectiveBaseFrequency() const;
 
@@ -170,7 +179,7 @@ class CoreSim
     uarch::PrivateCaches _caches;
     uarch::CoreContext _context;
     cstate::TransitionEngine _transitions;
-    cstate::IdleGovernor _governor;
+    std::unique_ptr<cstate::GovernorPolicy> _governor;
     cstate::ResidencyCounters _residency;
     power::EnergyMeter _meter;
     TurboModel _turbo;
@@ -188,6 +197,9 @@ class CoreSim
     bool _boosting = false;
     sim::Tick _idleStart = 0;
     sim::Tick _snoopBusyUntil = 0;
+    /** Absolute time of the next self-generated arrival (kMaxTick
+     *  when unknown) -- the oracle governor's foreknowledge. */
+    sim::Tick _nextArrivalAt = sim::kMaxTick;
 
     std::deque<workload::Request> _queue;
     std::uint64_t _completed = 0;

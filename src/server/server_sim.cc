@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cstate/governors.hh"
 #include "sim/logging.hh"
 
 namespace aw::server {
@@ -53,10 +54,17 @@ ServerSim::buildCores(double per_core_rate)
         _package = PackageCStateModel(_cfg.packageParams);
     }
 
+    // One governor prototype per server, validated here (bad specs
+    // die on construction, not mid-run); each core clones a private
+    // instance so prediction state never leaks across cores.
+    const auto governor_proto =
+        cstate::makeGovernor(_cfg.governor, _cfg.cstates);
+
     _latency.reserve(1 << 16);
     for (unsigned i = 0; i < _cfg.cores; ++i) {
         _cores.push_back(std::make_unique<CoreSim>(
-            _sim, _cfg, *_aw, _profile, per_core_rate, i,
+            _sim, _cfg, *governor_proto, *_aw, _profile,
+            per_core_rate, i,
             [this](const workload::Request &req) {
                 _latency.add(sim::toUs(req.serverLatency()));
             }));

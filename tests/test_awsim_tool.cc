@@ -73,6 +73,49 @@ TEST(AwsimTool, PackageFlagPrintsPkgResidency)
     EXPECT_NE(out.find("PC6="), std::string::npos);
 }
 
+TEST(AwsimTool, GovernorFlagChangesThePolicy)
+{
+    const std::string base =
+        std::string(AWSIM_BIN) +
+        " --workload memcached --config c1c6 --qps 50000 "
+        "--seconds 0.2";
+    const auto menu = runCommand(base);
+    const auto pinned = runCommand(base + " --governor static:C6");
+    EXPECT_EQ(menu.first, 0);
+    EXPECT_EQ(pinned.first, 0);
+    EXPECT_NE(menu.second.find("governor=menu"), std::string::npos);
+    EXPECT_NE(pinned.second.find("governor=static:C6"),
+              std::string::npos);
+    // Always-C6 actually parks in C6; menu's mispredictions never
+    // let the legacy hierarchy get there (the Sec 1 claim).
+    EXPECT_EQ(menu.second.find("C6="), std::string::npos);
+    EXPECT_NE(pinned.second.find("C6="), std::string::npos);
+}
+
+TEST(AwsimTool, UnknownGovernorFails)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWSIM_BIN) + " --governor crystal_ball");
+    EXPECT_NE(code, 0);
+    EXPECT_NE(out.find("unknown governor"), std::string::npos);
+}
+
+TEST(AwsimTool, DispatchFlagParsesRegistryNames)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWSIM_BIN) +
+        " --workload memcached --config nt_baseline --qps 50000 "
+        "--seconds 0.1 --dispatch packing");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("dispatch=packing"), std::string::npos);
+
+    const auto bad = runCommand(std::string(AWSIM_BIN) +
+                                " --dispatch hash_ring");
+    EXPECT_NE(bad.first, 0);
+    EXPECT_NE(bad.second.find("unknown dispatch policy"),
+              std::string::npos);
+}
+
 TEST(AwsimTool, UnknownWorkloadFails)
 {
     const auto [code, out] = runCommand(

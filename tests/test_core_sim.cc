@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "cstate/governors.hh"
 #include "server/core_sim.hh"
 #include "workload/profiles.hh"
 
@@ -22,7 +23,9 @@ struct CoreHarness
                          double per_core_rate = 5000.0)
         : cfg(std::move(config)),
           profile(workload::WorkloadProfile::memcached()),
-          core(simr, cfg, aw_model, profile, per_core_rate, 0,
+          governor(cstate::makeGovernor(cfg.governor, cfg.cstates)),
+          core(simr, cfg, *governor, aw_model, profile,
+               per_core_rate, 0,
                [this](const workload::Request &req) {
                    latencies.push_back(toUs(req.serverLatency()));
                })
@@ -33,6 +36,7 @@ struct CoreHarness
     ServerConfig cfg;
     core::AwCoreModel aw_model;
     workload::WorkloadProfile profile;
+    std::unique_ptr<cstate::GovernorPolicy> governor;
     std::vector<double> latencies;
     CoreSim core;
 };

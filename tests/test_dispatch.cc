@@ -26,6 +26,28 @@ runPolicy(DispatchPolicy policy, const ServerConfig &base,
     return srv.run(fromSec(0.5), fromMs(50.0));
 }
 
+TEST(DispatchRegistry, NamesRoundTrip)
+{
+    // The same name<->value idiom as the routing and governor
+    // registries: every advertised name parses back to a policy
+    // that prints the same name.
+    const auto &names = dispatchPolicyNames();
+    ASSERT_EQ(names.size(), 2u);
+    for (const auto &n : names)
+        EXPECT_EQ(name(dispatchPolicyByName(n)), n);
+    EXPECT_EQ(dispatchPolicyByName("static"),
+              DispatchPolicy::Static);
+    EXPECT_EQ(dispatchPolicyByName("packing"),
+              DispatchPolicy::Packing);
+}
+
+TEST(DispatchRegistryDeathTest, UnknownNamesAreFatal)
+{
+    EXPECT_EXIT(dispatchPolicyByName("no_such_dispatch"),
+                testing::ExitedWithCode(1),
+                "unknown dispatch policy.*static\\|packing");
+}
+
 TEST(Packing, ServesTheFullLoad)
 {
     const auto r = runPolicy(DispatchPolicy::Packing,

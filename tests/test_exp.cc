@@ -90,6 +90,38 @@ TEST(ExperimentSpec, FleetModeDefaultsToRoundRobin)
     EXPECT_EQ(grid[0].policy, "round-robin");
 }
 
+TEST(ExperimentSpec, GovernorAxisExpandsBetweenConfigAndPolicy)
+{
+    ExperimentSpec spec;
+    spec.configs = {"baseline", "aw"};
+    spec.governors = {"menu", "teo", "static:C6"};
+    spec.qps = {10e3};
+
+    EXPECT_EQ(spec.gridSize(), 2u * 3u);
+    const auto grid = spec.expand();
+    ASSERT_EQ(grid.size(), 6u);
+    EXPECT_EQ(grid[0].governor, "menu");
+    EXPECT_EQ(grid[1].governor, "teo");
+    EXPECT_EQ(grid[2].governor, "static:C6");
+    EXPECT_EQ(grid[3].config, "aw");
+    EXPECT_EQ(grid[3].governor, "menu");
+    EXPECT_NE(grid[2].label().find("static:C6"), std::string::npos);
+}
+
+TEST(ExperimentSpec, EmptyGovernorAxisLeavesGridUnchanged)
+{
+    // Backward compatibility: without the axis the grid (indices,
+    // seeds, labels) is exactly the pre-governor grid.
+    ExperimentSpec spec;
+    spec.configs = {"baseline", "aw"};
+    spec.qps = {10e3, 20e3};
+    const auto grid = spec.expand();
+    for (const auto &pt : grid) {
+        EXPECT_TRUE(pt.governor.empty());
+        EXPECT_EQ(pt.label().find("menu"), std::string::npos);
+    }
+}
+
 TEST(ExperimentSpec, VariantAxisExpands)
 {
     ExperimentSpec spec;
@@ -130,6 +162,36 @@ TEST(ExperimentSpecDeathTest, RejectsBadSpecs)
     warm.warmupSeconds = 0.1; // warmup with an auto-sized window
     EXPECT_EXIT(warm.validate(), testing::ExitedWithCode(1),
                 "warmupSeconds");
+
+    ExperimentSpec gov;
+    gov.governors = {"no_such_governor"};
+    EXPECT_EXIT(gov.validate(), testing::ExitedWithCode(1),
+                "unknown governor");
+
+    // A static spec naming a state one of the grid's configs
+    // disables must die at validation, not inside a worker.
+    ExperimentSpec mismatch;
+    mismatch.configs = {"c1c6", "c1only"};
+    mismatch.governors = {"static:C6"};
+    EXPECT_EXIT(mismatch.validate(), testing::ExitedWithCode(1),
+                "requires C6 enabled");
+
+    ExperimentSpec oracle_fleet;
+    oracle_fleet.governors = {"oracle"}; // needs foreknowledge
+    oracle_fleet.fleetSizes = {4};
+    EXPECT_EXIT(oracle_fleet.validate(), testing::ExitedWithCode(1),
+                "single-server only");
+
+    ExperimentSpec oracle_packing;
+    oracle_packing.governors = {"oracle"};
+    oracle_packing.dispatch = "packing";
+    EXPECT_EXIT(oracle_packing.validate(),
+                testing::ExitedWithCode(1), "static dispatch");
+
+    ExperimentSpec disp;
+    disp.dispatch = "no_such_dispatch";
+    EXPECT_EXIT(disp.validate(), testing::ExitedWithCode(1),
+                "unknown dispatch");
 }
 
 TEST(ExperimentSpec, RegistriesResolveEveryAdvertisedName)
@@ -283,12 +345,12 @@ TEST(Emit, CsvSchemaIsStable)
     const auto result = SweepRunner(1).run(spec, fakePoint);
     const auto csv = exp::toCsv(result);
     EXPECT_EQ(csv.substr(0, csv.find('\n')),
-              "index,workload,config,policy,variant,servers,qps,"
-              "replica,seed,requests,achieved_qps,window_s,power_w,"
-              "mj_per_request,avg_latency_us,p99_latency_us,"
-              "deep_idle,min_server_deep,max_server_deep,"
-              "busiest_share,res_c0,res_c1,res_c1e,res_c6a,"
-              "res_c6ae,res_c6,answer");
+              "index,workload,config,governor,policy,variant,"
+              "servers,qps,replica,seed,requests,achieved_qps,"
+              "window_s,power_w,mj_per_request,avg_latency_us,"
+              "p99_latency_us,deep_idle,min_server_deep,"
+              "max_server_deep,busiest_share,res_c0,res_c1,res_c1e,"
+              "res_c6a,res_c6ae,res_c6,answer");
     // Header + one line per point, newline-terminated.
     EXPECT_EQ(static_cast<std::size_t>(
                   std::count(csv.begin(), csv.end(), '\n')),
@@ -346,6 +408,31 @@ TEST(SweepDeterminism, SingleServerSweepIsBitIdentical)
     const auto a = SweepRunner(1).run(spec);
     const auto b = SweepRunner(5).run(spec);
     EXPECT_EQ(exp::toCsv(a), exp::toCsv(b));
+}
+
+TEST(SweepDeterminism, GovernorSweepIsBitIdenticalAcrossThreadCounts)
+{
+    // The acceptance-criteria grid, shrunk: every built-in governor
+    // (including the clairvoyant oracle) over the default config,
+    // identical artifact bytes at 1 and 8 threads.
+    ExperimentSpec spec;
+    spec.name = "governor-determinism";
+    spec.configs = {"baseline"};
+    spec.governors = {"menu", "teo", "ladder", "oracle",
+                      "static:C6"};
+    spec.qps = {30e3};
+    spec.seconds = 0.03;
+    spec.warmupSeconds = 0.003;
+
+    const auto serial = SweepRunner(1).run(spec);
+    const auto parallel = SweepRunner(8).run(spec);
+    EXPECT_EQ(exp::toCsv(serial), exp::toCsv(parallel));
+    EXPECT_EQ(exp::toJson(serial), exp::toJson(parallel));
+
+    // And the axis actually changes behavior: always-C6 spends far
+    // more time deep than menu at this load.
+    EXPECT_GT(serial.at({.governor = "static:C6"}).deepIdleShare,
+              serial.at({.governor = "menu"}).deepIdleShare + 0.2);
 }
 
 TEST(SweepDeterminism, ReplicasDifferButRerunsDoNot)

@@ -57,9 +57,31 @@ TEST(Predictor, ResetClears)
     EXPECT_EQ(p.predict(), Tick(0));
 }
 
+TEST(Predictor, ResetDiscardsPreResetObservations)
+{
+    // Regression: reset() used to leave the old samples in the
+    // window. A post-reset predictor must behave exactly like a
+    // fresh one under the same observations -- no pre-reset history
+    // may leak into any prediction.
+    IdlePredictor stale;
+    for (int i = 0; i < 20; ++i)
+        stale.observe(fromMs(10.0)); // long pre-reset history
+    stale.reset();
+
+    IdlePredictor fresh;
+    for (int i = 0; i < 12; ++i) {
+        const Tick obs = fromUs(30.0 * (1 + i % 3));
+        stale.observe(obs);
+        fresh.observe(obs);
+        EXPECT_EQ(stale.predict(), fresh.predict()) << "after "
+                                                    << i + 1
+                                                    << " samples";
+    }
+}
+
 TEST(Governor, PicksDeepestAffordableState)
 {
-    const IdleGovernor gov(CStateConfig::legacyBaseline());
+    const MenuGovernor gov(CStateConfig::legacyBaseline());
     // Predicted 1 us: only C1's 2 us target is above; pick C1
     // (the shallowest) as the fallback.
     EXPECT_EQ(gov.selectFor(fromUs(1.0)), CStateId::C1);
@@ -73,7 +95,7 @@ TEST(Governor, PicksDeepestAffordableState)
 
 TEST(Governor, AwConfigMapsLikeLegacy)
 {
-    const IdleGovernor gov(CStateConfig::aw());
+    const MenuGovernor gov(CStateConfig::aw());
     EXPECT_EQ(gov.selectFor(fromUs(5.0)), CStateId::C6A);
     EXPECT_EQ(gov.selectFor(fromUs(50.0)), CStateId::C6AE);
     EXPECT_EQ(gov.selectFor(fromMs(1.0)), CStateId::C6);
@@ -81,39 +103,39 @@ TEST(Governor, AwConfigMapsLikeLegacy)
 
 TEST(Governor, RespectsDisabledStates)
 {
-    const IdleGovernor gov(CStateConfig::legacyNoC6());
+    const MenuGovernor gov(CStateConfig::legacyNoC6());
     EXPECT_EQ(gov.selectFor(fromMs(10.0)), CStateId::C1E);
 
-    const IdleGovernor c1only(CStateConfig::legacyNoC6NoC1E());
+    const MenuGovernor c1only(CStateConfig::legacyNoC6NoC1E());
     EXPECT_EQ(c1only.selectFor(fromMs(10.0)), CStateId::C1);
 }
 
 TEST(Governor, NoIdleStatesSelectsC0)
 {
-    const IdleGovernor gov{CStateConfig()};
+    const MenuGovernor gov{CStateConfig()};
     EXPECT_EQ(gov.selectFor(fromMs(10.0)), CStateId::C0);
 }
 
 TEST(Governor, SelectUsesPredictor)
 {
-    IdleGovernor gov(CStateConfig::legacyBaseline());
+    MenuGovernor gov(CStateConfig::legacyBaseline());
     // Unseeded: prediction 0 -> shallowest.
-    EXPECT_EQ(gov.select(), CStateId::C1);
+    EXPECT_EQ(gov.select(0), CStateId::C1);
     for (int i = 0; i < 30; ++i)
         gov.observeIdle(fromMs(2.0));
-    EXPECT_EQ(gov.select(), CStateId::C6);
+    EXPECT_EQ(gov.select(0), CStateId::C6);
 }
 
 TEST(Governor, IrregularTrafficAvoidsDeepStates)
 {
     // The Sec 1 story: irregular arrivals keep the predictor
     // conservative, so cores rarely pick C6.
-    IdleGovernor gov(CStateConfig::legacyBaseline());
+    MenuGovernor gov(CStateConfig::legacyBaseline());
     for (int i = 0; i < 10; ++i) {
         gov.observeIdle(fromMs(2.0));
         gov.observeIdle(fromUs(30.0));
     }
-    EXPECT_NE(gov.select(), CStateId::C6);
+    EXPECT_NE(gov.select(0), CStateId::C6);
 }
 
 /** Property: the selected state's target residency never exceeds
@@ -125,7 +147,7 @@ class GovernorSweep : public ::testing::TestWithParam<double>
 TEST_P(GovernorSweep, TargetResidencyRespected)
 {
     const Tick predicted = fromUs(GetParam());
-    const IdleGovernor gov(CStateConfig::legacyBaseline());
+    const MenuGovernor gov(CStateConfig::legacyBaseline());
     const CStateId chosen = gov.selectFor(predicted);
     if (chosen != gov.config().shallowestEnabled()) {
         EXPECT_LE(descriptor(chosen).targetResidency, predicted);

@@ -124,11 +124,11 @@ TEST(PropertyGovernor, FuzzOnlySelectsEnabledStates)
         cstate::CStateConfig::legacyC1C6(),
     };
     for (const auto &config : configs) {
-        cstate::IdleGovernor gov(config);
+        cstate::MenuGovernor gov(config);
         for (int i = 0; i < 2000; ++i) {
             gov.observeIdle(
                 fromUs(rng.boundedPareto(0.1, 100000.0, 1.1)));
-            const CStateId chosen = gov.select();
+            const CStateId chosen = gov.select(0);
             EXPECT_TRUE(config.enabled(chosen) ||
                         chosen == CStateId::C0)
                 << cstate::name(chosen) << " not in "
@@ -141,7 +141,7 @@ TEST(PropertyGovernor, DeeperPredictionsNeverPickShallower)
 {
     // Monotonicity: a longer predicted idle can only select an
     // equal-or-deeper state.
-    const cstate::IdleGovernor gov(
+    const cstate::MenuGovernor gov(
         cstate::CStateConfig::legacyBaseline());
     int prev_depth = -1;
     for (double us = 0.5; us < 100000.0; us *= 1.7) {

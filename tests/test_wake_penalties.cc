@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "cstate/governors.hh"
 #include "server/core_sim.hh"
 #include "workload/profiles.hh"
 #include "workload/service.hh"
@@ -37,7 +38,8 @@ struct Harness
 {
     explicit Harness(ServerConfig config)
         : cfg(std::move(config)), profile(probeProfile()),
-          core(simr, cfg, aw_model, profile, 200.0, 0,
+          governor(cstate::makeGovernor(cfg.governor, cfg.cstates)),
+          core(simr, cfg, *governor, aw_model, profile, 200.0, 0,
                [this](const workload::Request &req) {
                    latencies.push_back(
                        toUs(req.serverLatency()));
@@ -64,6 +66,7 @@ struct Harness
     ServerConfig cfg;
     core::AwCoreModel aw_model;
     workload::WorkloadProfile profile;
+    std::unique_ptr<cstate::GovernorPolicy> governor;
     std::vector<double> latencies;
     CoreSim core;
 };

@@ -52,6 +52,13 @@ usage()
         "nt_no_c6_no_c1e|nt_aw|\n"
         "                    t_no_c6|t_no_c6_no_c1e|t_aw|c1c6|"
         "c1only|aw_c6a\n"
+        "  --governor SPEC   idle governor: menu|teo|ladder|"
+        "static:<state>|oracle\n"
+        "                    (default menu; oracle is single-server "
+        "static\n"
+        "                    dispatch only)\n"
+        "  --dispatch NAME   request-to-core mapping: "
+        "static|packing\n"
         "  --qps N           offered load, requests/s (default "
         "100000)\n"
         "  --seconds S       measured window (default: sized to "
@@ -130,10 +137,10 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
             : fleet.run();
 
     std::printf("fleet=%u route=%s workload=%s config=%s "
-                "qps=%.0f seed=%llu%s\n\n",
+                "governor=%s qps=%.0f seed=%llu%s\n\n",
                 r.servers, r.routingName.c_str(),
                 r.workloadName.c_str(), r.configName.c_str(),
-                r.offeredQps,
+                fleet_cfg.server.governor.c_str(), r.offeredQps,
                 static_cast<unsigned long long>(fleet_cfg.seed),
                 fleet_cfg.schedule.isFlat() ? "" : " diurnal");
 
@@ -193,6 +200,8 @@ main(int argc, char **argv)
 {
     std::string workload_name = "memcached";
     std::string config_name = "baseline";
+    std::string governor; //!< empty = config default ("menu")
+    std::string dispatch; //!< empty = config default ("static")
     double qps = 100e3;
     double seconds = 0.0;
     double warmup = -1.0;
@@ -225,6 +234,10 @@ main(int argc, char **argv)
             workload_name = next("--workload");
         } else if (arg == "--config") {
             config_name = next("--config");
+        } else if (arg == "--governor") {
+            governor = next("--governor");
+        } else if (arg == "--dispatch") {
+            dispatch = next("--dispatch");
         } else if (arg == "--qps") {
             qps = std::atof(next("--qps"));
         } else if (arg == "--seconds") {
@@ -280,8 +293,15 @@ main(int argc, char **argv)
     cfg.snoopRatePerSec = snoops;
     cfg.runAtPn = pn;
     cfg.packageCStatesEnabled = package;
+    if (!governor.empty())
+        cfg.governor = governor;
+    if (packing && !dispatch.empty() && dispatch != "packing")
+        sim::fatal("--packing conflicts with --dispatch %s",
+                   dispatch.c_str());
     if (packing)
         cfg.dispatch = server::DispatchPolicy::Packing;
+    if (!dispatch.empty())
+        cfg.dispatch = server::dispatchPolicyByName(dispatch);
 
     if (fleet == 0 && fleet_flag)
         sim::fatal("%s requires --fleet N", fleet_flag);
@@ -326,12 +346,12 @@ main(int argc, char **argv)
                                                  : seconds / 10.0))
             : srv.run();
 
-    std::printf("workload=%s config=%s qps=%.0f cores=%u seed=%llu"
-                "%s%s%s\n\n",
+    std::printf("workload=%s config=%s governor=%s dispatch=%s "
+                "qps=%.0f cores=%u seed=%llu%s%s\n\n",
                 r.workloadName.c_str(), r.configName.c_str(),
+                cfg.governor.c_str(), server::name(cfg.dispatch),
                 r.offeredQps, cores,
                 static_cast<unsigned long long>(seed),
-                packing ? " packing" : "",
                 package ? " package" : "", pn ? " pn" : "");
 
     analysis::TableWriter t({"metric", "value"});

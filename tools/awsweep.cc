@@ -49,6 +49,9 @@ usage()
         "grid axes (comma-separated lists):\n"
         "  --workloads A,B   workload profiles (default memcached)\n"
         "  --configs A,B     server configs (default baseline)\n"
+        "  --governors A,B   idle governors (menu|teo|ladder|\n"
+        "                    static:<state>|oracle; default: config\n"
+        "                    default; oracle is single-server only)\n"
         "  --policies A,B    routing policies (fleet mode only;\n"
         "                    default round-robin)\n"
         "  --fleet N,M       fleet sizes; omit for single-server\n"
@@ -59,6 +62,9 @@ usage()
         "  --seconds S       measured window (default: auto-sized)\n"
         "  --warmup S        warmup (default: window/10)\n"
         "  --cores N         per-server core count (default: config)\n"
+        "  --dispatch NAME   request-to-core mapping for every "
+        "point\n"
+        "                    (static|packing; default: config)\n"
         "  --seed N          top-level seed (default 42)\n"
         "\nexecution and artifacts:\n"
         "  --threads N       worker threads (default: hardware)\n"
@@ -148,6 +154,10 @@ main(int argc, char **argv)
             spec.workloads = splitList(next("--workloads"));
         } else if (arg == "--configs") {
             spec.configs = splitList(next("--configs"));
+        } else if (arg == "--governors") {
+            spec.governors = splitList(next("--governors"));
+        } else if (arg == "--dispatch") {
+            spec.dispatch = next("--dispatch");
         } else if (arg == "--policies") {
             spec.policies = splitList(next("--policies"));
         } else if (arg == "--fleet") {
@@ -202,11 +212,13 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(spec.seed),
                     result.wallSeconds);
         analysis::TableWriter t(
-            {"workload", "config", "policy", "K", "qps", "rep",
-             "power W", "mJ/req", "avg us", "p99 us", "deep idle"});
+            {"workload", "config", "governor", "policy", "K", "qps",
+             "rep", "power W", "mJ/req", "avg us", "p99 us",
+             "deep idle"});
         for (const auto &p : result.points) {
             const auto &pt = p.point;
             t.addRow({pt.workload, pt.config,
+                      pt.governor.empty() ? "-" : pt.governor,
                       pt.policy.empty() ? "-" : pt.policy,
                       pt.servers ? analysis::cell("%u", pt.servers)
                                  : std::string("-"),
