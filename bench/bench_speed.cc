@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simulation-kernel speed harness: the awperf scenario registry as
+ * a bench binary, plus kernel microbenchmarks.
+ *
+ * The reproduction pass prints the pinned-scenario throughput table
+ * (the same numbers `awperf` reports and results/BENCH_perf.json
+ * records); the microbenchmarks isolate the discrete-event kernel
+ * primitives (schedule/fire churn, cancellation) and the end-to-end
+ * single-server step the sweeps are built from. See
+ * docs/PERFORMANCE.md for how these feed the CI perf gate.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "exp/perf.hh"
+#include "exp/spec.hh"
+#include "server/server_sim.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace aw;
+
+void
+reproduce()
+{
+    banner("Simulation-kernel throughput (awperf pinned scenarios)");
+    analysis::TableWriter t({"scenario", "wall s", "sim s",
+                             "sim/wall", "events/s"});
+    for (const auto &s : exp::perfScenarios()) {
+        const auto m = exp::measurePerfScenario(s, 2);
+        t.addRow({m.name, analysis::cell("%.3f", m.wallSeconds),
+                  analysis::cell("%.2f", m.totals.simSeconds),
+                  analysis::cell("%.1f", m.simPerWall()),
+                  analysis::cell("%.3g", m.eventsPerSec())});
+    }
+    t.print();
+    std::printf("\nJSON artifact: awperf --json "
+                "results/BENCH_perf.json "
+                "(gated by scripts/check_perf.py)\n");
+}
+
+/** Kernel churn: schedule + fire through a small pending set, the
+ *  steady-state shape of a loaded server's event queue. */
+void
+BM_EventKernelChurn(benchmark::State &state)
+{
+    const std::size_t pending = state.range(0);
+    sim::Simulator simr;
+    std::uint64_t sink = 0;
+    sim::Tick when = 1;
+    for (std::size_t i = 0; i < pending; ++i)
+        simr.schedule(when++, [&sink]() { ++sink; });
+    for (auto _ : state) {
+        // Fire the oldest event; every fire schedules a successor,
+        // keeping the pending population constant.
+        simr.run(simr.queue().nextTick());
+        simr.schedule(when++, [&sink]() { ++sink; });
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventKernelChurn)->Arg(16)->Arg(256);
+
+/** Cancellation lifecycle: schedule + cancel, with the periodic
+ *  stale-key sweep included so the queue's memory stays bounded at
+ *  benchmark iteration counts (cancelled keys are reclaimed lazily
+ *  when they surface, which is part of the cost being measured). */
+void
+BM_EventCancel(benchmark::State &state)
+{
+    sim::Simulator simr;
+    sim::Tick when = 1;
+    std::size_t pending = 0;
+    for (auto _ : state) {
+        const auto id = simr.schedule(when++, []() {});
+        simr.cancel(id);
+        if (++pending == 4096) {
+            simr.run(when); // sweeps the cancelled keys
+            pending = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventCancel);
+
+/** End-to-end single-server step: the unit of work every sweep grid
+ *  cell multiplies. */
+void
+BM_SingleServerRun(benchmark::State &state)
+{
+    const auto profile = exp::profileByName("memcached");
+    const auto cfg = exp::configByName("aw");
+    for (auto _ : state) {
+        server::ServerSim srv(cfg, profile, 100e3);
+        const auto r =
+            srv.run(sim::fromMs(50.0), sim::fromMs(5.0));
+        benchmark::DoNotOptimize(r.requests);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleServerRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AW_BENCH_MAIN(reproduce)

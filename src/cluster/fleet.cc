@@ -21,7 +21,7 @@ class OutstandingView : public FleetView
     std::size_t servers() const override { return _counts.size(); }
     unsigned outstanding(std::size_t i) const override
     {
-        return _counts.at(i);
+        return _counts[i]; // route() is bounded by servers()
     }
 
   private:
@@ -189,6 +189,7 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
 
         fr.window = r.window;
         fr.requests += r.requests;
+        fr.events += r.events;
         fr.fleetPower += r.packagePower;
         const double deep = deepIdleShare(r.residency);
         if (i == 0) {

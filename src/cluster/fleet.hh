@@ -88,6 +88,10 @@ struct FleetResult
     std::uint64_t requests = 0;
     double achievedQps = 0.0;
 
+    /** Kernel events executed across all servers (warmup included;
+     *  perf telemetry only, never emitted into artifacts). */
+    std::uint64_t events = 0;
+
     /** Arrivals the balancer routed over the whole run (including
      *  warmup), total and per server. */
     std::uint64_t routed = 0;

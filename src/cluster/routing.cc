@@ -20,10 +20,17 @@ RandomRouting::route(const FleetView &view, sim::Rng &rng)
 std::size_t
 LeastOutstandingRouting::route(const FleetView &view, sim::Rng &)
 {
+    const std::size_t n = view.servers();
+    if (n == 0)
+        return 0;
     std::size_t best = 0;
-    for (std::size_t i = 1; i < view.servers(); ++i) {
-        if (view.outstanding(i) < view.outstanding(best))
+    unsigned best_out = view.outstanding(0);
+    for (std::size_t i = 1; i < n; ++i) {
+        const unsigned out = view.outstanding(i);
+        if (out < best_out) {
             best = i;
+            best_out = out;
+        }
     }
     return best;
 }
@@ -38,12 +45,19 @@ PackFirstRouting::PackFirstRouting(unsigned capacity)
 std::size_t
 PackFirstRouting::route(const FleetView &view, sim::Rng &)
 {
+    const std::size_t n = view.servers();
+    if (n == 0)
+        return 0;
     std::size_t best = 0;
-    for (std::size_t i = 0; i < view.servers(); ++i) {
-        if (view.outstanding(i) < _capacity)
+    unsigned best_out = view.outstanding(0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned out = view.outstanding(i);
+        if (out < _capacity)
             return i;
-        if (view.outstanding(i) < view.outstanding(best))
+        if (out < best_out) {
             best = i;
+            best_out = out;
+        }
     }
     return best; // everyone at capacity: spill to the least loaded
 }

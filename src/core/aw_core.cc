@@ -15,6 +15,13 @@ AwCoreModel::AwCoreModel()
     _ppa = std::make_unique<AwPpaModel>(*_ufpg, *_ccsm);
 }
 
+const AwCoreModel &
+AwCoreModel::canonical()
+{
+    static const AwCoreModel model;
+    return model;
+}
+
 cstate::TransitionEngine
 AwCoreModel::makeTransitionEngine() const
 {

@@ -32,6 +32,17 @@ class AwCoreModel
   public:
     AwCoreModel();
 
+    /**
+     * The shared immutable instance. The model is a pure function of
+     * the calibrated paper constants -- every construction yields
+     * identical values -- so simulators that only read it (ServerSim
+     * builds one per server otherwise) share this one instead of
+     * re-deriving the whole stack per run. Callers that want to
+     * mutate the model (examples exploring parameter ranges) must
+     * construct their own instance.
+     */
+    static const AwCoreModel &canonical();
+
     const uarch::UnitInventory &inventory() const { return *_inventory; }
     uarch::PrivateCaches &caches() { return *_caches; }
     const uarch::PrivateCaches &caches() const { return *_caches; }

@@ -4,51 +4,31 @@
 
 namespace aw::cstate {
 
-std::vector<CStateId>
-CStateConfig::enabledStates() const
+void
+CStateConfig::rebuildCache()
 {
-    std::vector<CStateId> out;
+    _count = 0;
+    _anyAw = false;
     for (std::size_t i = 0; i < kNumCStates; ++i) {
         const auto id = static_cast<CStateId>(i);
         if (id == CStateId::C0 || !_enabled[i])
             continue;
-        out.push_back(id);
+        _sorted[_count++] = id;
+        _anyAw = _anyAw || descriptor(id).isAgileWatts;
     }
-    std::sort(out.begin(), out.end(),
+    std::sort(_sorted.begin(), _sorted.begin() + _count,
               [](CStateId a, CStateId b) {
                   return descriptor(a).depth < descriptor(b).depth;
               });
-    return out;
+    _shallowest = _count ? _sorted[0] : CStateId::C0;
+    _deepest = _count ? _sorted[_count - 1] : CStateId::C0;
 }
 
-CStateId
-CStateConfig::deepestEnabled() const
+std::vector<CStateId>
+CStateConfig::enabledStates() const
 {
-    const auto states = enabledStates();
-    return states.empty() ? CStateId::C0 : states.back();
-}
-
-CStateId
-CStateConfig::shallowestEnabled() const
-{
-    const auto states = enabledStates();
-    return states.empty() ? CStateId::C0 : states.front();
-}
-
-bool
-CStateConfig::anyEnabled() const
-{
-    return !enabledStates().empty();
-}
-
-bool
-CStateConfig::usesAgileWatts() const
-{
-    for (const auto id : enabledStates()) {
-        if (descriptor(id).isAgileWatts)
-            return true;
-    }
-    return false;
+    return std::vector<CStateId>(_sorted.begin(),
+                                 _sorted.begin() + _count);
 }
 
 CStateConfig
@@ -103,10 +83,10 @@ std::string
 CStateConfig::describe() const
 {
     std::string out;
-    for (const auto id : enabledStates()) {
+    for (std::size_t i = 0; i < _count; ++i) {
         if (!out.empty())
             out += "+";
-        out += name(id);
+        out += name(_sorted[i]);
     }
     return out.empty() ? "none" : out;
 }

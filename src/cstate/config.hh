@@ -4,12 +4,19 @@
  *
  * Mirrors the BIOS/OS knobs the paper's evaluation toggles
  * (disabling C6, disabling C1E, replacing C1/C1E with C6A/C6AE).
+ *
+ * The enabled set is precomputed depth-sorted on every set() call,
+ * so the queries the idle-governance hot path issues per idle period
+ * (deepest/shallowest/ordered iteration) are O(1) array reads with
+ * no allocation -- set() is a handful of configuration-time calls,
+ * select() runs millions of times per simulated second.
  */
 
 #ifndef AW_CSTATE_CONFIG_HH
 #define AW_CSTATE_CONFIG_HH
 
 #include <array>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -30,25 +37,36 @@ class CStateConfig
     set(CStateId id, bool on = true)
     {
         _enabled.at(index(id)) = on;
+        rebuildCache();
         return *this;
     }
 
     bool enabled(CStateId id) const { return _enabled.at(index(id)); }
 
-    /** All enabled idle states, shallowest first. */
+    /** All enabled idle states, shallowest first (materialized; for
+     *  iteration on hot paths prefer sorted()/sortedCount()). */
     std::vector<CStateId> enabledStates() const;
 
+    /** @{ Allocation-free view of the enabled set, shallowest
+     *  first: sorted()[0 .. sortedCount()). */
+    const std::array<CStateId, kNumCStates> &sorted() const
+    {
+        return _sorted;
+    }
+    std::size_t sortedCount() const { return _count; }
+    /** @} */
+
     /** Deepest enabled idle state (C0 if none). */
-    CStateId deepestEnabled() const;
+    CStateId deepestEnabled() const { return _deepest; }
 
     /** Shallowest enabled idle state (C0 if none). */
-    CStateId shallowestEnabled() const;
+    CStateId shallowestEnabled() const { return _shallowest; }
 
     /** True if any idle state is enabled. */
-    bool anyEnabled() const;
+    bool anyEnabled() const { return _count > 0; }
 
     /** True if an AgileWatts state is enabled. */
-    bool usesAgileWatts() const;
+    bool usesAgileWatts() const { return _anyAw; }
 
     /** @{ Named presets used throughout the evaluation.
      *
@@ -69,7 +87,19 @@ class CStateConfig
     std::string describe() const;
 
   private:
+    /** Recompute the depth-sorted enabled set and the derived
+     *  scalars; called on every set(). */
+    void rebuildCache();
+
     std::array<bool, kNumCStates> _enabled;
+
+    /** @{ Cache derived from _enabled. */
+    std::array<CStateId, kNumCStates> _sorted{};
+    std::size_t _count = 0;
+    CStateId _deepest = CStateId::C0;
+    CStateId _shallowest = CStateId::C0;
+    bool _anyAw = false;
+    /** @} */
 };
 
 } // namespace aw::cstate

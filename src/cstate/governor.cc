@@ -11,24 +11,30 @@ IdlePredictor::predict() const
     if (!_seeded)
         return 0;
     const std::size_t n = std::min(_next, kWindow);
-    std::array<double, kWindow> vals{};
-    for (std::size_t i = 0; i < n; ++i)
-        vals[i] = static_cast<double>(_window[i]);
-    std::sort(vals.begin(), vals.begin() + n);
+    // observe() maintains the sorted mirror incrementally, so the
+    // per-idle-period cost here is one pass of prefix sums instead
+    // of a sort.
+    const auto &vals = _sortedVals;
 
     // Discard the largest samples while the remainder is still
-    // high-variance, but keep at least half the window.
+    // high-variance, but keep at least half the window. Prefix sums
+    // make each candidate "keep" an O(1) lookup; the running sums
+    // accumulate in the same index order as a direct loop over
+    // vals[0..keep), so every mean/variance is the exact double the
+    // naive recomputation would produce.
+    std::array<double, kWindow + 1> sum{};
+    std::array<double, kWindow + 1> sumsq{};
+    for (std::size_t i = 0; i < n; ++i) {
+        sum[i + 1] = sum[i] + vals[i];
+        sumsq[i + 1] = sumsq[i] + vals[i] * vals[i];
+    }
+
     std::size_t keep = n;
     double mean = 0.0;
     while (true) {
-        double sum = 0.0, sumsq = 0.0;
-        for (std::size_t i = 0; i < keep; ++i) {
-            sum += vals[i];
-            sumsq += vals[i] * vals[i];
-        }
-        mean = sum / static_cast<double>(keep);
+        mean = sum[keep] / static_cast<double>(keep);
         const double var =
-            sumsq / static_cast<double>(keep) - mean * mean;
+            sumsq[keep] / static_cast<double>(keep) - mean * mean;
         const double stddev = std::sqrt(std::max(0.0, var));
         if (keep <= (n + 1) / 2 || keep <= 1 ||
             (mean > 0.0 && stddev / mean <= _cvThreshold)) {
@@ -41,19 +47,25 @@ IdlePredictor::predict() const
     return typical < _last ? typical : _last;
 }
 
-CStateId
-GovernorPolicy::deepestFitting(sim::Tick predicted_idle) const
+FitTable::FitTable(const CStateConfig &config)
 {
-    const auto states = _config.enabledStates();
-    if (states.empty())
-        return CStateId::C0;
-
-    CStateId chosen = states.front();
-    for (const auto id : states) {
-        if (descriptor(id).targetResidency <= predicted_idle)
-            chosen = id;
+    _count = config.sortedCount();
+    for (std::size_t i = 0; i < _count; ++i) {
+        const CStateId id = config.sorted()[i];
+        _states[i] = id;
+        _targets[i] = descriptor(id).targetResidency;
+        _depths[i] = descriptor(id).depth;
     }
-    return chosen;
+    for (std::size_t s = 0; s < kNumCStates; ++s) {
+        const int depth =
+            descriptor(static_cast<CStateId>(s)).depth;
+        sim::Tick first = sim::kMaxTick;
+        for (std::size_t i = 0; i < _count; ++i) {
+            if (_depths[i] > depth && _targets[i] < first)
+                first = _targets[i];
+        }
+        _firstDeeper[s] = first;
+    }
 }
 
 } // namespace aw::cstate

@@ -22,6 +22,7 @@
 #ifndef AW_CSTATE_GOVERNOR_HH
 #define AW_CSTATE_GOVERNOR_HH
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <functional>
@@ -65,6 +66,25 @@ class IdlePredictor
     void
     observe(sim::Tick idle)
     {
+        const std::size_t n = std::min(_next, kWindow);
+        const double incoming = static_cast<double>(idle);
+        if (_next >= kWindow) {
+            // Ring is full: swap the evicted sample out of the
+            // sorted mirror (any instance of an equal value leaves
+            // the same multiset).
+            const double evicted =
+                static_cast<double>(_window[_next % kWindow]);
+            std::size_t i = 0;
+            while (_sortedVals[i] != evicted)
+                ++i;
+            while (i + 1 < n) {
+                _sortedVals[i] = _sortedVals[i + 1];
+                ++i;
+            }
+            insertSorted(incoming, n - 1);
+        } else {
+            insertSorted(incoming, n);
+        }
         _window[_next % kWindow] = idle;
         ++_next;
         _last = idle;
@@ -85,17 +105,84 @@ class IdlePredictor
         // surviving a reset are a landmine for any future reader
         // that walks the whole window.
         _window.fill(0);
+        _sortedVals.fill(0.0);
         _seeded = false;
         _next = 0;
         _last = 0;
     }
 
   private:
+    /** Shift-insert @p v into the first @p n sorted slots. */
+    void
+    insertSorted(double v, std::size_t n)
+    {
+        std::size_t i = n;
+        while (i > 0 && _sortedVals[i - 1] > v) {
+            _sortedVals[i] = _sortedVals[i - 1];
+            --i;
+        }
+        _sortedVals[i] = v;
+    }
+
     double _cvThreshold;
     std::array<sim::Tick, kWindow> _window{};
+    /** The window's samples kept sorted ascending (as doubles), so
+     *  predict() -- called once per idle period -- never re-sorts. */
+    std::array<double, kWindow> _sortedVals{};
     std::size_t _next = 0;
     sim::Tick _last = 0;
     bool _seeded = false;
+};
+
+/**
+ * Per-policy cache of the enabled states' selection attributes
+ * (depth-sorted ids + target residencies), so the per-idle-period
+ * deepest-fitting scan reads a flat 2x8-word array instead of
+ * materializing vectors and chasing the descriptor table. Built once
+ * at policy construction -- a policy's CStateConfig is immutable.
+ */
+class FitTable
+{
+  public:
+    FitTable() = default;
+    explicit FitTable(const CStateConfig &config);
+
+    std::size_t count() const { return _count; }
+    CStateId state(std::size_t i) const { return _states[i]; }
+    sim::Tick target(std::size_t i) const { return _targets[i]; }
+    int depth(std::size_t i) const { return _depths[i]; }
+
+    /** Deepest state whose target residency @p idle covers;
+     *  fallback to the shallowest (or C0 when the table is empty). */
+    CStateId
+    deepestFitting(sim::Tick idle) const
+    {
+        if (_count == 0)
+            return CStateId::C0;
+        CStateId chosen = _states[0];
+        for (std::size_t i = 0; i < _count; ++i) {
+            if (_targets[i] <= idle)
+                chosen = _states[i];
+        }
+        return chosen;
+    }
+
+    /** Smallest target residency among enabled states strictly
+     *  deeper than @p current (kMaxTick if none) -- the idle length
+     *  at which deepestFitting() starts outranking @p current.
+     *  Precomputed per state; this is read once per idle period. */
+    sim::Tick
+    firstDeeperTarget(CStateId current) const
+    {
+        return _firstDeeper[index(current)];
+    }
+
+  private:
+    std::array<CStateId, kNumCStates> _states{};
+    std::array<sim::Tick, kNumCStates> _targets{};
+    std::array<int, kNumCStates> _depths{};
+    std::array<sim::Tick, kNumCStates> _firstDeeper{};
+    std::size_t _count = 0;
 };
 
 /**
@@ -126,7 +213,7 @@ class GovernorPolicy
         std::function<double(CStateId state, sim::Tick idle_len)>;
 
     explicit GovernorPolicy(CStateConfig config)
-        : _config(std::move(config))
+        : _config(std::move(config)), _fit(_config)
     {}
     virtual ~GovernorPolicy() = default;
 
@@ -170,6 +257,24 @@ class GovernorPolicy
      *  idle core does not churn the event queue for nothing. */
     virtual bool canPromote() const { return true; }
 
+    /**
+     * Smallest realized idle length at which reselect() could pick a
+     * state deeper than @p current, or kMaxTick if no deeper enabled
+     * state exists. Lets the host batch OS-tick promotion checks: it
+     * schedules one tick at the first multiple of the promotion
+     * interval past this horizon instead of re-ticking an idle core
+     * through checks that cannot change anything. The default
+     * matches the default reselect() (target-residency thresholds);
+     * a policy that overrides reselect() with different dynamics
+     * must override this too -- returning 0 restores the
+     * conservative check-every-tick behavior.
+     */
+    virtual sim::Tick
+    promotionHorizon(CStateId current) const
+    {
+        return _fit.firstDeeperTarget(current);
+    }
+
     /** True if select() needs the simulator's clairvoyant callback
      *  (the oracle policy). The host must setOracle() before the
      *  first select(), and must refuse to run the policy when it
@@ -192,10 +297,18 @@ class GovernorPolicy
      * prediction horizon to halt in), or C0 (poll) if no idle state
      * is enabled.
      */
-    CStateId deepestFitting(sim::Tick predicted_idle) const;
+    CStateId
+    deepestFitting(sim::Tick predicted_idle) const
+    {
+        return _fit.deepestFitting(predicted_idle);
+    }
+
+    /** The cached selection attributes of the enabled states. */
+    const FitTable &fitTable() const { return _fit; }
 
   private:
     CStateConfig _config;
+    FitTable _fit;
 };
 
 /**

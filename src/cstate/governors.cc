@@ -10,21 +10,21 @@ namespace aw::cstate {
 
 TeoGovernor::TeoGovernor(CStateConfig config)
     : GovernorPolicy(std::move(config)),
-      _states(this->config().enabledStates()),
-      _bins(_states.size(), 0)
+      _bins(fitTable().count(), 0)
 {}
 
 void
 TeoGovernor::observeIdle(sim::Tick idle)
 {
-    if (_states.empty())
+    const auto &fit = fitTable();
+    if (fit.count() == 0)
         return;
     // The state that would have been the right call for this
     // interval: deepest whose target residency it covers (bin 0 --
     // the shallowest -- catches everything shorter).
     std::size_t bin = 0;
-    for (std::size_t i = 0; i < _states.size(); ++i) {
-        if (descriptor(_states[i]).targetResidency <= idle)
+    for (std::size_t i = 0; i < fit.count(); ++i) {
+        if (fit.target(i) <= idle)
             bin = i;
     }
     for (auto &b : _bins)
@@ -36,24 +36,25 @@ CStateId
 TeoGovernor::select(sim::Tick now)
 {
     (void)now;
-    if (_states.empty())
+    const auto &fit = fitTable();
+    if (fit.count() == 0)
         return CStateId::C0;
     std::uint64_t total = 0;
     for (const auto b : _bins)
         total += b;
     if (total == 0)
-        return _states.front(); // no history yet: be conservative
+        return fit.state(0); // no history yet: be conservative
 
     // Deepest state whose own-or-deeper bins hold at least half the
     // retained history; the mass in shallower bins is the recent
     // "intercept" evidence vetoing a deeper entry.
     std::uint64_t deep_mass = 0;
-    for (std::size_t i = _states.size(); i-- > 0;) {
+    for (std::size_t i = fit.count(); i-- > 0;) {
         deep_mass += _bins[i];
         if (2 * deep_mass >= total)
-            return _states[i];
+            return fit.state(i);
     }
-    return _states.front();
+    return fit.state(0);
 }
 
 void
@@ -71,28 +72,29 @@ TeoGovernor::clone() const
 // --------------------------------------------------- LadderGovernor
 
 LadderGovernor::LadderGovernor(CStateConfig config)
-    : GovernorPolicy(std::move(config)),
-      _states(this->config().enabledStates())
+    : GovernorPolicy(std::move(config))
 {}
 
 CStateId
 LadderGovernor::select(sim::Tick now)
 {
     (void)now;
-    if (_states.empty())
+    const auto &fit = fitTable();
+    if (fit.count() == 0)
         return CStateId::C0;
-    return _states[_rung];
+    return fit.state(_rung);
 }
 
 void
 LadderGovernor::observeIdle(sim::Tick idle)
 {
-    if (_states.empty())
+    const auto &fit = fitTable();
+    if (fit.count() == 0)
         return;
-    if (idle >= descriptor(_states[_rung]).targetResidency) {
+    if (idle >= fit.target(_rung)) {
         if (++_hits >= kPromoteHits) {
             _hits = 0;
-            if (_rung + 1 < _states.size())
+            if (_rung + 1 < fit.count())
                 ++_rung;
         }
     } else {

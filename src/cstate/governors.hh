@@ -69,8 +69,8 @@ class TeoGovernor : public GovernorPolicy
     std::unique_ptr<GovernorPolicy> clone() const override;
 
   private:
-    /** Enabled states, shallowest first (bin i <-> _states[i]). */
-    std::vector<CStateId> _states;
+    /** One bin per enabled state (bin i <-> fitTable().state(i),
+     *  shallowest first). */
     std::vector<std::uint64_t> _bins;
 };
 
@@ -98,7 +98,6 @@ class LadderGovernor : public GovernorPolicy
     std::size_t rung() const { return _rung; }
 
   private:
-    std::vector<CStateId> _states;
     std::size_t _rung = 0;
     unsigned _hits = 0;
 };

@@ -1,0 +1,170 @@
+#include "exp/perf.hh"
+
+#include <chrono>
+
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+#include "server/server_sim.hh"
+#include "sim/logging.hh"
+
+namespace aw::exp {
+
+namespace {
+
+/** Horizon of a spec-driven run: measured window plus warmup. */
+double
+horizonSeconds(const ExperimentSpec &spec)
+{
+    const double warmup = spec.warmupSeconds >= 0.0
+                              ? spec.warmupSeconds
+                              : spec.seconds / 10.0;
+    return spec.seconds + warmup;
+}
+
+/** Execute a sweep single-threaded and fold its totals. */
+PerfTotals
+sweepTotals(const ExperimentSpec &spec)
+{
+    const SweepRunner runner(1);
+    const auto result = runner.run(spec);
+    PerfTotals t;
+    for (const auto &p : result.points) {
+        const unsigned instances =
+            p.point.servers > 0 ? p.point.servers : 1;
+        t.simSeconds += horizonSeconds(spec) * instances;
+        t.events += p.events;
+        t.requests += p.requests;
+    }
+    return t;
+}
+
+std::vector<PerfScenario>
+makeScenarios()
+{
+    std::vector<PerfScenario> s;
+
+    // One loaded server: the single-point building block every
+    // sweep scales from (memcached on the AW config at mid load).
+    s.push_back(PerfScenario{
+        "single_memcached",
+        "1 server x memcached x aw config @ 200 KQPS, 1.0 s",
+        []() {
+            server::ServerSim srv(configByName("aw"),
+                                  profileByName("memcached"),
+                                  200e3);
+            const auto r =
+                srv.run(sim::fromSec(1.0), sim::fromSec(0.1));
+            PerfTotals t;
+            t.simSeconds = 1.1;
+            t.events = r.events;
+            t.requests = r.requests;
+            return t;
+        }});
+
+    // The pinned fleet sweep: the PR-2/PR-3 headline grid, single
+    // thread -- the scenario the >= 2x kernel-overhaul claim and
+    // the CI regression gate are anchored on.
+    s.push_back(PerfScenario{
+        "fleet_sweep",
+        "8-server fleet x {aw,c1c6} x {round-robin,pack-first} "
+        "@ 400 KQPS, 0.3 s, 1 thread",
+        []() {
+            ExperimentSpec spec;
+            spec.name = "awperf-fleet";
+            spec.workloads = {"memcached"};
+            spec.configs = {"aw", "c1c6"};
+            spec.policies = {"round-robin", "pack-first"};
+            spec.fleetSizes = {8};
+            spec.qps = {400e3};
+            spec.seconds = 0.3;
+            spec.seed = 42;
+            return sweepTotals(spec);
+        }});
+
+    // The governors axis: exercises every history-driven policy's
+    // per-idle-period hot path (select/observe/promotion).
+    s.push_back(PerfScenario{
+        "governors_axis",
+        "1 server x {c1c6,aw} x {menu,teo,ladder} x {50,200} KQPS, "
+        "0.3 s, 1 thread",
+        []() {
+            ExperimentSpec spec;
+            spec.name = "awperf-governors";
+            spec.workloads = {"memcached"};
+            spec.configs = {"c1c6", "aw"};
+            spec.governors = {"menu", "teo", "ladder"};
+            spec.qps = {50e3, 200e3};
+            spec.seconds = 0.3;
+            spec.seed = 42;
+            return sweepTotals(spec);
+        }});
+
+    return s;
+}
+
+} // namespace
+
+const std::vector<PerfScenario> &
+perfScenarios()
+{
+    static const auto scenarios = makeScenarios();
+    return scenarios;
+}
+
+const PerfScenario *
+findPerfScenario(const std::string &name)
+{
+    for (const auto &s : perfScenarios())
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+PerfMeasurement
+measurePerfScenario(const PerfScenario &scenario, unsigned repeat)
+{
+    if (repeat == 0)
+        sim::fatal("measurePerfScenario: repeat must be >= 1");
+    PerfMeasurement m;
+    m.name = scenario.name;
+    m.repeat = repeat;
+    for (unsigned i = 0; i < repeat; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        m.totals = scenario.run();
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (i == 0 || wall < m.wallSeconds)
+            m.wallSeconds = wall;
+    }
+    return m;
+}
+
+std::string
+perfToJson(const std::vector<PerfMeasurement> &runs)
+{
+    std::string out = "{\n";
+    out += sim::strprintf("  \"schema\": \"%s\",\n", kPerfSchema);
+    out += "  \"generator\": \"awperf\",\n";
+    out += "  \"scenarios\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &m = runs[i];
+        out += i ? ",\n    {" : "\n    {";
+        out += sim::strprintf(
+            "\"name\": \"%s\", \"repeat\": %u, "
+            "\"wall_s\": %.6g, \"sim_s\": %.10g, "
+            "\"events\": %llu, \"requests\": %llu, "
+            "\"sim_per_wall\": %.6g, \"events_per_s\": %.6g, "
+            "\"requests_per_s\": %.6g}",
+            m.name.c_str(), m.repeat, m.wallSeconds,
+            m.totals.simSeconds,
+            static_cast<unsigned long long>(m.totals.events),
+            static_cast<unsigned long long>(m.totals.requests),
+            m.simPerWall(), m.eventsPerSec(), m.requestsPerSec());
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace aw::exp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Simulation-speed telemetry: the pinned awperf scenario registry.
+ *
+ * A PerfScenario is a fixed, named simulation workload (exact spec,
+ * seed, horizon and thread count) whose wall-clock cost is tracked
+ * release to release. The registry is deliberately small and
+ * *pinned*: changing a scenario's definition invalidates every
+ * stored baseline, so additions get new names instead of edits.
+ *
+ * Measurements report wall seconds (best of N repeats -- the
+ * repeatable cost of the work, robust against scheduler noise),
+ * simulated server-seconds per wall second and kernel events per
+ * second. The JSON rendering (schema "aw-perf/1") is what
+ * results/BENCH_perf.json contains and what scripts/check_perf.py
+ * gates CI on; see docs/PERFORMANCE.md for the schema contract.
+ */
+
+#ifndef AW_EXP_PERF_HH
+#define AW_EXP_PERF_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace aw::exp {
+
+/** Work accomplished by one scenario execution. */
+struct PerfTotals
+{
+    /** Simulated server-seconds: each simulator instance's horizon
+     *  (measured window + warmup), summed over instances -- a fleet
+     *  of 8 servers simulating 0.33 s contributes 2.64 s. */
+    double simSeconds = 0.0;
+
+    /** Discrete-event kernel events executed. */
+    std::uint64_t events = 0;
+
+    /** Requests completed in the measured windows. */
+    std::uint64_t requests = 0;
+};
+
+/**
+ * One pinned scenario: a name, a human description and the runner
+ * (single-threaded unless the name says otherwise).
+ */
+struct PerfScenario
+{
+    std::string name;
+    std::string description;
+    std::function<PerfTotals()> run;
+};
+
+/** The pinned registry, in reporting order. */
+const std::vector<PerfScenario> &perfScenarios();
+
+/** Lookup by name; nullptr when unknown. */
+const PerfScenario *findPerfScenario(const std::string &name);
+
+/** One measured scenario. */
+struct PerfMeasurement
+{
+    std::string name;
+    unsigned repeat = 0;
+    double wallSeconds = 0.0; //!< best (minimum) over the repeats
+    PerfTotals totals;
+
+    double
+    simPerWall() const
+    {
+        return wallSeconds > 0.0 ? totals.simSeconds / wallSeconds
+                                 : 0.0;
+    }
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(totals.events) / wallSeconds
+                   : 0.0;
+    }
+
+    double
+    requestsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(totals.requests) /
+                         wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Run @p scenario @p repeat times (>= 1) and keep the best wall
+ * clock; totals are identical across repeats (the simulations are
+ * deterministic) and taken from the last run.
+ */
+PerfMeasurement measurePerfScenario(const PerfScenario &scenario,
+                                    unsigned repeat);
+
+/** The JSON schema identifier emitted (and checked by
+ *  scripts/check_perf.py). */
+inline constexpr const char *kPerfSchema = "aw-perf/1";
+
+/** Render measurements as the stable aw-perf/1 JSON document. */
+std::string perfToJson(const std::vector<PerfMeasurement> &runs);
+
+} // namespace aw::exp
+
+#endif // AW_EXP_PERF_HH

@@ -178,11 +178,50 @@ SweepResult::at(const Query &q) const
 
 // ------------------------------------------------------ SweepRunner
 
+namespace {
+
+/**
+ * Per-worker registries: grid points repeat the same few workload
+ * and config names thousands of times, and the registry lookups
+ * rebuild the profile/config objects from scratch each call. Each
+ * worker thread resolves a name once and then copies from its local
+ * cache -- reusing simulator construction state across grid points
+ * without any cross-thread sharing. Deques, not vectors: returned
+ * references must survive later cache growth.
+ */
+const workload::WorkloadProfile &
+cachedProfile(const std::string &name)
+{
+    thread_local std::deque<
+        std::pair<std::string, workload::WorkloadProfile>>
+        cache;
+    for (const auto &entry : cache)
+        if (entry.first == name)
+            return entry.second;
+    cache.emplace_back(name, profileByName(name));
+    return cache.back().second;
+}
+
+const server::ServerConfig &
+cachedConfig(const std::string &name)
+{
+    thread_local std::deque<
+        std::pair<std::string, server::ServerConfig>>
+        cache;
+    for (const auto &entry : cache)
+        if (entry.first == name)
+            return entry.second;
+    cache.emplace_back(name, configByName(name));
+    return cache.back().second;
+}
+
+} // namespace
+
 PointResult
 SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
 {
-    const auto profile = profileByName(pt.workload);
-    auto cfg = configByName(pt.config);
+    const auto &profile = cachedProfile(pt.workload);
+    auto cfg = cachedConfig(pt.config);
     if (spec.cores > 0)
         cfg.cores = spec.cores;
     if (!pt.governor.empty())
@@ -211,6 +250,7 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
         cluster::FleetSim fleet(fc, profile, pt.qps);
         const auto r = duration > 0 ? fleet.run(duration, warmup)
                                     : fleet.run();
+        res.events = r.events;
         res.requests = r.requests;
         res.achievedQps = r.achievedQps;
         res.windowSeconds = sim::toSec(r.window);
@@ -228,6 +268,7 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
         server::ServerSim srv(cfg, profile, pt.qps);
         const auto r = duration > 0 ? srv.run(duration, warmup)
                                     : srv.run();
+        res.events = r.events;
         res.requests = r.requests;
         res.achievedQps = r.achievedQps;
         res.windowSeconds = sim::toSec(r.window);

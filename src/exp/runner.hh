@@ -94,6 +94,10 @@ struct PointResult
 {
     GridPoint point;
 
+    /** Kernel events executed by this point's simulation (perf
+     *  telemetry for awperf; never part of the CSV/JSON schema). */
+    std::uint64_t events = 0;
+
     std::uint64_t requests = 0;
     double achievedQps = 0.0;
     double windowSeconds = 0.0;

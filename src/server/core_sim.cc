@@ -43,6 +43,34 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
                     : nullptr),
       _rng(cfg.seed + id)
 {
+    // ---- hot-loop tables: everything constant at the fixed
+    // operating point is derived once, here, instead of per event.
+    {
+        double f = _cfg.runAtPn ? _cfg.pstates.minimum.hz()
+                                : _cfg.pstates.base.hz();
+        if (_cfg.cstates.usesAgileWatts())
+            f *= 1.0 - core::Ufpg::kFrequencyDegradation;
+        _effFreq = sim::Frequency(f);
+    }
+    for (std::size_t i = 0; i < cstate::kNumCStates; ++i) {
+        const auto id_i = static_cast<CStateId>(i);
+        const auto &desc = cstate::descriptor(id_i);
+        _isAw[i] = desc.isAgileWatts;
+        _depth[i] = desc.depth;
+        if (id_i != CStateId::C6)
+            _lat[i] = _transitions.latency(id_i, _effFreq);
+    }
+    // C6 entry re-reads the live cache dirty fraction at entry time;
+    // cache the flush-independent remainder (context save, PG
+    // controller, software path) and the constant exit.
+    _latC6Fixed = _transitions.latency(CStateId::C6, _effFreq);
+    _latC6Fixed.entry -= _caches.flushTime(_effFreq);
+    const double scale = _profile.activePowerScale();
+    _activePower =
+        (_cfg.runAtPn ? _powers.activePn : _powers.activeP1) * scale;
+    _boostPower = _powers.activeBoost * scale;
+    _deepestEnabled = _cfg.cstates.deepestEnabled();
+
     if (_governor->needsOracle()) {
         // Clairvoyance only exists where this core generates its
         // own arrivals: there is always exactly one future arrival
@@ -66,14 +94,10 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
         // state's resident power. This is what the simulator itself
         // will charge, so the oracle's choice is truly the cheapest.
         _governor->setCostModel([this](CStateId s, sim::Tick idle) {
-            const double active =
-                (_cfg.runAtPn ? _powers.activePn
-                              : _powers.activeP1) *
-                _profile.activePowerScale();
+            const double active = _activePower;
             if (s == CStateId::C0) // polling: active power throughout
                 return active * sim::toSec(idle);
-            const auto lat =
-                _transitions.latency(s, effectiveBaseFrequency());
+            const auto lat = latencyOf(s);
             const sim::Tick resident =
                 idle > lat.entry ? idle - lat.entry : 0;
             return active * sim::toSec(lat.entry + lat.exit) +
@@ -84,16 +108,6 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
     // A moderately warm cache going into the first idle period.
     _caches.setDirtyFraction(0.3);
     updatePower();
-}
-
-sim::Frequency
-CoreSim::effectiveBaseFrequency() const
-{
-    double f = _cfg.runAtPn ? _cfg.pstates.minimum.hz()
-                            : _cfg.pstates.base.hz();
-    if (_cfg.cstates.usesAgileWatts())
-        f *= 1.0 - core::Ufpg::kFrequencyDegradation;
-    return sim::Frequency(f);
 }
 
 void
@@ -168,7 +182,7 @@ CoreSim::beginService()
 
     // Frequency decision: boost if the thermal credit covers the
     // whole request, else base.
-    sim::Frequency freq = effectiveBaseFrequency();
+    sim::Frequency freq = _effFreq;
     const sim::Tick dur_boost = req.demand.duration(
         _cfg.pstates.turbo);
     _boosting = false;
@@ -214,9 +228,7 @@ CoreSim::beginIdle()
     _mode = Mode::EnteringIdle;
     _wakePending = false;
     updatePower();
-    const sim::Tick entry =
-        _transitions.latency(_idleState, effectiveBaseFrequency())
-            .entry;
+    const sim::Tick entry = latencyOf(_idleState).entry;
     if (_idleState == CStateId::C6) {
         // Entering C6 flushes the private caches.
         _caches.flush();
@@ -248,14 +260,31 @@ CoreSim::maybeSchedulePromotion()
     if (!_governor->canPromote())
         return;
     // Already as deep as the platform allows: nothing to promote to.
-    if (_idleState == _governor->config().deepestEnabled())
+    if (_idleState == _deepestEnabled)
         return;
-    // Stale-check by idle-period start time instead of event
+    // Batched check: the first tick multiple (measured from now,
+    // like the per-tick chain this replaces) at which the elapsed
+    // idle reaches the governor's promotion horizon. Intermediate
+    // ticks could only re-confirm the current state, so they are
+    // never scheduled.
+    const sim::Tick horizon =
+        _governor->promotionHorizon(_idleState);
+    if (horizon == sim::kMaxTick)
+        return;
+    const sim::Tick tick = _cfg.idlePromotionTick;
+    const sim::Tick elapsed = _sim.now() - _idleStart;
+    sim::Tick wait = tick;
+    if (horizon > elapsed) {
+        const sim::Tick need = horizon - elapsed;
+        wait = ((need + tick - 1) / tick) * tick;
+    }
+    // Stale-check by idle-period start time in addition to event
     // cancellation: a wake in the meantime starts a new period.
-    _sim.scheduleIn(_cfg.idlePromotionTick,
-                    [this, stamp = _idleStart]() {
-                        onPromotionTick(stamp);
-                    });
+    _promotionEvent =
+        _sim.scheduleIn(wait, [this, stamp = _idleStart]() {
+            _promotionEvent = sim::kInvalidEventId;
+            onPromotionTick(stamp);
+        });
 }
 
 void
@@ -265,8 +294,8 @@ CoreSim::onPromotionTick(sim::Tick idle_start)
         return; // the core woke since; this tick is stale
     const sim::Tick elapsed = _sim.now() - _idleStart;
     const CStateId target = _governor->reselect(_sim.now(), elapsed);
-    if (cstate::descriptor(target).depth <=
-        cstate::descriptor(_idleState).depth) {
+    if (_depth[cstate::index(target)] <=
+        _depth[cstate::index(_idleState)]) {
         // Not yet past the next state's target residency; keep
         // ticking (the observed idle only grows).
         maybeSchedulePromotion();
@@ -284,9 +313,7 @@ CoreSim::onPromotionTick(sim::Tick idle_start)
     updatePower();
     if (_idleState == CStateId::C6)
         _caches.flush();
-    const sim::Tick entry =
-        _transitions.latency(_idleState, effectiveBaseFrequency())
-            .entry;
+    const sim::Tick entry = latencyOf(_idleState).entry;
     _sim.scheduleIn(entry, [this]() { onIdleEntered(); });
 }
 
@@ -296,6 +323,13 @@ CoreSim::beginWake()
     if (_mode != Mode::Idle)
         sim::panic("CoreSim::beginWake in mode %d",
                    static_cast<int>(_mode));
+    // A batched promotion check may still be armed for this idle
+    // period; it would be a stale no-op, but cancelling it now frees
+    // its slot without waiting for the pop.
+    if (_promotionEvent != sim::kInvalidEventId) {
+        _sim.cancel(_promotionEvent);
+        _promotionEvent = sim::kInvalidEventId;
+    }
     if (_idleState == CStateId::C0) {
         // Polling: instant.
         _mode = Mode::Active;
@@ -311,9 +345,7 @@ CoreSim::beginWake()
     _residency.recordEnter(CStateId::C0, _sim.now());
     updatePower();
     const sim::Tick exit =
-        pkg_extra +
-        _transitions.latency(_idleState, effectiveBaseFrequency())
-            .exit;
+        pkg_extra + latencyOf(_idleState).exit;
     _sim.scheduleIn(exit, [this]() { onWakeDone(); });
 }
 
@@ -349,9 +381,8 @@ CoreSim::onSnoop()
         return;
 
     const bool hit = _snoops.drawHit();
-    const sim::Frequency freq = effectiveBaseFrequency();
-    sim::Tick window = _caches.snoopServiceTime(freq, hit);
-    if (cstate::descriptor(_idleState).isAgileWatts) {
+    sim::Tick window = _caches.snoopServiceTime(_effFreq, hit);
+    if (_isAw[cstate::index(_idleState)]) {
         window += _aw.controller().snoopWakeLatency() +
                   _aw.controller().snoopResleepLatency();
     }
@@ -366,31 +397,29 @@ CoreSim::onSnoop()
 power::Watts
 CoreSim::currentPower() const
 {
-    // Workload-specific dynamic power skew: the analytical model
-    // only knows the nominal Table 1 constant (Sec 6.3).
-    const double scale = _profile.activePowerScale();
-    const power::Watts active =
-        (_cfg.runAtPn ? _powers.activePn : _powers.activeP1) * scale;
+    // Workload-specific dynamic power skew is folded into the
+    // precomputed _activePower/_boostPower scalars: the analytical
+    // model only knows the nominal Table 1 constant (Sec 6.3).
     switch (_mode) {
       case Mode::Active:
-        return _boosting ? _powers.activeBoost * scale : active;
+        return _boosting ? _boostPower : _activePower;
       case Mode::EnteringIdle:
       case Mode::ExitingIdle:
         // Transition flows run parts of the core at active power.
-        return active;
+        return _activePower;
       case Mode::Idle: {
         power::Watts p = _powers.idle[cstate::index(_idleState)];
         if (_idleState == CStateId::C0)
-            p = active; // polling
+            p = _activePower; // polling
         if (_sim.now() < _snoopBusyUntil) {
-            p += cstate::descriptor(_idleState).isAgileWatts
+            p += _isAw[cstate::index(_idleState)]
                      ? core::Ccsm::kSnoopServiceDeltaC6a
                      : core::Ccsm::kSnoopServiceDeltaC1;
         }
         return p;
       }
     }
-    return active;
+    return _activePower;
 }
 
 void

@@ -14,6 +14,13 @@
  * completes the entry flow and immediately begins the exit flow
  * (the misprediction cost that makes deep states dangerous for
  * irregular traffic -- and that AgileWatts makes nearly free).
+ *
+ * The per-event inner loop is de-virtualized: the core's operating
+ * frequency, per-state transition latencies (C6 entry's dynamic
+ * cache-flush component excepted), per-state resident powers and the
+ * per-state descriptor attributes it consults per idle period are
+ * all precomputed into flat tables at construction, so steady-state
+ * events never re-derive them through the model layers.
  */
 
 #ifndef AW_SERVER_CORE_SIM_HH
@@ -132,6 +139,13 @@ class CoreSim
     Mode mode() const { return _mode; }
     cstate::CStateId idleState() const { return _idleState; }
 
+    /** Depth ordering key of the current idle state (precomputed;
+     *  the packing dispatcher ranks sleepers with it per request). */
+    int idleStateDepth() const
+    {
+        return _depth[cstate::index(_idleState)];
+    }
+
     /** This core's private idle-governance instance. */
     const cstate::GovernorPolicy &governor() const
     {
@@ -139,7 +153,7 @@ class CoreSim
     }
 
     /** Effective base frequency (AW's ~1% gate IR-drop applied). */
-    sim::Frequency effectiveBaseFrequency() const;
+    sim::Frequency effectiveBaseFrequency() const { return _effFreq; }
 
   private:
     /** @{ State machine. */
@@ -153,7 +167,11 @@ class CoreSim
     void onWakeDone();
     /** @} */
 
-    /** @{ OS-tick idle promotion (ServerConfig::idlePromotion). */
+    /** @{ OS-tick idle promotion (ServerConfig::idlePromotion).
+     * Checks are batched: instead of re-ticking every interval, one
+     * event is armed at the first tick multiple past the governor's
+     * promotion horizon (the earliest elapsed idle at which a deeper
+     * state can win) -- same promotion instants, no no-op ticks. */
     void maybeSchedulePromotion();
     void onPromotionTick(sim::Tick idle_start);
     /** @} */
@@ -168,6 +186,22 @@ class CoreSim
 
     /** Power of the current machine state. */
     power::Watts currentPower() const;
+
+    /** Full transition latency of @p state at the core's fixed
+     *  operating point. All states but C6 come straight from the
+     *  table built at construction; C6 adds the live cache-flush
+     *  cost (its dirty fraction follows workload behaviour) to the
+     *  precomputed fixed entry path. */
+    cstate::TransitionLatency
+    latencyOf(cstate::CStateId state) const
+    {
+        if (state == cstate::CStateId::C6) {
+            cstate::TransitionLatency lat = _latC6Fixed;
+            lat.entry += _caches.flushTime(_effFreq);
+            return lat;
+        }
+        return _lat[cstate::index(state)];
+    }
 
     sim::Simulator &_sim;
     const ServerConfig &_cfg;
@@ -186,6 +220,17 @@ class CoreSim
     uarch::SnoopTraffic _snoops;
     StatePowers _powers;
 
+    /** @{ Constants precomputed at construction for the hot loop. */
+    sim::Frequency _effFreq;
+    std::array<cstate::TransitionLatency, cstate::kNumCStates> _lat{};
+    cstate::TransitionLatency _latC6Fixed; //!< C6 minus live flush
+    std::array<bool, cstate::kNumCStates> _isAw{};
+    std::array<int, cstate::kNumCStates> _depth{};
+    power::Watts _activePower = 0.0; //!< scaled P1-or-Pn active draw
+    power::Watts _boostPower = 0.0;  //!< scaled turbo draw
+    cstate::CStateId _deepestEnabled = cstate::CStateId::C0;
+    /** @} */
+
     std::unique_ptr<workload::ArrivalProcess> _arrivals;
     sim::Rng _rng;
     std::function<void()> _onStateChange;
@@ -197,6 +242,7 @@ class CoreSim
     bool _boosting = false;
     sim::Tick _idleStart = 0;
     sim::Tick _snoopBusyUntil = 0;
+    sim::EventId _promotionEvent = sim::kInvalidEventId;
     /** Absolute time of the next self-generated arrival (kMaxTick
      *  when unknown) -- the oracle governor's foreknowledge. */
     sim::Tick _nextArrivalAt = sim::kMaxTick;

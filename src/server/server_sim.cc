@@ -44,7 +44,10 @@ ServerSim::buildCores(double per_core_rate)
     if (_cfg.cores == 0)
         sim::fatal("ServerSim: need at least one core");
 
-    _aw = std::make_unique<core::AwCoreModel>();
+    // The core model is a shared immutable constant set; rebuilding
+    // it per server (it was a make_unique here) only re-derived the
+    // same numbers, which a sweep pays thousands of times.
+    _aw = &core::AwCoreModel::canonical();
 
     // Keep the package model's PC0 power consistent with the
     // configured uncore power.
@@ -61,6 +64,8 @@ ServerSim::buildCores(double per_core_rate)
         cstate::makeGovernor(_cfg.governor, _cfg.cstates);
 
     _latency.reserve(1 << 16);
+    _coreIdle.assign(_cfg.cores, 0);
+    _coreDeep.assign(_cfg.cores, 0);
     for (unsigned i = 0; i < _cfg.cores; ++i) {
         _cores.push_back(std::make_unique<CoreSim>(
             _sim, _cfg, *governor_proto, *_aw, _profile,
@@ -71,7 +76,7 @@ ServerSim::buildCores(double per_core_rate)
         if (_cfg.packageCStatesEnabled) {
             _cores.back()->setPackageModel(&_package);
             _cores.back()->setStateChangeHook(
-                [this]() { onCoreStateChange(); });
+                [this, i]() { onCoreStateChange(i); });
         }
     }
     _uncoreMeter.setPower(0, _cfg.uncorePower);
@@ -92,8 +97,7 @@ ServerSim::pickPackingTarget()
     for (auto &core : _cores) {
         if (core->mode() != CoreSim::Mode::Idle)
             continue;
-        const int depth =
-            cstate::descriptor(core->idleState()).depth;
+        const int depth = core->idleStateDepth();
         if (!best || depth < best_depth) {
             best = core.get();
             best_depth = depth;
@@ -131,20 +135,25 @@ ServerSim::scheduleNextDispatch()
 }
 
 void
-ServerSim::onCoreStateChange()
+ServerSim::onCoreStateChange(std::size_t changed)
 {
-    bool all_idle = true;
-    bool all_deep = true;
-    for (const auto &core : _cores) {
-        if (core->mode() != CoreSim::Mode::Idle ||
-            core->idleState() == cstate::CStateId::C0) {
-            all_idle = false;
-            all_deep = false;
-            break;
-        }
-        all_deep &=
-            PackageCStateModel::qualifiesPc6(core->idleState());
+    // Refresh only the changed core's contribution; the population
+    // counts answer the all-idle/all-deep questions in O(1).
+    const CoreSim &core = *_cores[changed];
+    const bool idle = core.mode() == CoreSim::Mode::Idle &&
+                      core.idleState() != cstate::CStateId::C0;
+    const bool deep =
+        idle && PackageCStateModel::qualifiesPc6(core.idleState());
+    if (idle != static_cast<bool>(_coreIdle[changed])) {
+        _coreIdle[changed] = idle;
+        _numIdle += idle ? 1 : -1;
     }
+    if (deep != static_cast<bool>(_coreDeep[changed])) {
+        _coreDeep[changed] = deep;
+        _numDeep += deep ? 1 : -1;
+    }
+    const bool all_idle = _numIdle == _cores.size();
+    const bool all_deep = _numDeep == _cores.size();
     const PkgCState before = _package.state();
     const PkgCState now_state =
         _package.update(_sim.now(), all_idle, all_deep);
@@ -158,7 +167,7 @@ ServerSim::onCoreStateChange()
     if (all_idle && all_deep && now_state != PkgCState::PC6) {
         _pkgPromotion = _sim.scheduleIn(
             _cfg.packageParams.pc6Hysteresis + 1,
-            [this]() { onCoreStateChange(); });
+            [this, changed]() { onCoreStateChange(changed); });
     }
 }
 
@@ -191,6 +200,7 @@ ServerSim::run(sim::Tick duration, sim::Tick warmup)
     r.workloadName = _profile.name();
     r.offeredQps = _totalQps;
     r.window = window;
+    r.events = _sim.eventsExecuted();
 
     // Aggregate residency: cores are homogeneous, so the core-time
     // weighted aggregate is the mean of the per-core shares.

@@ -50,6 +50,11 @@ struct RunResult
     double achievedQps = 0.0;
     std::uint64_t mispredictedEntries = 0;
 
+    /** Kernel events executed over the whole run (warmup included;
+     *  diagnostics/perf-telemetry only -- never part of artifact
+     *  schemas, which must not depend on kernel internals). */
+    std::uint64_t events = 0;
+
     /** Mean idle-state transitions per request (Fig 8c expected-
      *  case input). */
     double transitionsPerRequest = 0.0;
@@ -101,6 +106,12 @@ class ServerSim
     const core::AwCoreModel &awModel() const { return *_aw; }
     const ServerConfig &config() const { return _cfg; }
 
+    /** Kernel events executed so far (perf telemetry). */
+    std::uint64_t eventsExecuted() const
+    {
+        return _sim.eventsExecuted();
+    }
+
     /** Per-request latency samples of the last measured window;
      *  fleet aggregation pools these for exact global percentiles. */
     const sim::PercentileTracker &latencySamples() const
@@ -116,17 +127,31 @@ class ServerSim
     void scheduleNextDispatch();
     CoreSim &pickPackingTarget();
 
-    /** Re-evaluate the package C-state after a core change. */
-    void onCoreStateChange();
+    /**
+     * Re-evaluate the package C-state after core @p changed moved.
+     * Package qualification is tracked incrementally: only the
+     * changed core's idle/deep contribution is recomputed, so the
+     * per-event cost is O(1) instead of a scan over every core.
+     */
+    void onCoreStateChange(std::size_t changed);
 
     ServerConfig _cfg;
     workload::WorkloadProfile _profile;
     double _totalQps;
 
     sim::Simulator _sim;
-    std::unique_ptr<core::AwCoreModel> _aw;
+    const core::AwCoreModel *_aw = nullptr;
     std::vector<std::unique_ptr<CoreSim>> _cores;
     sim::PercentileTracker _latency;
+
+    /** @{ Per-core package-qualification flags + population counts
+     *  (idle = Mode::Idle in a real idle state; deep = additionally
+     *  qualifies for PC6), maintained by onCoreStateChange. */
+    std::vector<std::uint8_t> _coreIdle;
+    std::vector<std::uint8_t> _coreDeep;
+    unsigned _numIdle = 0;
+    unsigned _numDeep = 0;
+    /** @} */
 
     /** Central dispatcher state (Packing policy or an external
      *  arrival stream). */

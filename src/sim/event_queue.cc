@@ -4,29 +4,29 @@
 
 namespace aw::sim {
 
-EventId
-Simulator::schedule(Tick when, EventQueue::Callback cb)
+void
+Simulator::panicScheduledInPast(Tick when, Tick now)
 {
-    if (when < _now) {
-        panic("scheduling event in the past: when=%llu now=%llu",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(_now));
-    }
-    return _queue.schedule(when, std::move(cb));
+    panic("scheduling event in the past: when=%llu now=%llu",
+          static_cast<unsigned long long>(when),
+          static_cast<unsigned long long>(now));
 }
 
 Tick
 Simulator::run(Tick horizon)
 {
-    while (!_queue.empty()) {
-        if (_queue.nextTick() > horizon) {
-            _now = horizon;
-            return _now;
-        }
-        auto ev = _queue.pop();
-        _now = ev.when;
+    // Events fire in place inside the queue's slab -- the clock
+    // advances via the pre-invoke hook, and no closure is ever
+    // moved or copied on the way to its invocation.
+    while (_queue.fireNext(horizon, [this](Tick when) {
+        _now = when;
         ++_executed;
-        ev.cb();
+    })) {
+    }
+    if (!_queue.empty()) {
+        // Stopped by the horizon with events still pending.
+        _now = horizon;
+        return _now;
     }
     if (horizon != kMaxTick && horizon > _now)
         _now = horizon;

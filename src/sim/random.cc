@@ -25,20 +25,29 @@ deriveSeed(std::uint64_t base, std::uint64_t stream)
     return splitmix64(base + stream * 0x9E3779B97F4A7C15ull);
 }
 
-double
-Rng::lognormalMeanCv(double mean, double cv)
+LognormalParams::LognormalParams(double mean, double cv)
+    : mean(mean)
 {
     if (mean <= 0.0)
-        panic("lognormalMeanCv: mean must be positive (got %f)", mean);
+        panic("LognormalParams: mean must be positive (got %f)",
+              mean);
     if (cv <= 0.0) {
         // Degenerate: no variation requested.
-        return mean;
+        degenerate = true;
+        return;
     }
     // For lognormal(mu, sigma): mean = exp(mu + sigma^2/2) and
     // cv^2 = exp(sigma^2) - 1, so sigma^2 = ln(1 + cv^2).
     const double sigma2 = std::log(1.0 + cv * cv);
-    const double mu = std::log(mean) - 0.5 * sigma2;
-    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(_gen);
+    mu = std::log(mean) - 0.5 * sigma2;
+    sigma = std::sqrt(sigma2);
+    degenerate = false;
+}
+
+double
+Rng::lognormalMeanCv(double mean, double cv)
+{
+    return LognormalParams(mean, cv).draw(*this);
 }
 
 double

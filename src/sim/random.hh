@@ -93,6 +93,16 @@ class Rng
      */
     double lognormalMeanCv(double mean, double cv);
 
+    /** Lognormal draw from precomputed (mu, sigma) parameters (see
+     *  LognormalParams) -- the allocation- and libm-free hot path
+     *  the service models use; consumes the identical engine
+     *  outputs as lognormalMeanCv with the matching mean/cv. */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::lognormal_distribution<double>(mu, sigma)(_gen);
+    }
+
     /**
      * Bounded Pareto on [lo, hi] with tail index @p alpha.
      * Heavy-tailed service demand for the OLTP-like workloads.
@@ -104,6 +114,32 @@ class Rng
 
   private:
     std::mt19937_64 _gen;
+};
+
+/**
+ * Precomputed (mu, sigma) parameterization of a lognormal given its
+ * target mean and coefficient of variation. The conversion costs two
+ * logs and a square root; models that draw millions of times from a
+ * fixed (mean, cv) hoist it here once -- Rng::lognormal(mu, sigma)
+ * then produces the exact sequence lognormalMeanCv(mean, cv) would.
+ */
+struct LognormalParams
+{
+    double mu = 0.0;
+    double sigma = 0.0;
+    /** cv <= 0 requests no variation: draw() returns mean as-is
+     *  without consuming engine output (lognormalMeanCv's contract). */
+    bool degenerate = true;
+    double mean = 0.0;
+
+    LognormalParams() = default;
+    LognormalParams(double mean, double cv);
+
+    double
+    draw(Rng &rng) const
+    {
+        return degenerate ? mean : rng.lognormal(mu, sigma);
+    }
 };
 
 /**

@@ -26,13 +26,14 @@ LognormalService::LognormalService(sim::Tick mean_time, double cv,
     if (compute_share < 0.0 || compute_share > 1.0)
         sim::panic("LognormalService: compute share %f out of [0,1]",
                    compute_share);
+    _params =
+        sim::LognormalParams(static_cast<double>(mean_time), cv);
 }
 
 ServiceDemand
 LognormalService::draw(sim::Rng &rng)
 {
-    const double t =
-        rng.lognormalMeanCv(static_cast<double>(_mean), _cv);
+    const double t = _params.draw(rng);
     return splitDemand(static_cast<sim::Tick>(t), _computeShare,
                        _refFreq);
 }
@@ -56,15 +57,19 @@ BimodalService::BimodalService(sim::Tick fast_mean,
     if (fast_fraction < 0.0 || fast_fraction > 1.0)
         sim::panic("BimodalService: fraction %f out of [0,1]",
                    fast_fraction);
+    _fastParams =
+        sim::LognormalParams(static_cast<double>(fast_mean), cv);
+    _slowParams =
+        sim::LognormalParams(static_cast<double>(slow_mean), cv);
 }
 
 ServiceDemand
 BimodalService::draw(sim::Rng &rng)
 {
-    const sim::Tick mean =
-        rng.bernoulli(_fastFraction) ? _fastMean : _slowMean;
-    const double t =
-        rng.lognormalMeanCv(static_cast<double>(mean), _cv);
+    const auto &params = rng.bernoulli(_fastFraction)
+                             ? _fastParams
+                             : _slowParams;
+    const double t = params.draw(rng);
     return splitDemand(static_cast<sim::Tick>(t), _computeShare,
                        _refFreq);
 }

@@ -77,6 +77,7 @@ class LognormalService : public ServiceModel
     double _cv;
     double _computeShare;
     sim::Frequency _refFreq;
+    sim::LognormalParams _params; //!< hoisted (mu, sigma)
 };
 
 /** Deterministic service demand (tests, worst-case analyses). */
@@ -133,6 +134,8 @@ class BimodalService : public ServiceModel
     double _cv;
     double _computeShare;
     sim::Frequency _refFreq;
+    sim::LognormalParams _fastParams; //!< hoisted (mu, sigma)
+    sim::LognormalParams _slowParams;
 };
 
 /** Split a drawn total time into a ServiceDemand at @p ref_freq. */

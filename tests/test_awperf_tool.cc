@@ -1,0 +1,268 @@
+/**
+ * @file
+ * awperf coverage: scenario-registry round-trips, the aw-perf/1
+ * JSON schema contract, and the check_perf.py gate parsing the
+ * harness's own output (both the accepting and the rejecting
+ * directions). The binary path comes from the AWPERF_BIN compile
+ * definition; the gate script from AW_CHECK_PERF_PY.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/perf.hh"
+
+namespace {
+
+using namespace aw;
+
+#ifndef AWPERF_BIN
+#define AWPERF_BIN "./awperf"
+#endif
+#ifndef AW_CHECK_PERF_PY
+#define AW_CHECK_PERF_PY "scripts/check_perf.py"
+#endif
+
+/** Run a command, capture stdout+stderr, return (exit_code, output). */
+std::pair<int, std::string>
+runCommand(const std::string &cmd)
+{
+    std::array<char, 4096> buf{};
+    std::string out;
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe)
+        return {-1, ""};
+    while (fgets(buf.data(), buf.size(), pipe))
+        out += buf.data();
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), out};
+}
+
+bool
+havePython3()
+{
+    return runCommand("python3 -c 'pass'").first == 0;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// ---------------------------------------------- registry (library)
+
+TEST(PerfRegistry, PinnedScenariosPresentInOrder)
+{
+    const auto &scenarios = exp::perfScenarios();
+    ASSERT_EQ(scenarios.size(), 3u);
+    EXPECT_EQ(scenarios[0].name, "single_memcached");
+    EXPECT_EQ(scenarios[1].name, "fleet_sweep");
+    EXPECT_EQ(scenarios[2].name, "governors_axis");
+    for (const auto &s : scenarios) {
+        EXPECT_FALSE(s.description.empty());
+        EXPECT_TRUE(static_cast<bool>(s.run));
+    }
+}
+
+TEST(PerfRegistry, FindRoundTripsEveryName)
+{
+    for (const auto &s : exp::perfScenarios()) {
+        const auto *found = exp::findPerfScenario(s.name);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(found, &s);
+        EXPECT_EQ(found->description, s.description);
+    }
+    EXPECT_EQ(exp::findPerfScenario("no_such_scenario"), nullptr);
+}
+
+TEST(PerfRegistry, MeasurementsCarryDeterministicTotals)
+{
+    // Scenario totals are simulation results: two measurements of
+    // the same scenario must agree exactly (only wall time varies).
+    const auto *s = exp::findPerfScenario("governors_axis");
+    ASSERT_NE(s, nullptr);
+    const auto a = exp::measurePerfScenario(*s, 1);
+    const auto b = exp::measurePerfScenario(*s, 1);
+    EXPECT_EQ(a.totals.events, b.totals.events);
+    EXPECT_EQ(a.totals.requests, b.totals.requests);
+    EXPECT_DOUBLE_EQ(a.totals.simSeconds, b.totals.simSeconds);
+    EXPECT_GT(a.totals.events, 0u);
+    EXPECT_GT(a.totals.requests, 0u);
+    EXPECT_GT(a.wallSeconds, 0.0);
+    // 12 grid cells x 1 server x 0.33 s simulated.
+    EXPECT_DOUBLE_EQ(a.totals.simSeconds, 12 * 0.33);
+}
+
+TEST(PerfJson, SchemaCarriesEveryDocumentedKey)
+{
+    exp::PerfMeasurement m;
+    m.name = "single_memcached";
+    m.repeat = 3;
+    m.wallSeconds = 0.5;
+    m.totals.simSeconds = 1.1;
+    m.totals.events = 1000;
+    m.totals.requests = 200;
+    const std::string json = exp::perfToJson({m});
+    for (const char *key :
+         {"\"schema\": \"aw-perf/1\"", "\"generator\": \"awperf\"",
+          "\"scenarios\"", "\"name\"", "\"repeat\"", "\"wall_s\"",
+          "\"sim_s\"", "\"events\"", "\"requests\"",
+          "\"sim_per_wall\"", "\"events_per_s\"",
+          "\"requests_per_s\""}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing " << key << " in\n"
+            << json;
+    }
+}
+
+// ------------------------------------------------------ CLI (tool)
+
+TEST(AwperfTool, HelpAndListExitZero)
+{
+    const auto help =
+        runCommand(std::string(AWPERF_BIN) + " --help");
+    EXPECT_EQ(help.first, 0);
+    EXPECT_NE(help.second.find("--json"), std::string::npos);
+
+    const auto list =
+        runCommand(std::string(AWPERF_BIN) + " --list");
+    EXPECT_EQ(list.first, 0);
+    for (const auto &s : exp::perfScenarios())
+        EXPECT_NE(list.second.find(s.name), std::string::npos);
+}
+
+TEST(AwperfTool, UnknownScenarioFailsWithKnownList)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWPERF_BIN) + " --scenarios bogus");
+    EXPECT_NE(code, 0);
+    EXPECT_NE(out.find("unknown scenario"), std::string::npos);
+    EXPECT_NE(out.find("fleet_sweep"), std::string::npos);
+}
+
+TEST(AwperfTool, JsonArtifactMatchesTheLibraryRendering)
+{
+    const std::string path = tmpPath("awperf_schema_test.json");
+    const auto [code, out] = runCommand(
+        std::string(AWPERF_BIN) +
+        " --scenarios governors_axis --repeat 1 --quiet --json " +
+        path);
+    ASSERT_EQ(code, 0) << out;
+    const std::string json = readFile(path);
+    std::remove(path.c_str());
+
+    // Schema identity and scenario content.
+    EXPECT_NE(json.find("\"schema\": \"aw-perf/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"governors_axis\""),
+              std::string::npos);
+
+    // The tool's bytes are the library's bytes, wall clock aside:
+    // strip the timing-dependent fields and compare the rest
+    // against a library measurement of the same scenario.
+    const auto *s = exp::findPerfScenario("governors_axis");
+    ASSERT_NE(s, nullptr);
+    const auto m = exp::measurePerfScenario(*s, 1);
+    const std::string expected = exp::perfToJson({m});
+    auto stripTiming = [](std::string text) {
+        for (const char *key : {"\"wall_s\"", "\"sim_per_wall\"",
+                                "\"events_per_s\"",
+                                "\"requests_per_s\""}) {
+            auto pos = text.find(key);
+            while (pos != std::string::npos) {
+                const auto comma = text.find(',', pos);
+                text.erase(pos, comma - pos + 1);
+                pos = text.find(key, pos);
+            }
+        }
+        return text;
+    };
+    EXPECT_EQ(stripTiming(json), stripTiming(expected));
+}
+
+// ------------------------------------------- check_perf.py (gate)
+
+TEST(CheckPerfGate, AcceptsItsOwnHarnessOutput)
+{
+    if (!havePython3())
+        GTEST_SKIP() << "python3 not available";
+    const std::string path = tmpPath("awperf_gate_self.json");
+    const auto gen = runCommand(
+        std::string(AWPERF_BIN) +
+        " --scenarios governors_axis --repeat 1 --quiet --json " +
+        path);
+    ASSERT_EQ(gen.first, 0) << gen.second;
+
+    // A document always passes against itself (ratio 1.0).
+    const auto [code, out] =
+        runCommand("python3 " + std::string(AW_CHECK_PERF_PY) +
+                   " " + path + " " + path);
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("PASS"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CheckPerfGate, RejectsARegressionAndSchemaDrift)
+{
+    if (!havePython3())
+        GTEST_SKIP() << "python3 not available";
+    const std::string cur = tmpPath("awperf_gate_cur.json");
+    const std::string base = tmpPath("awperf_gate_base.json");
+
+    exp::PerfMeasurement m;
+    m.name = "fleet_sweep";
+    m.repeat = 1;
+    m.totals.simSeconds = 10.0;
+    m.totals.events = 1000000;
+    m.totals.requests = 100000;
+
+    m.wallSeconds = 1.0; // baseline: 1M events/s
+    std::ofstream(base) << exp::perfToJson({m});
+    m.wallSeconds = 3.0; // current: 3x slower -- must trip the gate
+    std::ofstream(cur) << exp::perfToJson({m});
+
+    const auto regress =
+        runCommand("python3 " + std::string(AW_CHECK_PERF_PY) +
+                   " " + cur + " " + base);
+    EXPECT_NE(regress.first, 0);
+    EXPECT_NE(regress.second.find("regressed"), std::string::npos);
+
+    // Within the 2x allowance the same pair passes.
+    m.wallSeconds = 1.8;
+    std::ofstream(cur) << exp::perfToJson({m});
+    const auto ok =
+        runCommand("python3 " + std::string(AW_CHECK_PERF_PY) +
+                   " " + cur + " " + base);
+    EXPECT_EQ(ok.first, 0) << ok.second;
+
+    // Schema drift (wrong schema id) is a hard failure.
+    std::ofstream(cur) << "{\"schema\": \"bogus/9\", "
+                          "\"scenarios\": []}";
+    const auto drift =
+        runCommand("python3 " + std::string(AW_CHECK_PERF_PY) +
+                   " " + cur + " " + base);
+    EXPECT_NE(drift.first, 0);
+    EXPECT_NE(drift.second.find("schema"), std::string::npos);
+
+    std::remove(cur.c_str());
+    std::remove(base.c_str());
+}
+
+} // namespace

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -189,6 +194,175 @@ TEST(Simulator, CancelThroughSimulator)
     simr.cancel(id);
     simr.run();
     EXPECT_FALSE(fired);
+    EXPECT_TRUE(simr.idle());
+}
+
+// Regression suite for the structural same-tick FIFO guarantee: the
+// sequence-number tie-break must hold through cancellations, slot
+// reuse and interleaved scheduling, not just in the happy path.
+
+TEST(EventQueueFifo, SameTickFifoSurvivesInterleavedCancels)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(q.schedule(7, [&fired, i] {
+            fired.push_back(i);
+        }));
+    // Cancel a prefix, middle and suffix entry; order of the
+    // survivors must be untouched.
+    q.cancel(ids[0]);
+    q.cancel(ids[3]);
+    q.cancel(ids[7]);
+    while (!q.empty())
+        q.pop().cb();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 4, 5, 6}));
+}
+
+TEST(EventQueueFifo, SameTickFifoSurvivesSlotReuse)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    // Churn slots first so later same-tick events land in recycled
+    // slots in scrambled slot order.
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1, [] {});
+    while (!q.empty())
+        q.pop().cb();
+    for (int i = 0; i < 10; ++i)
+        q.schedule(99, [&fired, i] { fired.push_back(i); });
+    while (!q.empty())
+        q.pop().cb();
+    EXPECT_EQ(fired,
+              (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(EventQueueFifo, LaterTickScheduledFirstStillFiresLater)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(50, [&] { fired.push_back(50); });
+    q.schedule(10, [&] { fired.push_back(10); });
+    q.schedule(50, [&] { fired.push_back(51); });
+    q.schedule(10, [&] { fired.push_back(11); });
+    while (!q.empty())
+        q.pop().cb();
+    EXPECT_EQ(fired, (std::vector<int>{10, 11, 50, 51}));
+}
+
+TEST(EventQueueFifo, MixedTickStressMatchesReferenceOrder)
+{
+    // Deterministic pseudo-random schedule/pop interleavings vs a
+    // reference executed order: (when, schedule index) ascending.
+    EventQueue q;
+    std::uint64_t lcg = 12345;
+    auto rnd = [&lcg](std::uint64_t mod) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return (lcg >> 33) % mod;
+    };
+    struct Ref
+    {
+        Tick when;
+        int seq;
+    };
+    std::vector<Ref> expected;
+    std::vector<std::pair<Tick, int>> fired;
+    int seq = 0;
+    for (int round = 0; round < 50; ++round) {
+        const int burst = 1 + static_cast<int>(rnd(6));
+        for (int i = 0; i < burst; ++i) {
+            const Tick when = 1000 + rnd(8); // heavy tick ties
+            const int s = seq++;
+            expected.push_back(Ref{when, s});
+            q.schedule(when, [&fired, when, s] {
+                fired.emplace_back(when, s);
+            });
+        }
+    }
+    while (!q.empty())
+        q.pop().cb();
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Ref &a, const Ref &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         return a.seq < b.seq;
+                     });
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+        EXPECT_EQ(fired[i].first, expected[i].when) << "at " << i;
+        EXPECT_EQ(fired[i].second, expected[i].seq) << "at " << i;
+    }
+}
+
+TEST(EventQueueFifo, PendingIsPerScheduleNotPerSlot)
+{
+    EventQueue q;
+    const EventId first = q.schedule(5, [] {});
+    q.pop();
+    EXPECT_FALSE(q.pending(first));
+    // The recycled slot's new event must not resurrect the old id.
+    const EventId second = q.schedule(6, [] {});
+    EXPECT_NE(first, second);
+    EXPECT_FALSE(q.pending(first));
+    EXPECT_TRUE(q.pending(second));
+    q.cancel(first); // stale id: must not disturb the live event
+    EXPECT_TRUE(q.pending(second));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueFifo, CancelDestroysTheCallbackImmediately)
+{
+    // The closure's captures must be released at cancel() time, not
+    // when the stale heap key eventually surfaces.
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = token;
+    EventQueue q;
+    const EventId id = q.schedule(10, [held = std::move(token)] {
+        (void)held;
+    });
+    q.schedule(20, [] {});
+    EXPECT_FALSE(watch.expired());
+    q.cancel(id);
+    EXPECT_TRUE(watch.expired());
+    while (!q.empty())
+        q.pop().cb();
+}
+
+TEST(EventQueueFifo, LargeCaptureFallsBackToHeapCorrectly)
+{
+    // Captures beyond the inline buffer take the heap path; the
+    // behavior contract is identical.
+    EventQueue q;
+    std::array<std::uint64_t, 32> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    q.schedule(4, [payload, &sum] {
+        for (const auto v : payload)
+            sum += v;
+    });
+    q.pop().cb();
+    EXPECT_EQ(sum, 32u * 0 + [&] {
+        std::uint64_t s = 0;
+        for (std::size_t i = 0; i < 32; ++i)
+            s += i * 3 + 1;
+        return s;
+    }());
+}
+
+TEST(EventQueueFifo, SelfCancelDuringCallbackIsANoop)
+{
+    Simulator simr;
+    int fired = 0;
+    EventId self = kInvalidEventId;
+    self = simr.schedule(10, [&] {
+        ++fired;
+        simr.cancel(self); // already firing: must be harmless
+    });
+    simr.schedule(20, [&] { ++fired; });
+    simr.run();
+    EXPECT_EQ(fired, 2);
     EXPECT_TRUE(simr.idle());
 }
 
