@@ -1,0 +1,130 @@
+#include "analysis/transitions.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace aw::analysis {
+
+double
+TransitionStats::meanLifetimeUs() const
+{
+    if (count == 0)
+        return 0.0;
+    return sim::toUs(totalLifetime) / static_cast<double>(count);
+}
+
+void
+TransitionStats::observe(sim::Tick lifetime)
+{
+    ++count;
+    totalLifetime += lifetime;
+    if (lifetime > maxLifetime)
+        maxLifetime = lifetime;
+    const auto bucket = static_cast<std::size_t>(
+        std::bit_width(static_cast<std::uint64_t>(lifetime)));
+    histogram[bucket < kLifetimeBuckets ? bucket
+                                        : kLifetimeBuckets - 1] += 1;
+}
+
+void
+TransitionStats::merge(const TransitionStats &other)
+{
+    count += other.count;
+    totalLifetime += other.totalLifetime;
+    if (other.maxLifetime > maxLifetime)
+        maxLifetime = other.maxLifetime;
+    for (std::size_t i = 0; i < kLifetimeBuckets; ++i)
+        histogram[i] += other.histogram[i];
+}
+
+void
+TransitionAnalyzer::reset(sim::Tick now, cstate::CStateId initial)
+{
+    for (auto &p : _pairs)
+        p = TransitionStats{};
+    _tails.fill(0);
+    _current = initial;
+    _since = now;
+    _finished = false;
+}
+
+void
+TransitionAnalyzer::enter(cstate::CStateId to, sim::Tick now)
+{
+    if (_finished)
+        sim::panic("TransitionAnalyzer: enter() after finish()");
+    if (now < _since)
+        sim::panic("TransitionAnalyzer: time went backwards");
+    if (to == _current)
+        return; // re-entry continues the open lifetime
+    _pairs[pairIndex(_current, to)].observe(now - _since);
+    _current = to;
+    _since = now;
+}
+
+void
+TransitionAnalyzer::finish(sim::Tick now)
+{
+    if (_finished)
+        return;
+    if (now < _since)
+        sim::panic("TransitionAnalyzer: time went backwards");
+    _tails[cstate::index(_current)] += now - _since;
+    _since = now;
+    _finished = true;
+}
+
+const TransitionStats &
+TransitionAnalyzer::pair(cstate::CStateId from,
+                         cstate::CStateId to) const
+{
+    return _pairs[pairIndex(from, to)];
+}
+
+std::uint64_t
+TransitionAnalyzer::totalTransitions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : _pairs)
+        n += p.count;
+    return n;
+}
+
+sim::Tick
+TransitionAnalyzer::tail(cstate::CStateId state) const
+{
+    return _tails[cstate::index(state)];
+}
+
+sim::Tick
+TransitionAnalyzer::timeIn(cstate::CStateId state) const
+{
+    sim::Tick t = _tails[cstate::index(state)];
+    for (std::size_t to = 0; to < cstate::kNumCStates; ++to)
+        t += _pairs[cstate::index(state) * cstate::kNumCStates + to]
+                 .totalLifetime;
+    return t;
+}
+
+sim::Tick
+TransitionAnalyzer::totalLifetime() const
+{
+    sim::Tick t = 0;
+    for (const auto &p : _pairs)
+        t += p.totalLifetime;
+    for (const sim::Tick tail : _tails)
+        t += tail;
+    return t;
+}
+
+void
+TransitionAnalyzer::merge(const TransitionAnalyzer &other)
+{
+    for (std::size_t i = 0; i < _pairs.size(); ++i)
+        _pairs[i].merge(other._pairs[i]);
+    for (std::size_t i = 0; i < _tails.size(); ++i)
+        _tails[i] += other._tails[i];
+}
+
+} // namespace aw::analysis

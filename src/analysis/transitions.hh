@@ -1,0 +1,126 @@
+/**
+ * @file
+ * State-transition analytics over a core's C-state entry stream.
+ *
+ * For every (from-state, to-state) pair the analyzer records the
+ * transition count, the total and maximum lifetime spent in the
+ * from-state before the switch, and a log2-bucketed lifetime
+ * histogram -- the time-in-state telemetry idiom of cpuidle
+ * statistics, applied to the simulator's exact event stream. The
+ * lifetime distribution is the quantity the paper's argument rests
+ * on: C6A only pays off because most idle episodes are too short to
+ * amortize legacy C6's entry/exit flows (Sec 1/Fig 2).
+ *
+ * Conservation invariants (pinned by tests/test_transitions.cc):
+ *
+ *   - sum of pair counts == totalTransitions()
+ *   - sum of pair lifetimes + censored tails == observed window
+ *   - timeIn(s) == ResidencyCounters::timeIn(s) for every state
+ *
+ * The analyzer is driven by TelemetryObserver::onCStateEnter
+ * mirrors of ResidencyCounters::recordEnter, so it sees exactly the
+ * residency accounting's state stream (transition windows count as
+ * C0, like the residency counters).
+ */
+
+#ifndef AW_ANALYSIS_TRANSITIONS_HH
+#define AW_ANALYSIS_TRANSITIONS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cstate/cstate.hh"
+#include "sim/types.hh"
+
+namespace aw::analysis {
+
+/** Lifetime histogram buckets: bucket i counts lifetimes with
+ *  bit_width(ticks) == i, i.e. lifetimes in [2^(i-1), 2^i) ticks
+ *  (bucket 0 = zero-length). 64 buckets cover the full Tick range. */
+inline constexpr std::size_t kLifetimeBuckets = 64;
+
+/** Per-(from,to) transition statistics. */
+struct TransitionStats
+{
+    std::uint64_t count = 0;
+    sim::Tick totalLifetime = 0; //!< sum of from-state lifetimes
+    sim::Tick maxLifetime = 0;
+    std::array<std::uint64_t, kLifetimeBuckets> histogram{};
+
+    /** Mean from-state lifetime in microseconds (0 when empty). */
+    double meanLifetimeUs() const;
+
+    /** Record one completed from-state lifetime. */
+    void observe(sim::Tick lifetime);
+
+    /** Accumulate @p other (fold across cores/servers). */
+    void merge(const TransitionStats &other);
+};
+
+/**
+ * Streaming (from-state, to-state) transition map for one core's
+ * C-state entry stream; merge() folds maps across cores.
+ */
+class TransitionAnalyzer
+{
+  public:
+    TransitionAnalyzer() = default;
+
+    /** Restart accounting at @p now in @p initial (stats reset). */
+    void reset(sim::Tick now, cstate::CStateId initial);
+
+    /** The state stream enters @p to at @p now. Re-entering the
+     *  current state is not a transition: the open lifetime simply
+     *  continues (mirrors residency accounting, where e.g. back-to-
+     *  back C0 windows merge). */
+    void enter(cstate::CStateId to, sim::Tick now);
+
+    /** Close the window at @p now: the still-open lifetime is
+     *  censored into the per-state tail (it ended with the window,
+     *  not with a transition, so it joins no pair). */
+    void finish(sim::Tick now);
+
+    /** Statistics of the @p from -> @p to pair. */
+    const TransitionStats &pair(cstate::CStateId from,
+                                cstate::CStateId to) const;
+
+    /** Total recorded transitions (== sum of pair counts). */
+    std::uint64_t totalTransitions() const;
+
+    /** Censored end-of-window residue of @p state. */
+    sim::Tick tail(cstate::CStateId state) const;
+
+    /** Time attributed to @p state: completed lifetimes + tail.
+     *  Cross-checks ResidencyCounters::timeIn exactly. */
+    sim::Tick timeIn(cstate::CStateId state) const;
+
+    /** Sum of all pair lifetimes and tails (== window length once
+     *  finished). */
+    sim::Tick totalLifetime() const;
+
+    /** State currently open (meaningless after finish()). */
+    cstate::CStateId current() const { return _current; }
+
+    /** Fold @p other's pairs and tails into this map. */
+    void merge(const TransitionAnalyzer &other);
+
+  private:
+    static std::size_t pairIndex(cstate::CStateId from,
+                                 cstate::CStateId to)
+    {
+        return cstate::index(from) * cstate::kNumCStates +
+               cstate::index(to);
+    }
+
+    std::array<TransitionStats,
+               cstate::kNumCStates * cstate::kNumCStates>
+        _pairs{};
+    std::array<sim::Tick, cstate::kNumCStates> _tails{};
+    cstate::CStateId _current = cstate::CStateId::C0;
+    sim::Tick _since = 0;
+    bool _finished = false;
+};
+
+} // namespace aw::analysis
+
+#endif // AW_ANALYSIS_TRANSITIONS_HH

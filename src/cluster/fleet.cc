@@ -79,6 +79,13 @@ FleetSim::setArrivalTrace(workload::ArrivalTrace trace)
     _trace = std::move(trace);
 }
 
+void
+FleetSim::enableTimeline(const analysis::TimelineConfig &cfg)
+{
+    _timeline = cfg;
+    _timeline->retainLatencies = true; // pooled per-interval p99
+}
+
 unsigned
 FleetSim::packCapacity() const
 {
@@ -171,6 +178,9 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
     fr.routedPerServer = routed;
 
     sim::PercentileTracker pooled;
+    std::vector<analysis::TimelineSeries> timelines;
+    if (_timeline)
+        timelines.reserve(K);
     for (unsigned i = 0; i < K; ++i) {
         server::ServerConfig scfg = _cfg.server;
         scfg.seed = sim::deriveSeed(_cfg.seed, i);
@@ -184,7 +194,14 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
             std::make_unique<workload::TraceArrivals>(
                 workload::ArrivalTrace(std::move(gaps[i])),
                 /*loop=*/false));
+        std::optional<analysis::TimelineRecorder> recorder;
+        if (_timeline) {
+            recorder.emplace(*_timeline, scfg.cores);
+            srv.setObserver(&*recorder);
+        }
         auto r = srv.run(duration, warmup);
+        if (recorder)
+            timelines.push_back(recorder->series());
         pooled.merge(srv.latencySamples());
 
         fr.window = r.window;
@@ -207,6 +224,8 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
         fr.perServer.push_back(std::move(r));
     }
     fr.residency.window = fr.window;
+    if (_timeline)
+        fr.timeline = analysis::foldTimelines(timelines);
 
     // ------------------------------------------------- aggregation
     fr.achievedQps = fr.window > 0

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sampler.hh"
 #include "cluster/diurnal.hh"
 #include "cluster/routing.hh"
 #include "server/server_sim.hh"
@@ -124,6 +125,11 @@ struct FleetResult
     double busiestShareOfLoad = 0.0;
 
     std::vector<server::RunResult> perServer;
+
+    /** Fleet-folded interval timeline (requests/power summed,
+     *  residency core-weighted, p99 pooled exactly); present only
+     *  when FleetSim::enableTimeline() was called before run(). */
+    std::optional<analysis::TimelineSeries> timeline;
 };
 
 /** Share of @p r spent in the C6 family (C6 + C6A + C6AE). */
@@ -164,6 +170,15 @@ class FleetSim
     /** Effective pack-first capacity after the auto default. */
     unsigned packCapacity() const;
 
+    /**
+     * Record a per-server timeline during run() and fold it into
+     * FleetResult::timeline. Latency retention is forced on (the
+     * fold needs the raw samples for exact pooled percentiles).
+     * The sampler is passive, so enabling it leaves every other
+     * result field byte-identical.
+     */
+    void enableTimeline(const analysis::TimelineConfig &cfg);
+
   private:
     std::unique_ptr<workload::ArrivalProcess> makeOfferedStream() const;
 
@@ -171,6 +186,7 @@ class FleetSim
     workload::WorkloadProfile _profile;
     double _totalQps;
     std::optional<workload::ArrivalTrace> _trace;
+    std::optional<analysis::TimelineConfig> _timeline;
 };
 
 } // namespace aw::cluster

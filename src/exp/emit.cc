@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "analysis/sampler.hh"
 #include "sim/logging.hh"
 
 namespace aw::exp {
@@ -187,6 +188,100 @@ toJson(const SweepResult &result)
         for (const auto &[key, value] : p.extras)
             out += ", " + jsonString(key) + ": " + num(value);
         out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+namespace {
+
+/** Shared coordinate prefix of a timeline row/object. */
+const analysis::TimelineSeries &
+pointTimeline(const PointResult &p)
+{
+    if (!p.timeline) {
+        sim::fatal("toTimelineCsv/Json: point '%s' recorded no "
+                   "timeline (set spec.timelineIntervalSeconds > 0)",
+                   p.point.label().c_str());
+    }
+    return *p.timeline;
+}
+
+} // namespace
+
+std::string
+toTimelineCsv(const SweepResult &result)
+{
+    std::string out =
+        sim::strprintf("# %s\n", analysis::kTimelineSchema);
+    out += "index,workload,config,governor,policy,variant,servers,"
+           "qps,replica,";
+    out += analysis::timelineCsvHeader();
+    out += '\n';
+    for (const auto &p : result.points) {
+        const auto &series = pointTimeline(p);
+        const auto &pt = p.point;
+        const std::string prefix = sim::strprintf(
+            "%zu,%s,%s,%s,%s,%s,%u,%s,%u,", pt.index,
+            csvField(pt.workload).c_str(),
+            csvField(pt.config).c_str(),
+            csvField(pt.governor).c_str(),
+            csvField(pt.policy).c_str(),
+            csvField(pt.variant).c_str(), pt.servers,
+            num(pt.qps).c_str(), pt.replica);
+        for (const auto &s : series.samples) {
+            out += prefix;
+            out += analysis::timelineCsvRow(series, s);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+toTimelineJson(const SweepResult &result)
+{
+    const auto &spec = result.spec;
+    std::string out = "{\n";
+    out += sim::strprintf("  \"schema\": \"%s\",\n",
+                          analysis::kTimelineSchema);
+    out += "  \"name\": " + jsonString(spec.name) + ",\n";
+    out += sim::strprintf("  \"seed\": %llu,\n",
+                          static_cast<unsigned long long>(spec.seed));
+    out += sim::strprintf("  \"interval_s\": %s,\n",
+                          num(spec.timelineIntervalSeconds).c_str());
+    out += "  \"points\": [";
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const auto &p = result.points[i];
+        const auto &series = pointTimeline(p);
+        const auto &pt = p.point;
+        out += i ? ",\n    {" : "\n    {";
+        out += sim::strprintf("\"index\": %zu, ", pt.index);
+        out += "\"workload\": " + jsonString(pt.workload) + ", ";
+        out += "\"config\": " + jsonString(pt.config) + ", ";
+        out += "\"governor\": " + jsonString(pt.governor) + ", ";
+        out += "\"policy\": " + jsonString(pt.policy) + ", ";
+        out += "\"variant\": " + jsonString(pt.variant) + ", ";
+        out += sim::strprintf(
+            "\"servers\": %u, \"qps\": %s, \"replica\": %u, "
+            "\"cores\": %u, \"intervals_emitted\": %llu, "
+            "\"intervals_dropped\": %llu, "
+            "\"idle_observations\": %llu, "
+            "\"idle_observation_mismatches\": %llu",
+            pt.servers, num(pt.qps).c_str(), pt.replica,
+            series.cores,
+            static_cast<unsigned long long>(series.emitted),
+            static_cast<unsigned long long>(series.dropped),
+            static_cast<unsigned long long>(
+                series.idleObservations),
+            static_cast<unsigned long long>(
+                series.idleObservationMismatches));
+        out += ",\n    \"intervals\": " +
+               analysis::timelineIntervalsJson(series) + ",\n";
+        out += "    \"transitions\": " +
+               analysis::timelineTransitionsJson(
+                   series.transitions) +
+               "}";
     }
     out += "\n  ]\n}\n";
     return out;

@@ -36,6 +36,20 @@ std::string toCsv(const SweepResult &result);
 /** Render the whole sweep as a JSON document. */
 std::string toJson(const SweepResult &result);
 
+/**
+ * Render every point's recorded timeline as one aw-timeline/1 CSV:
+ * a `# aw-timeline/1` schema line, then a header of the point
+ * coordinates followed by analysis::timelineCsvHeader() columns,
+ * then one row per retained interval per point (grid order).
+ * fatal() if any point lacks a timeline (run the sweep with
+ * spec.timelineIntervalSeconds > 0).
+ */
+std::string toTimelineCsv(const SweepResult &result);
+
+/** The same timelines as one JSON document (schema, spec identity,
+ *  then per-point interval arrays and transition maps). */
+std::string toTimelineJson(const SweepResult &result);
+
 /** Write @p content to @p path; fatal() on I/O errors. */
 void writeFile(const std::string &path, const std::string &content);
 

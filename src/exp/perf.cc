@@ -99,6 +99,29 @@ makeScenarios()
             return sweepTotals(spec);
         }});
 
+    // The same pinned fleet sweep with the streaming sampler on:
+    // gates the observer's overhead. Its event count must equal
+    // fleet_sweep's exactly (the sampler observes, never perturbs,
+    // the event stream) and its events/s ratio bounds the telemetry
+    // tax.
+    s.push_back(PerfScenario{
+        "fleet_sweep_timeline",
+        "fleet_sweep with --timeline (10 ms sampler) enabled, "
+        "1 thread",
+        []() {
+            ExperimentSpec spec;
+            spec.name = "awperf-fleet-timeline";
+            spec.workloads = {"memcached"};
+            spec.configs = {"aw", "c1c6"};
+            spec.policies = {"round-robin", "pack-first"};
+            spec.fleetSizes = {8};
+            spec.qps = {400e3};
+            spec.seconds = 0.3;
+            spec.seed = 42;
+            spec.timelineIntervalSeconds = 0.01;
+            return sweepTotals(spec);
+        }});
+
     return s;
 }
 

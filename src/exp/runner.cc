@@ -248,8 +248,14 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
         fc.routing = pt.policy;
         fc.seed = pt.seed;
         cluster::FleetSim fleet(fc, profile, pt.qps);
-        const auto r = duration > 0 ? fleet.run(duration, warmup)
-                                    : fleet.run();
+        if (spec.timelineIntervalSeconds > 0.0) {
+            analysis::TimelineConfig tc;
+            tc.intervalSeconds = spec.timelineIntervalSeconds;
+            fleet.enableTimeline(tc);
+        }
+        auto r = duration > 0 ? fleet.run(duration, warmup)
+                              : fleet.run();
+        res.timeline = std::move(r.timeline);
         res.events = r.events;
         res.requests = r.requests;
         res.achievedQps = r.achievedQps;
@@ -266,8 +272,17 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
     } else {
         cfg.seed = pt.seed;
         server::ServerSim srv(cfg, profile, pt.qps);
+        std::optional<analysis::TimelineRecorder> recorder;
+        if (spec.timelineIntervalSeconds > 0.0) {
+            analysis::TimelineConfig tc;
+            tc.intervalSeconds = spec.timelineIntervalSeconds;
+            recorder.emplace(tc, cfg.cores);
+            srv.setObserver(&*recorder);
+        }
         const auto r = duration > 0 ? srv.run(duration, warmup)
                                     : srv.run();
+        if (recorder)
+            res.timeline = recorder->series();
         res.events = r.events;
         res.requests = r.requests;
         res.achievedQps = r.achievedQps;

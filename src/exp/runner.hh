@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/sampler.hh"
 #include "cstate/cstate.hh"
 #include "exp/spec.hh"
 
@@ -112,6 +113,12 @@ struct PointResult
     std::array<double, cstate::kNumCStates> residency{};
 
     std::vector<std::pair<std::string, double>> extras;
+
+    /** Streaming interval telemetry; present only when the spec set
+     *  timelineIntervalSeconds > 0 (fleet points carry the folded
+     *  per-server series). Emitted by toTimelineCsv/Json, never by
+     *  the regular artifact emitters. */
+    std::optional<analysis::TimelineSeries> timeline;
 };
 
 /** Execute one grid point; must be pure in the point (same point,

@@ -161,6 +161,11 @@ ExperimentSpec::validate() const
                    "explicit seconds (the auto-sized window picks "
                    "its own warmup)",
                    name.c_str());
+    if (timelineIntervalSeconds < 0.0 ||
+        !std::isfinite(timelineIntervalSeconds))
+        sim::fatal("ExperimentSpec '%s': timelineIntervalSeconds "
+                   "must be >= 0 (0 disables the sampler; got %f)",
+                   name.c_str(), timelineIntervalSeconds);
 
     // Resolve every axis value now so a bad name dies here, on the
     // caller's thread, not inside a worker mid-sweep.

@@ -97,6 +97,15 @@ struct ExperimentSpec
     /** Core-count override (0 = config default). */
     unsigned cores = 0;
 
+    /** Streaming-telemetry interval (seconds); 0 disables the
+     *  sampler entirely (the default -- no observer is attached,
+     *  so a disabled sweep pays one untaken branch per event).
+     *  When > 0 every point records an aw-timeline/1 series into
+     *  PointResult::timeline (see analysis/sampler.hh and
+     *  docs/TELEMETRY.md); the sampler is passive, so all other
+     *  results and artifacts stay byte-identical. */
+    double timelineIntervalSeconds = 0.0;
+
     /** Dispatch-policy override applied to every point ("" = each
      *  config's default; see server::dispatchPolicyNames()). */
     std::string dispatch;

@@ -41,7 +41,7 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
       _arrivals(per_core_rate > 0.0
                     ? profile.makeArrivals(per_core_rate)
                     : nullptr),
-      _rng(cfg.seed + id)
+      _rng(cfg.seed + id), _id(id)
 {
     // ---- hot-loop tables: everything constant at the fixed
     // operating point is derived once, here, instead of per event.
@@ -158,11 +158,11 @@ CoreSim::onArrival(workload::Request req)
         if (!_wakePending) {
             _wakePending = true;
             ++_mispredictedEntries;
-            _governor->observeIdle(_sim.now() - _idleStart);
+            noteIdleObserved(_sim.now() - _idleStart);
         }
         break;
       case Mode::Idle:
-        _governor->observeIdle(_sim.now() - _idleStart);
+        noteIdleObserved(_sim.now() - _idleStart);
         beginWake();
         break;
     }
@@ -217,11 +217,13 @@ CoreSim::beginIdle()
 {
     _idleStart = _sim.now();
     _idleState = _governor->select(_sim.now());
+    if (_observer)
+        _observer->onIdleStart(_id, _sim.now());
     if (_idleState == CStateId::C0) {
         // No idle state enabled: poll in C0. Stay "Idle" at active
         // power with zero-latency wake.
         _mode = Mode::Idle;
-        _residency.recordEnter(CStateId::C0, _sim.now());
+        noteStateEnter(CStateId::C0);
         updatePower();
         return;
     }
@@ -240,7 +242,7 @@ void
 CoreSim::onIdleEntered()
 {
     _mode = Mode::Idle;
-    _residency.recordEnter(_idleState, _sim.now());
+    noteStateEnter(_idleState);
     updatePower();
     if (_wakePending) {
         _wakePending = false;
@@ -309,7 +311,7 @@ CoreSim::onPromotionTick(sim::Tick idle_start)
     _mode = Mode::EnteringIdle;
     _wakePending = false;
     _idleState = target;
-    _residency.recordEnter(CStateId::C0, _sim.now());
+    noteStateEnter(CStateId::C0);
     updatePower();
     if (_idleState == CStateId::C6)
         _caches.flush();
@@ -342,7 +344,7 @@ CoreSim::beginWake()
     // so it reflects the package state at the wake instant).
     const sim::Tick pkg_extra =
         _package ? _package->exitLatency() : 0;
-    _residency.recordEnter(CStateId::C0, _sim.now());
+    noteStateEnter(CStateId::C0);
     updatePower();
     const sim::Tick exit =
         pkg_extra + latencyOf(_idleState).exit;
@@ -428,6 +430,8 @@ CoreSim::updatePower()
     const power::Watts p = currentPower();
     _meter.setPower(_sim.now(), p);
     _turbo.setPower(_sim.now(), p);
+    if (_observer)
+        _observer->onCorePower(_id, _sim.now(), p);
     if (_onStateChange)
         _onStateChange();
 }
@@ -455,10 +459,13 @@ CoreSim::resetStats()
 {
     _statsStart = _sim.now();
     _meter.reset(_sim.now());
-    // Restart residency in the state we are currently in.
+    // Restart residency in the state we are currently in, and
+    // re-announce it so an observer's accumulators restart too.
     const CStateId cur =
         _mode == Mode::Idle ? _idleState : CStateId::C0;
     _residency.reset(_sim.now(), cur);
+    if (_observer)
+        _observer->onCStateEnter(_id, _sim.now(), cur);
     _completed = 0;
     _mispredictedEntries = 0;
 }

@@ -37,6 +37,7 @@
 #include "cstate/transition.hh"
 #include "power/energy_meter.hh"
 #include "server/config.hh"
+#include "server/telemetry.hh"
 #include "server/turbo.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -122,6 +123,15 @@ class CoreSim
         _package = pkg;
     }
 
+    /** Attach a passive telemetry observer (nullptr = disabled;
+     *  every publication site is a single branch). Attach before
+     *  start() so the observer sees the initial state stream. */
+    void
+    setObserver(TelemetryObserver *observer)
+    {
+        _observer = observer;
+    }
+
     /** @{ Statistics access. */
     cstate::ResidencySnapshot residency() const;
     power::Joules energy();
@@ -184,6 +194,26 @@ class CoreSim
     /** Recompute and charge the current power level. */
     void updatePower();
 
+    /** Record a residency-state entry and mirror it to the
+     *  telemetry observer (they must see the same stream). */
+    void
+    noteStateEnter(cstate::CStateId state)
+    {
+        _residency.recordEnter(state, _sim.now());
+        if (_observer)
+            _observer->onCStateEnter(_id, _sim.now(), state);
+    }
+
+    /** Feed an ended idle period to the governor and mirror it to
+     *  the telemetry observer (observeIdle ground truth). */
+    void
+    noteIdleObserved(sim::Tick idle)
+    {
+        _governor->observeIdle(idle);
+        if (_observer)
+            _observer->onIdleObserved(_id, _sim.now(), idle);
+    }
+
     /** Power of the current machine state. */
     power::Watts currentPower() const;
 
@@ -235,6 +265,8 @@ class CoreSim
     sim::Rng _rng;
     std::function<void()> _onStateChange;
     const PackageCStateModel *_package = nullptr;
+    TelemetryObserver *_observer = nullptr;
+    unsigned _id = 0;
 
     Mode _mode = Mode::Active;
     cstate::CStateId _idleState = cstate::CStateId::C0;

@@ -70,8 +70,11 @@ ServerSim::buildCores(double per_core_rate)
         _cores.push_back(std::make_unique<CoreSim>(
             _sim, _cfg, *governor_proto, *_aw, _profile,
             per_core_rate, i,
-            [this](const workload::Request &req) {
-                _latency.add(sim::toUs(req.serverLatency()));
+            [this, i](const workload::Request &req) {
+                const double us = sim::toUs(req.serverLatency());
+                _latency.add(us);
+                if (_observer)
+                    _observer->onComplete(i, _sim.now(), us);
             }));
         if (_cfg.packageCStatesEnabled) {
             _cores.back()->setPackageModel(&_package);
@@ -80,6 +83,14 @@ ServerSim::buildCores(double per_core_rate)
         }
     }
     _uncoreMeter.setPower(0, _cfg.uncorePower);
+}
+
+void
+ServerSim::setObserver(TelemetryObserver *observer)
+{
+    _observer = observer;
+    for (auto &core : _cores)
+        core->setObserver(observer);
 }
 
 CoreSim &
@@ -159,6 +170,9 @@ ServerSim::onCoreStateChange(std::size_t changed)
         _package.update(_sim.now(), all_idle, all_deep);
     if (now_state != before || all_deep) {
         _uncoreMeter.setPower(_sim.now(), _package.uncorePower());
+        if (_observer)
+            _observer->onUncorePower(_sim.now(),
+                                     _package.uncorePower());
     }
     // PC6 promotion happens after a quiet hysteresis interval with
     // no state-change events, so arm a timer for it.
@@ -179,14 +193,24 @@ ServerSim::run(sim::Tick duration, sim::Tick warmup)
     if (_dispatchArrivals)
         scheduleNextDispatch();
 
-    // Warmup: run unmeasured, then reset all statistics.
+    // Warmup: run unmeasured, then reset all statistics. The
+    // observer is told first so the per-core resetStats state
+    // re-announcements land inside its fresh window.
     if (warmup > 0)
         _sim.run(warmup);
+    if (_observer)
+        _observer->onMeasurementStart(_sim.now());
     for (auto &core : _cores)
         core->resetStats();
     _latency.reset();
     _package.reset(_sim.now());
     _uncoreMeter.reset(_sim.now());
+    if (_observer) {
+        _observer->onUncorePower(_sim.now(),
+                                 _cfg.packageCStatesEnabled
+                                     ? _package.uncorePower()
+                                     : _cfg.uncorePower);
+    }
     _statsStart = _sim.now();
 
     const sim::Tick start = _sim.now();
@@ -194,6 +218,8 @@ ServerSim::run(sim::Tick duration, sim::Tick warmup)
     const sim::Tick end = _sim.now();
     const sim::Tick window = end - start;
     _package.noteStateSince(end);
+    if (_observer)
+        _observer->onMeasurementEnd(end);
 
     RunResult r;
     r.configName = _cfg.name;

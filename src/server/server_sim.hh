@@ -15,6 +15,7 @@
 #include "cstate/residency.hh"
 #include "server/config.hh"
 #include "server/core_sim.hh"
+#include "server/telemetry.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "workload/profiles.hh"
@@ -119,6 +120,12 @@ class ServerSim
         return _latency;
     }
 
+    /** Attach a passive telemetry observer (see server/telemetry.hh)
+     *  to this server and every core. Call before run(); nullptr
+     *  detaches. The observer never perturbs the event stream, so
+     *  results are byte-identical with or without one. */
+    void setObserver(TelemetryObserver *observer);
+
   private:
     /** Shared constructor body: validate and build the cores. */
     void buildCores(double per_core_rate);
@@ -165,6 +172,8 @@ class ServerSim
     power::EnergyMeter _uncoreMeter;
     sim::EventId _pkgPromotion = sim::kInvalidEventId;
     sim::Tick _statsStart = 0;
+
+    TelemetryObserver *_observer = nullptr;
 };
 
 /**

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Streaming-telemetry observer interface.
+ *
+ * CoreSim/ServerSim publish their state changes (C-state entries,
+ * power-level changes, request completions, governor idle
+ * observations) through this null-by-default observer so that
+ * time-resolved consumers -- the analysis::TimelineRecorder interval
+ * sampler and the transition analyzer -- can watch a run without
+ * touching the event stream. The contract that keeps the golden
+ * byte-identity suites valid with telemetry enabled:
+ *
+ *   - the observer is *passive*: callbacks must not schedule
+ *     simulator events, draw from any simulation RNG, or mutate
+ *     simulation state;
+ *   - every hook site is a single `if (_observer)` branch, so the
+ *     disabled path costs one predictable-not-taken test per event
+ *     (the awperf fleet_sweep scenario gates this in CI);
+ *   - all published quantities are piecewise-constant between
+ *     events (states, power levels) or point events (completions,
+ *     idle observations), so an observer can reconstruct exact
+ *     time integrals from the callbacks alone.
+ */
+
+#ifndef AW_SERVER_TELEMETRY_HH
+#define AW_SERVER_TELEMETRY_HH
+
+#include "cstate/cstate.hh"
+#include "power/units.hh"
+#include "sim/types.hh"
+
+namespace aw::server {
+
+/**
+ * Passive run observer. Every callback has an empty default so
+ * implementations override only what they consume.
+ */
+class TelemetryObserver
+{
+  public:
+    virtual ~TelemetryObserver() = default;
+
+    /** The measured window begins at @p now (post-warmup stats
+     *  reset). Cores re-announce their current state right after
+     *  via onCStateEnter, so accumulators can restart cleanly. */
+    virtual void onMeasurementStart(sim::Tick now) { (void)now; }
+
+    /** The measured window ends at @p now. */
+    virtual void onMeasurementEnd(sim::Tick now) { (void)now; }
+
+    /** Core @p core's residency state becomes @p state at @p now
+     *  (mirrors every ResidencyCounters::recordEnter, including the
+     *  transition windows accounted as C0). */
+    virtual void
+    onCStateEnter(unsigned core, sim::Tick now, cstate::CStateId state)
+    {
+        (void)core;
+        (void)now;
+        (void)state;
+    }
+
+    /** Core @p core's power level becomes @p watts at @p now. */
+    virtual void
+    onCorePower(unsigned core, sim::Tick now, power::Watts watts)
+    {
+        (void)core;
+        (void)now;
+        (void)watts;
+    }
+
+    /** The package's uncore power level becomes @p watts at @p now. */
+    virtual void onUncorePower(sim::Tick now, power::Watts watts)
+    {
+        (void)now;
+        (void)watts;
+    }
+
+    /** Core @p core begins an idle period at @p now (CoreSim
+     *  beginIdle; promotions continue the same period). */
+    virtual void onIdleStart(unsigned core, sim::Tick now)
+    {
+        (void)core;
+        (void)now;
+    }
+
+    /** Core @p core's governor observed an ended idle period of
+     *  length @p idle at @p now (the observeIdle feedback input;
+     *  ground-truthed against onIdleStart by the recorder). */
+    virtual void
+    onIdleObserved(unsigned core, sim::Tick now, sim::Tick idle)
+    {
+        (void)core;
+        (void)now;
+        (void)idle;
+    }
+
+    /** Core @p core completed a request at @p now with server
+     *  latency @p latency_us (microseconds). */
+    virtual void
+    onComplete(unsigned core, sim::Tick now, double latency_us)
+    {
+        (void)core;
+        (void)now;
+        (void)latency_us;
+    }
+};
+
+} // namespace aw::server
+
+#endif // AW_SERVER_TELEMETRY_HH

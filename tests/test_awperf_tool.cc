@@ -71,10 +71,11 @@ readFile(const std::string &path)
 TEST(PerfRegistry, PinnedScenariosPresentInOrder)
 {
     const auto &scenarios = exp::perfScenarios();
-    ASSERT_EQ(scenarios.size(), 3u);
+    ASSERT_EQ(scenarios.size(), 4u);
     EXPECT_EQ(scenarios[0].name, "single_memcached");
     EXPECT_EQ(scenarios[1].name, "fleet_sweep");
     EXPECT_EQ(scenarios[2].name, "governors_axis");
+    EXPECT_EQ(scenarios[3].name, "fleet_sweep_timeline");
     for (const auto &s : scenarios) {
         EXPECT_FALSE(s.description.empty());
         EXPECT_TRUE(static_cast<bool>(s.run));
@@ -130,6 +131,26 @@ TEST(PerfJson, SchemaCarriesEveryDocumentedKey)
             << "missing " << key << " in\n"
             << json;
     }
+}
+
+TEST(PerfRegistry, TimelineScenarioExecutesTheSameEventStream)
+{
+    // The sampler's passivity, pinned at the perf layer: the
+    // timeline variant of the fleet sweep must execute exactly the
+    // same number of kernel events and complete exactly the same
+    // requests as the plain sweep -- the only thing telemetry may
+    // cost is wall clock, and that cost is what the perf baseline
+    // gates.
+    const auto *plain = exp::findPerfScenario("fleet_sweep");
+    const auto *timeline =
+        exp::findPerfScenario("fleet_sweep_timeline");
+    ASSERT_NE(plain, nullptr);
+    ASSERT_NE(timeline, nullptr);
+    const auto a = exp::measurePerfScenario(*plain, 1);
+    const auto b = exp::measurePerfScenario(*timeline, 1);
+    EXPECT_EQ(a.totals.events, b.totals.events);
+    EXPECT_EQ(a.totals.requests, b.totals.requests);
+    EXPECT_DOUBLE_EQ(a.totals.simSeconds, b.totals.simSeconds);
 }
 
 // ------------------------------------------------------ CLI (tool)
@@ -260,6 +281,43 @@ TEST(CheckPerfGate, RejectsARegressionAndSchemaDrift)
                    " " + cur + " " + base);
     EXPECT_NE(drift.first, 0);
     EXPECT_NE(drift.second.find("schema"), std::string::npos);
+
+    std::remove(cur.c_str());
+    std::remove(base.c_str());
+}
+
+TEST(CheckPerfGate, NewScenarioIsReportedButNotGated)
+{
+    // The rollout path for a new scenario (how fleet_sweep_timeline
+    // itself landed): present in the current document, absent from
+    // the committed baseline -- the gate reports it as new and
+    // passes, so adding a scenario and refreshing the baseline can
+    // happen in the same PR without a chicken-and-egg failure.
+    if (!havePython3())
+        GTEST_SKIP() << "python3 not available";
+    const std::string cur = tmpPath("awperf_gate_new_cur.json");
+    const std::string base = tmpPath("awperf_gate_new_base.json");
+
+    exp::PerfMeasurement old_one;
+    old_one.name = "fleet_sweep";
+    old_one.repeat = 1;
+    old_one.wallSeconds = 1.0;
+    old_one.totals.simSeconds = 10.0;
+    old_one.totals.events = 1000000;
+    old_one.totals.requests = 100000;
+    exp::PerfMeasurement fresh = old_one;
+    fresh.name = "fleet_sweep_timeline";
+
+    std::ofstream(base) << exp::perfToJson({old_one});
+    std::ofstream(cur) << exp::perfToJson({old_one, fresh});
+
+    const auto [code, out] =
+        runCommand("python3 " + std::string(AW_CHECK_PERF_PY) +
+                   " " + cur + " " + base);
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("new (not gated)"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("fleet_sweep_timeline"), std::string::npos);
 
     std::remove(cur.c_str());
     std::remove(base.c_str());

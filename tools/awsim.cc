@@ -27,8 +27,10 @@
 #include <string>
 
 #include "analysis/power_model.hh"
+#include "analysis/sampler.hh"
 #include "analysis/table.hh"
 #include "cluster/fleet.hh"
+#include "exp/emit.hh"
 #include "exp/spec.hh"
 #include "server/server_sim.hh"
 #include "sim/logging.hh"
@@ -73,6 +75,14 @@ usage()
         "  --estimate-aw     also print the Eq. 4 AW estimate\n"
         "  --trace FILE      replay inter-arrival gaps from FILE\n"
         "                    (CSV, one gap in us per value; loops)\n"
+        "  --timeline FILE   write the run's interval telemetry as\n"
+        "                    aw-timeline/1 CSV (docs/TELEMETRY.md)\n"
+        "  --timeline-json FILE  the same telemetry as JSON, plus "
+        "the\n"
+        "                    C-state transition map\n"
+        "  --timeline-interval S  sampling interval in sim seconds\n"
+        "                    (default 0.01 when a timeline file is "
+        "given)\n"
         "\nfleet mode (--fleet):\n"
         "  --fleet N         simulate N servers behind a balancer\n"
         "  --route NAME      round-robin|random|least-outstanding|"
@@ -112,11 +122,50 @@ parseDouble(const char *flag, const char *value)
     return v;
 }
 
+/** --timeline/--timeline-json/--timeline-interval, resolved. */
+struct TimelineOpts
+{
+    std::string csvPath;
+    std::string jsonPath;
+    double intervalSeconds = 0.0;
+
+    bool enabled() const
+    {
+        return !csvPath.empty() || !jsonPath.empty();
+    }
+
+    analysis::TimelineConfig config() const
+    {
+        analysis::TimelineConfig tc;
+        tc.intervalSeconds = intervalSeconds;
+        return tc;
+    }
+};
+
+/** Write the requested aw-timeline/1 artifacts for one series. */
+void
+writeTimeline(const analysis::TimelineSeries &series,
+              const std::string &label, const TimelineOpts &tl)
+{
+    if (!tl.csvPath.empty())
+        exp::writeFile(tl.csvPath, analysis::timelineCsv(series));
+    if (!tl.jsonPath.empty())
+        exp::writeFile(tl.jsonPath,
+                       analysis::timelineJson(series, label));
+    std::printf("\ntimeline: intervals=%llu dropped=%llu%s%s%s%s\n",
+                static_cast<unsigned long long>(series.emitted),
+                static_cast<unsigned long long>(series.dropped),
+                tl.csvPath.empty() ? "" : " csv=",
+                tl.csvPath.c_str(),
+                tl.jsonPath.empty() ? "" : " json=",
+                tl.jsonPath.c_str());
+}
+
 void
 runFleet(const cluster::FleetConfig &fleet_cfg,
          const workload::WorkloadProfile &profile, double qps,
          double seconds, double warmup,
-         const std::string &trace_path)
+         const std::string &trace_path, const TimelineOpts &tl)
 {
     // A replayed trace defines the offered rate, like the
     // single-server path.
@@ -128,6 +177,8 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
     cluster::FleetSim fleet(fleet_cfg, profile, qps);
     if (trace)
         fleet.setArrivalTrace(std::move(*trace));
+    if (tl.enabled())
+        fleet.enableTimeline(tl.config());
 
     const auto r =
         seconds > 0.0
@@ -191,6 +242,16 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
                    analysis::cell("%.1f", s.p99LatencyUs)});
     }
     ps.print();
+
+    if (tl.enabled()) {
+        writeTimeline(*r.timeline,
+                      sim::strprintf("fleet%u/%s/%s/%.0fqps",
+                                     r.servers,
+                                     r.workloadName.c_str(),
+                                     r.configName.c_str(),
+                                     r.offeredQps),
+                      tl);
+    }
 }
 
 } // namespace
@@ -218,6 +279,7 @@ main(int argc, char **argv)
     unsigned pack_cap = 0;
     double diurnal = 0.0;
     double diurnal_period = 1.0;
+    TimelineOpts timeline;
     const char *fleet_flag = nullptr; //!< last fleet-only flag seen
 
     for (int i = 1; i < argc; ++i) {
@@ -262,6 +324,15 @@ main(int argc, char **argv)
             estimate_aw = true;
         } else if (arg == "--trace") {
             trace_path = next("--trace");
+        } else if (arg == "--timeline") {
+            timeline.csvPath = next("--timeline");
+        } else if (arg == "--timeline-json") {
+            timeline.jsonPath = next("--timeline-json");
+        } else if (arg == "--timeline-interval") {
+            timeline.intervalSeconds = parseDouble(
+                "--timeline-interval", next("--timeline-interval"));
+            if (timeline.intervalSeconds <= 0.0)
+                sim::fatal("--timeline-interval: must be positive");
         } else if (arg == "--fleet") {
             fleet = parseUnsigned("--fleet", next("--fleet"));
             if (fleet == 0)
@@ -305,6 +376,11 @@ main(int argc, char **argv)
 
     if (fleet == 0 && fleet_flag)
         sim::fatal("%s requires --fleet N", fleet_flag);
+    if (timeline.enabled() && timeline.intervalSeconds <= 0.0)
+        timeline.intervalSeconds = 0.01;
+    if (!timeline.enabled() && timeline.intervalSeconds > 0.0)
+        sim::fatal("--timeline-interval needs --timeline or "
+                   "--timeline-json");
     if (diurnal < 0.0 || diurnal > 1.0)
         sim::fatal("--diurnal: amplitude must be in [0, 1]");
     if (diurnal > 0.0 && diurnal_period <= 0.0)
@@ -322,7 +398,8 @@ main(int argc, char **argv)
         if (diurnal > 0.0)
             fc.schedule = cluster::RateSchedule::sinusoidal(
                 sim::fromSec(diurnal_period), diurnal);
-        runFleet(fc, profile, qps, seconds, warmup, trace_path);
+        runFleet(fc, profile, qps, seconds, warmup, trace_path,
+                 timeline);
         return 0;
     }
 
@@ -339,6 +416,11 @@ main(int argc, char **argv)
                                                         qps);
     }
     server::ServerSim &srv = *srv_owner;
+    std::optional<analysis::TimelineRecorder> recorder;
+    if (timeline.enabled()) {
+        recorder.emplace(timeline.config(), cfg.cores);
+        srv.setObserver(&*recorder);
+    }
     const auto r =
         seconds > 0.0
             ? srv.run(sim::fromSec(seconds),
@@ -396,6 +478,15 @@ main(int argc, char **argv)
                     "uncore=%.2fW\n",
                     100 * r.pkgResidency[0], 100 * r.pkgResidency[1],
                     100 * r.pkgResidency[2], r.avgUncorePower);
+    }
+
+    if (recorder) {
+        writeTimeline(recorder->series(),
+                      sim::strprintf("%s/%s/%.0fqps",
+                                     r.workloadName.c_str(),
+                                     r.configName.c_str(),
+                                     r.offeredQps),
+                      timeline);
     }
 
     if (estimate_aw) {

@@ -71,7 +71,17 @@ usage()
         "  --csv FILE        write the sweep as CSV\n"
         "  --json FILE       write the sweep as JSON\n"
         "  --name NAME       spec name recorded in the artifacts\n"
-        "  --quiet           no summary table, just artifacts\n");
+        "  --quiet           no summary table, just artifacts\n"
+        "\nstreaming telemetry (aw-timeline/1, see "
+        "docs/TELEMETRY.md):\n"
+        "  --timeline FILE   write every point's interval timeline "
+        "as CSV\n"
+        "  --timeline-json FILE  the same timelines as JSON "
+        "(intervals +\n"
+        "                    per-point C-state transition maps)\n"
+        "  --timeline-interval S  sampling interval in sim seconds\n"
+        "                    (default 0.01 when a timeline file is "
+        "given)\n");
 }
 
 std::vector<std::string>
@@ -138,6 +148,8 @@ main(int argc, char **argv)
     unsigned threads = 0;
     std::string csv_path;
     std::string json_path;
+    std::string timeline_csv_path;
+    std::string timeline_json_path;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -189,6 +201,15 @@ main(int argc, char **argv)
             csv_path = next("--csv");
         } else if (arg == "--json") {
             json_path = next("--json");
+        } else if (arg == "--timeline") {
+            timeline_csv_path = next("--timeline");
+        } else if (arg == "--timeline-json") {
+            timeline_json_path = next("--timeline-json");
+        } else if (arg == "--timeline-interval") {
+            spec.timelineIntervalSeconds = parseDouble(
+                "--timeline-interval", next("--timeline-interval"));
+            if (spec.timelineIntervalSeconds <= 0.0)
+                sim::fatal("--timeline-interval: must be positive");
         } else if (arg == "--name") {
             spec.name = next("--name");
         } else if (arg == "--quiet") {
@@ -198,6 +219,16 @@ main(int argc, char **argv)
             sim::fatal("unknown argument '%s'", arg.c_str());
         }
     }
+
+    // A timeline artifact without an explicit interval gets the
+    // 10 ms default; an interval without a file is pointless.
+    const bool want_timeline = !timeline_csv_path.empty() ||
+                               !timeline_json_path.empty();
+    if (want_timeline && spec.timelineIntervalSeconds <= 0.0)
+        spec.timelineIntervalSeconds = 0.01;
+    if (!want_timeline && spec.timelineIntervalSeconds > 0.0)
+        sim::fatal("--timeline-interval needs --timeline or "
+                   "--timeline-json");
 
     // expand() inside run() validates on this thread before any
     // worker spawns.
@@ -238,12 +269,24 @@ main(int argc, char **argv)
         exp::writeFile(csv_path, exp::toCsv(result));
     if (!json_path.empty())
         exp::writeFile(json_path, exp::toJson(result));
-    if (!quiet && (!csv_path.empty() || !json_path.empty())) {
-        std::printf("\nartifacts:%s%s%s%s\n",
+    if (!timeline_csv_path.empty())
+        exp::writeFile(timeline_csv_path,
+                       exp::toTimelineCsv(result));
+    if (!timeline_json_path.empty())
+        exp::writeFile(timeline_json_path,
+                       exp::toTimelineJson(result));
+    if (!quiet &&
+        (!csv_path.empty() || !json_path.empty() || want_timeline)) {
+        std::printf("\nartifacts:%s%s%s%s%s%s%s%s\n",
                     csv_path.empty() ? "" : " csv=",
                     csv_path.c_str(),
                     json_path.empty() ? "" : " json=",
-                    json_path.c_str());
+                    json_path.c_str(),
+                    timeline_csv_path.empty() ? "" : " timeline=",
+                    timeline_csv_path.c_str(),
+                    timeline_json_path.empty() ? ""
+                                               : " timeline_json=",
+                    timeline_json_path.c_str());
     }
     return 0;
 }
