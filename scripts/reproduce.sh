@@ -107,6 +107,30 @@ else
     echo "[reproduce] warning: awsweep not built; skipping fleet sweep" >&2
 fi
 
+# Tail attribution: the request-tracer headline behind docs/TRACING.md
+# (tuned C6 pays >10x the AW config's p99 wake share at the
+# idle-heavy fleet point), emitted as the aw-trace/1 attribution
+# sweep in both CSV and JSON.
+if [ -x "$AWSWEEP" ]; then
+    echo "[reproduce] awsweep tail attribution ->" \
+         "results/trace_attribution.{txt,csv,json}"
+    if ! "$AWSWEEP" \
+            --workloads memcached \
+            --configs aw_c6a,c1c6 \
+            --policies round-robin \
+            --fleet 8 --qps 100000 --seconds 0.3 \
+            --threads "$JOBS" \
+            --trace-requests "$RESULTS_DIR/trace_attribution.csv" \
+            --trace-requests-json "$RESULTS_DIR/trace_attribution.json" \
+            >"$RESULTS_DIR/trace_attribution.txt" 2>&1; then
+        echo "[reproduce] FAILED: awsweep tail attribution" \
+             "(see results/trace_attribution.txt)" >&2
+        failed=1
+    fi
+else
+    echo "[reproduce] warning: awsweep not built; skipping tail attribution" >&2
+fi
+
 # Kernel speed telemetry: the pinned awperf scenarios, as both the
 # human-readable table and the machine-readable BENCH_perf.json the
 # CI perf gate consumes. When a stored baseline exists the gate

@@ -250,10 +250,11 @@ TimelineRecorder::onIdleObserved(unsigned core, sim::Tick now,
 }
 
 void
-TimelineRecorder::onComplete(unsigned core, sim::Tick now,
-                             double latency_us)
+TimelineRecorder::onComplete(unsigned core, std::uint64_t id,
+                             sim::Tick now, double latency_us)
 {
     (void)core;
+    (void)id;
     advanceTo(now);
     if (_measuring) {
         ++_requests;

@@ -146,7 +146,7 @@ class TimelineRecorder final : public server::TelemetryObserver
     void onIdleStart(unsigned core, sim::Tick now) override;
     void onIdleObserved(unsigned core, sim::Tick now,
                         sim::Tick idle) override;
-    void onComplete(unsigned core, sim::Tick now,
+    void onComplete(unsigned core, std::uint64_t id, sim::Tick now,
                     double latency_us) override;
     /** @} */
 

@@ -86,6 +86,14 @@ FleetSim::enableTimeline(const analysis::TimelineConfig &cfg)
     _timeline->retainLatencies = true; // pooled per-interval p99
 }
 
+void
+FleetSim::enableRequestTrace(const analysis::TraceConfig &cfg)
+{
+    if (cfg.capacity == 0)
+        sim::fatal("FleetSim: trace ring capacity must be > 0");
+    _requestTrace = cfg;
+}
+
 unsigned
 FleetSim::packCapacity() const
 {
@@ -135,6 +143,13 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
                         std::greater<InFlight>>
         in_flight;
 
+    // Routing decisions of the measured window, for the trace
+    // artifact: keep-newest ring like the tracer's spans.
+    std::vector<analysis::RoutingDecision> decisions;
+    std::uint64_t decisions_emitted = 0;
+    if (_requestTrace)
+        decisions.resize(_requestTrace->capacity);
+
     sim::Tick now = 0;
     std::uint64_t total_routed = 0;
     while (true) {
@@ -159,6 +174,13 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
         last_arrival[target] = now;
         ++routed[target];
         ++total_routed;
+        if (_requestTrace && now >= warmup) {
+            auto &slot =
+                decisions[decisions_emitted % decisions.size()];
+            slot.at = now;
+            slot.server = static_cast<std::uint32_t>(target);
+            ++decisions_emitted;
+        }
 
         const sim::Tick estimate =
             _profile.service().draw(est_rng).duration(
@@ -181,6 +203,9 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
     std::vector<analysis::TimelineSeries> timelines;
     if (_timeline)
         timelines.reserve(K);
+    std::vector<analysis::TraceSeries> traces;
+    if (_requestTrace)
+        traces.reserve(K);
     for (unsigned i = 0; i < K; ++i) {
         server::ServerConfig scfg = _cfg.server;
         scfg.seed = sim::deriveSeed(_cfg.seed, i);
@@ -195,13 +220,26 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
                 workload::ArrivalTrace(std::move(gaps[i])),
                 /*loop=*/false));
         std::optional<analysis::TimelineRecorder> recorder;
-        if (_timeline) {
+        std::optional<analysis::RequestTracer> tracer;
+        server::TelemetryFanout fanout;
+        if (_timeline)
             recorder.emplace(*_timeline, scfg.cores);
+        if (_requestTrace)
+            tracer.emplace(*_requestTrace, scfg.cores);
+        if (recorder && tracer) {
+            fanout.add(&*recorder);
+            fanout.add(&*tracer);
+            srv.setObserver(&fanout);
+        } else if (recorder) {
             srv.setObserver(&*recorder);
+        } else if (tracer) {
+            srv.setObserver(&*tracer);
         }
         auto r = srv.run(duration, warmup);
         if (recorder)
             timelines.push_back(recorder->series());
+        if (tracer)
+            traces.push_back(tracer->series());
         pooled.merge(srv.latencySamples());
 
         fr.window = r.window;
@@ -226,6 +264,21 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
     fr.residency.window = fr.window;
     if (_timeline)
         fr.timeline = analysis::foldTimelines(timelines);
+    if (_requestTrace) {
+        fr.trace = analysis::mergeTraces(traces);
+        // Attach the balancer's measured-window decisions, oldest
+        // retained first (the ring may have wrapped).
+        const std::uint64_t kept = std::min<std::uint64_t>(
+            decisions_emitted, decisions.size());
+        fr.trace->routingEmitted = decisions_emitted;
+        fr.trace->routingDropped = decisions_emitted - kept;
+        fr.trace->routing.reserve(kept);
+        for (std::uint64_t k = 0; k < kept; ++k) {
+            const std::uint64_t first = decisions_emitted - kept;
+            fr.trace->routing.push_back(
+                decisions[(first + k) % decisions.size()]);
+        }
+    }
 
     // ------------------------------------------------- aggregation
     fr.achievedQps = fr.window > 0
@@ -238,6 +291,7 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
     if (!pooled.empty()) {
         fr.avgLatencyUs = pooled.mean();
         fr.p99LatencyUs = pooled.p99();
+        fr.p999LatencyUs = pooled.p999();
     }
     if (total_routed > 0) {
         const auto busiest =

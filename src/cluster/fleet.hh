@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "analysis/sampler.hh"
+#include "analysis/trace.hh"
 #include "cluster/diurnal.hh"
 #include "cluster/routing.hh"
 #include "server/server_sim.hh"
@@ -107,6 +108,7 @@ struct FleetResult
     /** @{ Pooled per-request latency (exact, not per-server means). */
     double avgLatencyUs = 0.0;
     double p99LatencyUs = 0.0;
+    double p999LatencyUs = 0.0;
     /** @} */
 
     /** Core-time-weighted fleet C-state residency. */
@@ -130,6 +132,12 @@ struct FleetResult
      *  residency core-weighted, p99 pooled exactly); present only
      *  when FleetSim::enableTimeline() was called before run(). */
     std::optional<analysis::TimelineSeries> timeline;
+
+    /** Fleet-merged request trace (per-server spans interleaved by
+     *  completion, balancer routing decisions attached); present
+     *  only when FleetSim::enableRequestTrace() was called before
+     *  run(). */
+    std::optional<analysis::TraceSeries> trace;
 };
 
 /** Share of @p r spent in the C6 family (C6 + C6A + C6AE). */
@@ -179,6 +187,15 @@ class FleetSim
      */
     void enableTimeline(const analysis::TimelineConfig &cfg);
 
+    /**
+     * Record a per-server request trace during run() and merge it
+     * into FleetResult::trace, with the balancer's measured-window
+     * routing decisions attached. The tracer is passive, so
+     * enabling it leaves every other result field byte-identical.
+     * Composes with enableTimeline() (both observers fan out).
+     */
+    void enableRequestTrace(const analysis::TraceConfig &cfg);
+
   private:
     std::unique_ptr<workload::ArrivalProcess> makeOfferedStream() const;
 
@@ -187,6 +204,7 @@ class FleetSim
     double _totalQps;
     std::optional<workload::ArrivalTrace> _trace;
     std::optional<analysis::TimelineConfig> _timeline;
+    std::optional<analysis::TraceConfig> _requestTrace;
 };
 
 } // namespace aw::cluster

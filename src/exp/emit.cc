@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "analysis/sampler.hh"
+#include "analysis/trace.hh"
 #include "sim/logging.hh"
 
 namespace aw::exp {
@@ -282,6 +283,127 @@ toTimelineJson(const SweepResult &result)
                analysis::timelineTransitionsJson(
                    series.transitions) +
                "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+namespace {
+
+const analysis::TailAttribution &
+pointTrace(const PointResult &p)
+{
+    if (!p.trace) {
+        sim::fatal("toTraceCsv/Json: point '%s' recorded no request "
+                   "trace (set spec.traceRequests = true)",
+                   p.point.label().c_str());
+    }
+    return *p.trace;
+}
+
+const char *const kWakeShareColumns[] = {
+    "p99_wake_share_c0",  "p99_wake_share_c1",
+    "p99_wake_share_c1e", "p99_wake_share_c6a",
+    "p99_wake_share_c6ae", "p99_wake_share_c6",
+};
+static_assert(sizeof(kWakeShareColumns) /
+                  sizeof(kWakeShareColumns[0]) ==
+              cstate::kNumCStates);
+
+} // namespace
+
+std::string
+toTraceCsv(const SweepResult &result)
+{
+    std::string out =
+        sim::strprintf("# %s\n", analysis::kTraceSchema);
+    out += "index,workload,config,governor,policy,variant,servers,"
+           "qps,replica,spans,emitted,dropped,p99_threshold_us,"
+           "p999_threshold_us,p999_latency_us,all_wake_share,"
+           "all_queue_share,all_service_share,all_routing_share,"
+           "p99_mean_latency_us,p99_mean_wake_us,p99_mean_queue_us,"
+           "p99_mean_service_us,p99_mean_routing_us,p99_wake_share,"
+           "p99_queue_share,p99_service_share,p99_routing_share,"
+           "p999_wake_share,p999_queue_share,p999_service_share,"
+           "p999_routing_share";
+    for (const char *col : kWakeShareColumns) {
+        out += ',';
+        out += col;
+    }
+    out += '\n';
+    for (const auto &p : result.points) {
+        const auto &attr = pointTrace(p);
+        const auto &pt = p.point;
+        out += sim::strprintf(
+            "%zu,%s,%s,%s,%s,%s,%u,%s,%u,%llu,%llu,%llu", pt.index,
+            csvField(pt.workload).c_str(),
+            csvField(pt.config).c_str(),
+            csvField(pt.governor).c_str(),
+            csvField(pt.policy).c_str(),
+            csvField(pt.variant).c_str(), pt.servers,
+            num(pt.qps).c_str(), pt.replica,
+            static_cast<unsigned long long>(attr.spans),
+            static_cast<unsigned long long>(attr.emitted),
+            static_cast<unsigned long long>(attr.dropped));
+        for (const double v :
+             {attr.p99Us, attr.p999Us, p.p999LatencyUs,
+              attr.all.wakeShare, attr.all.queueShare,
+              attr.all.serviceShare, attr.all.routingShare,
+              attr.p99.meanLatencyUs, attr.p99.meanWakeUs,
+              attr.p99.meanQueueUs, attr.p99.meanServiceUs,
+              attr.p99.meanRoutingUs, attr.p99.wakeShare,
+              attr.p99.queueShare, attr.p99.serviceShare,
+              attr.p99.routingShare, attr.p999.wakeShare,
+              attr.p999.queueShare, attr.p999.serviceShare,
+              attr.p999.routingShare}) {
+            out += ',';
+            out += num(v);
+        }
+        for (const double share : attr.p99.wakeShareOfLatency) {
+            out += ',';
+            out += num(share);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+toTraceJson(const SweepResult &result)
+{
+    const auto &spec = result.spec;
+    std::string out = "{\n";
+    out += sim::strprintf("  \"schema\": \"%s\",\n",
+                          analysis::kTraceSchema);
+    out += "  \"name\": " + jsonString(spec.name) + ",\n";
+    out += sim::strprintf("  \"seed\": %llu,\n",
+                          static_cast<unsigned long long>(spec.seed));
+    out += sim::strprintf("  \"replicas\": %u,\n", spec.replicas);
+    out += "  \"points\": [";
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const auto &p = result.points[i];
+        const auto &attr = pointTrace(p);
+        const auto &pt = p.point;
+        out += i ? ",\n    {" : "\n    {";
+        out += sim::strprintf("\"index\": %zu, ", pt.index);
+        out += "\"workload\": " + jsonString(pt.workload) + ", ";
+        out += "\"config\": " + jsonString(pt.config) + ", ";
+        out += "\"governor\": " + jsonString(pt.governor) + ", ";
+        out += "\"policy\": " + jsonString(pt.policy) + ", ";
+        out += "\"variant\": " + jsonString(pt.variant) + ", ";
+        out += sim::strprintf(
+            "\"servers\": %u, \"qps\": %s, \"replica\": %u, "
+            "\"spans\": %llu, \"emitted\": %llu, "
+            "\"dropped\": %llu",
+            pt.servers, num(pt.qps).c_str(), pt.replica,
+            static_cast<unsigned long long>(attr.spans),
+            static_cast<unsigned long long>(attr.emitted),
+            static_cast<unsigned long long>(attr.dropped));
+        out += ", \"p99_us\": " + num(attr.p99Us);
+        out += ", \"p999_us\": " + num(attr.p999Us);
+        out += ", \"p999_latency_us\": " + num(p.p999LatencyUs);
+        out += ",\n    \"cohorts\": " +
+               analysis::attributionCohortsJson(attr) + "}";
     }
     out += "\n  ]\n}\n";
     return out;

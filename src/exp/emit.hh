@@ -50,6 +50,22 @@ std::string toTimelineCsv(const SweepResult &result);
  *  then per-point interval arrays and transition maps). */
 std::string toTimelineJson(const SweepResult &result);
 
+/**
+ * Render every point's tail-latency attribution as one aw-trace/1
+ * CSV: a `# aw-trace/1` schema line, then one row per point (grid
+ * order) of the point coordinates followed by the attribution
+ * columns -- span accounting, nearest-rank thresholds, p99.9
+ * latency, per-cohort component shares (including the headline
+ * p99_wake_share and p99_queue_share) and the p99 cohort's
+ * per-from-state wake shares. fatal() if any point lacks an
+ * attribution (run the sweep with spec.traceRequests = true).
+ */
+std::string toTraceCsv(const SweepResult &result);
+
+/** The same attributions as one JSON document (schema, spec
+ *  identity, then per-point cohort objects). */
+std::string toTraceJson(const SweepResult &result);
+
 /** Write @p content to @p path; fatal() on I/O errors. */
 void writeFile(const std::string &path, const std::string &content);
 

@@ -122,6 +122,29 @@ makeScenarios()
             return sweepTotals(spec);
         }});
 
+    // The same pinned fleet sweep with the request tracer on: gates
+    // the tracer's overhead the same way. Its event and request
+    // counts must equal fleet_sweep's exactly (the tracer is
+    // passive) -- a CI-enforced proof that tracing never perturbs
+    // the simulation.
+    s.push_back(PerfScenario{
+        "fleet_sweep_trace",
+        "fleet_sweep with --trace-requests (span tracer) enabled, "
+        "1 thread",
+        []() {
+            ExperimentSpec spec;
+            spec.name = "awperf-fleet-trace";
+            spec.workloads = {"memcached"};
+            spec.configs = {"aw", "c1c6"};
+            spec.policies = {"round-robin", "pack-first"};
+            spec.fleetSizes = {8};
+            spec.qps = {400e3};
+            spec.seconds = 0.3;
+            spec.seed = 42;
+            spec.traceRequests = true;
+            return sweepTotals(spec);
+        }});
+
     return s;
 }
 

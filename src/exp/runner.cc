@@ -253,9 +253,17 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
             tc.intervalSeconds = spec.timelineIntervalSeconds;
             fleet.enableTimeline(tc);
         }
+        if (spec.traceRequests)
+            fleet.enableRequestTrace(analysis::TraceConfig{});
         auto r = duration > 0 ? fleet.run(duration, warmup)
                               : fleet.run();
         res.timeline = std::move(r.timeline);
+        if (r.trace) {
+            // Attribute and drop the raw spans: a sweep keeps one
+            // attribution per point, not millions of span records.
+            res.trace = analysis::attributeTail(*r.trace);
+            res.p999LatencyUs = r.p999LatencyUs;
+        }
         res.events = r.events;
         res.requests = r.requests;
         res.achievedQps = r.achievedQps;
@@ -273,16 +281,32 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
         cfg.seed = pt.seed;
         server::ServerSim srv(cfg, profile, pt.qps);
         std::optional<analysis::TimelineRecorder> recorder;
+        std::optional<analysis::RequestTracer> tracer;
+        server::TelemetryFanout fanout;
         if (spec.timelineIntervalSeconds > 0.0) {
             analysis::TimelineConfig tc;
             tc.intervalSeconds = spec.timelineIntervalSeconds;
             recorder.emplace(tc, cfg.cores);
+        }
+        if (spec.traceRequests)
+            tracer.emplace(analysis::TraceConfig{}, cfg.cores);
+        if (recorder && tracer) {
+            fanout.add(&*recorder);
+            fanout.add(&*tracer);
+            srv.setObserver(&fanout);
+        } else if (recorder) {
             srv.setObserver(&*recorder);
+        } else if (tracer) {
+            srv.setObserver(&*tracer);
         }
         const auto r = duration > 0 ? srv.run(duration, warmup)
                                     : srv.run();
         if (recorder)
             res.timeline = recorder->series();
+        if (tracer) {
+            res.trace = analysis::attributeTail(tracer->series());
+            res.p999LatencyUs = r.p999LatencyUs;
+        }
         res.events = r.events;
         res.requests = r.requests;
         res.achievedQps = r.achievedQps;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/sampler.hh"
+#include "analysis/trace.hh"
 #include "cstate/cstate.hh"
 #include "exp/spec.hh"
 
@@ -106,6 +107,9 @@ struct PointResult
     double energyPerRequestMj = 0.0;
     double avgLatencyUs = 0.0;
     double p99LatencyUs = 0.0;
+    /** p99.9 of the same pooled samples; filled only when the spec
+     *  set traceRequests (kept out of the pinned CSV schema). */
+    double p999LatencyUs = 0.0;
     double deepIdleShare = 0.0;
     double minServerDeepShare = 0.0;
     double maxServerDeepShare = 0.0;
@@ -119,6 +123,14 @@ struct PointResult
      *  per-server series). Emitted by toTimelineCsv/Json, never by
      *  the regular artifact emitters. */
     std::optional<analysis::TimelineSeries> timeline;
+
+    /** Tail-latency attribution of this point's request trace;
+     *  present only when the spec set traceRequests. The raw spans
+     *  are attributed and discarded point-by-point to bound sweep
+     *  memory -- per-span artifacts come from awsim, not sweeps.
+     *  Emitted by toTraceCsv/Json, never by the regular artifact
+     *  emitters. */
+    std::optional<analysis::TailAttribution> trace;
 };
 
 /** Execute one grid point; must be pure in the point (same point,

@@ -106,6 +106,15 @@ struct ExperimentSpec
      *  results and artifacts stay byte-identical. */
     double timelineIntervalSeconds = 0.0;
 
+    /** Record a request-path trace per point (see analysis/trace.hh
+     *  and docs/TRACING.md): every point then carries a tail-latency
+     *  attribution in PointResult::trace (emitted by
+     *  toTraceCsv/Json, never by the regular artifact emitters) and
+     *  p99.9 in PointResult::p999LatencyUs. The tracer is passive,
+     *  so all other results and artifacts stay byte-identical;
+     *  disabled (the default) it costs nothing. */
+    bool traceRequests = false;
+
     /** Dispatch-policy override applied to every point ("" = each
      *  config's default; see server::dispatchPolicyNames()). */
     std::string dispatch;

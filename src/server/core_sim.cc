@@ -121,11 +121,13 @@ CoreSim::start()
     beginIdle();
 }
 
-void
+std::uint64_t
 CoreSim::inject(workload::Request req)
 {
-    req.id = _nextReqId++;
+    const std::uint64_t id = _nextReqId++;
+    req.id = id;
     onArrival(std::move(req));
+    return id;
 }
 
 void
@@ -146,6 +148,8 @@ CoreSim::scheduleNextArrival()
 void
 CoreSim::onArrival(workload::Request req)
 {
+    if (_observer)
+        _observer->onRequestArrival(_id, req.id, _sim.now());
     _queue.push_back(std::move(req));
     switch (_mode) {
       case Mode::Active:
@@ -159,10 +163,18 @@ CoreSim::onArrival(workload::Request req)
             _wakePending = true;
             ++_mispredictedEntries;
             noteIdleObserved(_sim.now() - _idleStart);
+            // The wake stall starts now: the entry-flow remainder
+            // (C6's cache flush included) plus the exit flow all
+            // stand between this arrival and service.
+            if (_observer)
+                _observer->onWakeStart(_id, _sim.now(), _idleState);
         }
         break;
       case Mode::Idle:
         noteIdleObserved(_sim.now() - _idleStart);
+        // C0 polling wakes instantly: no episode to publish.
+        if (_observer && _idleState != CStateId::C0)
+            _observer->onWakeStart(_id, _sim.now(), _idleState);
         beginWake();
         break;
     }
@@ -179,6 +191,8 @@ CoreSim::beginService()
     workload::Request req = std::move(_queue.front());
     _queue.pop_front();
     req.serviceStart = _sim.now();
+    if (_observer)
+        _observer->onServiceStart(_id, req.id, _sim.now());
 
     // Frequency decision: boost if the thermal credit covers the
     // whole request, else base.
@@ -354,6 +368,8 @@ CoreSim::beginWake()
 void
 CoreSim::onWakeDone()
 {
+    if (_observer)
+        _observer->onWakeEnd(_id, _sim.now());
     _mode = Mode::Active;
     updatePower();
     beginService();

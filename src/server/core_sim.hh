@@ -102,8 +102,10 @@ class CoreSim
     /** Begin generating arrivals (call once before run()). */
     void start();
 
-    /** Externally dispatch a request to this core (Packing). */
-    void inject(workload::Request req);
+    /** Externally dispatch a request to this core (Packing).
+     *  Returns the core-local id assigned to the request, so the
+     *  dispatcher can publish its routing decision. */
+    std::uint64_t inject(workload::Request req);
 
     /** Requests waiting in this core's queue. */
     std::size_t queueLength() const { return _queue.size(); }

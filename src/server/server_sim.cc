@@ -74,7 +74,7 @@ ServerSim::buildCores(double per_core_rate)
                 const double us = sim::toUs(req.serverLatency());
                 _latency.add(us);
                 if (_observer)
-                    _observer->onComplete(i, _sim.now(), us);
+                    _observer->onComplete(i, req.id, _sim.now(), us);
             }));
         if (_cfg.packageCStatesEnabled) {
             _cores.back()->setPackageModel(&_package);
@@ -93,36 +93,39 @@ ServerSim::setObserver(TelemetryObserver *observer)
         core->setObserver(observer);
 }
 
-CoreSim &
+std::size_t
 ServerSim::pickPackingTarget()
 {
     // 1) Lowest-numbered awake core with queue headroom.
-    for (auto &core : _cores) {
-        const bool awake = core->mode() != CoreSim::Mode::Idle;
-        if (awake && core->queueLength() < _cfg.packingQueueLimit)
-            return *core;
+    for (std::size_t i = 0; i < _cores.size(); ++i) {
+        const CoreSim &core = *_cores[i];
+        const bool awake = core.mode() != CoreSim::Mode::Idle;
+        if (awake && core.queueLength() < _cfg.packingQueueLimit)
+            return i;
     }
     // 2) Otherwise wake the shallowest-sleeping idle core.
-    CoreSim *best = nullptr;
+    std::size_t best = _cores.size();
     int best_depth = 0;
-    for (auto &core : _cores) {
-        if (core->mode() != CoreSim::Mode::Idle)
+    for (std::size_t i = 0; i < _cores.size(); ++i) {
+        const CoreSim &core = *_cores[i];
+        if (core.mode() != CoreSim::Mode::Idle)
             continue;
-        const int depth = core->idleStateDepth();
-        if (!best || depth < best_depth) {
-            best = core.get();
+        const int depth = core.idleStateDepth();
+        if (best == _cores.size() || depth < best_depth) {
+            best = i;
             best_depth = depth;
         }
     }
-    if (best)
-        return *best;
+    if (best < _cores.size())
+        return best;
     // 3) Everyone is awake and saturated: shortest queue.
-    CoreSim *shortest = _cores.front().get();
-    for (auto &core : _cores) {
-        if (core->queueLength() < shortest->queueLength())
-            shortest = core.get();
+    std::size_t shortest = 0;
+    for (std::size_t i = 1; i < _cores.size(); ++i) {
+        if (_cores[i]->queueLength() <
+            _cores[shortest]->queueLength())
+            shortest = i;
     }
-    return *shortest;
+    return shortest;
 }
 
 void
@@ -136,11 +139,16 @@ ServerSim::scheduleNextDispatch()
         workload::Request req;
         req.arrival = _sim.now();
         req.demand = _profile.service().draw(_dispatchRng);
-        CoreSim &target =
+        const std::size_t target =
             _cfg.dispatch == DispatchPolicy::Packing
                 ? pickPackingTarget()
-                : *_cores[_rrNext++ % _cores.size()];
-        target.inject(std::move(req));
+                : _rrNext++ % _cores.size();
+        const std::uint64_t id =
+            _cores[target]->inject(std::move(req));
+        if (_observer) {
+            _observer->onRequestDispatch(
+                static_cast<unsigned>(target), id, _sim.now());
+        }
         scheduleNextDispatch();
     });
 }
@@ -268,6 +276,7 @@ ServerSim::run(sim::Tick duration, sim::Tick warmup)
     if (!_latency.empty()) {
         r.avgLatencyUs = _latency.mean();
         r.p99LatencyUs = _latency.p99();
+        r.p999LatencyUs = _latency.p999();
         const double net = sim::toUs(_cfg.networkLatency);
         r.avgLatencyE2eUs = r.avgLatencyUs + net;
         r.p99LatencyE2eUs = r.p99LatencyUs + net;

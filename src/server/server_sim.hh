@@ -37,6 +37,7 @@ struct RunResult
     /** @{ Latency statistics (microseconds). */
     double avgLatencyUs = 0.0;
     double p99LatencyUs = 0.0;
+    double p999LatencyUs = 0.0;
     double avgLatencyE2eUs = 0.0;
     double p99LatencyE2eUs = 0.0;
     /** @} */
@@ -132,7 +133,7 @@ class ServerSim
 
     /** Central dispatch: route one request and draw the next. */
     void scheduleNextDispatch();
-    CoreSim &pickPackingTarget();
+    std::size_t pickPackingTarget();
 
     /**
      * Re-evaluate the package C-state after core @p changed moved.

@@ -3,12 +3,13 @@
  * Streaming-telemetry observer interface.
  *
  * CoreSim/ServerSim publish their state changes (C-state entries,
- * power-level changes, request completions, governor idle
+ * power-level changes, request lifecycle milestones, governor idle
  * observations) through this null-by-default observer so that
  * time-resolved consumers -- the analysis::TimelineRecorder interval
- * sampler and the transition analyzer -- can watch a run without
- * touching the event stream. The contract that keeps the golden
- * byte-identity suites valid with telemetry enabled:
+ * sampler, the transition analyzer and the analysis::RequestTracer
+ * span recorder -- can watch a run without touching the event
+ * stream. The contract that keeps the golden byte-identity suites
+ * valid with telemetry enabled:
  *
  *   - the observer is *passive*: callbacks must not schedule
  *     simulator events, draw from any simulation RNG, or mutate
@@ -24,6 +25,9 @@
 
 #ifndef AW_SERVER_TELEMETRY_HH
 #define AW_SERVER_TELEMETRY_HH
+
+#include <cstdint>
+#include <vector>
 
 #include "cstate/cstate.hh"
 #include "power/units.hh"
@@ -94,15 +98,177 @@ class TelemetryObserver
         (void)idle;
     }
 
-    /** Core @p core completed a request at @p now with server
-     *  latency @p latency_us (microseconds). */
+    /** @{ Request lifecycle. Requests are identified by
+     *  (core, core-local id); ids are assigned in arrival order per
+     *  core, so per-core streams are FIFO in id. The milestone
+     *  sequence for one request is
+     *
+     *    onRequestArrival -> [onRequestDispatch] -> onServiceStart
+     *      -> onComplete
+     *
+     *  with at most one onWakeStart/onWakeEnd episode per core
+     *  overlapping the wait (a core never idles with queued work).
+     *  onRequestDispatch fires only for centrally dispatched
+     *  streams (packing, traces, fleet splits), at the same tick as
+     *  the arrival but possibly after later same-tick milestones --
+     *  consumers must correlate by id, not by callback order. */
+
+    /** Request @p id arrived at core @p core's queue at @p now. */
     virtual void
-    onComplete(unsigned core, sim::Tick now, double latency_us)
+    onRequestArrival(unsigned core, std::uint64_t id, sim::Tick now)
+    {
+        (void)core;
+        (void)id;
+        (void)now;
+    }
+
+    /** The server's central dispatcher routed request @p id to core
+     *  @p core at @p now (same tick as its arrival). */
+    virtual void
+    onRequestDispatch(unsigned core, std::uint64_t id, sim::Tick now)
+    {
+        (void)core;
+        (void)id;
+        (void)now;
+    }
+
+    /** Core @p core begins waking from @p from at @p now. For a
+     *  mispredicted entry (arrival mid-entry-flow) this fires when
+     *  the wake becomes pending, so the episode covers the entry
+     *  remainder -- including C6's cache-flush cost -- plus the
+     *  exit flow. C0 polling wakes are instant and publish no
+     *  episode. */
+    virtual void
+    onWakeStart(unsigned core, sim::Tick now, cstate::CStateId from)
     {
         (void)core;
         (void)now;
+        (void)from;
+    }
+
+    /** Core @p core's wake episode completes at @p now; service of
+     *  the queue head begins at the same tick. */
+    virtual void onWakeEnd(unsigned core, sim::Tick now)
+    {
+        (void)core;
+        (void)now;
+    }
+
+    /** Core @p core starts servicing request @p id at @p now. */
+    virtual void
+    onServiceStart(unsigned core, std::uint64_t id, sim::Tick now)
+    {
+        (void)core;
+        (void)id;
+        (void)now;
+    }
+
+    /** Core @p core completed request @p id at @p now with server
+     *  latency @p latency_us (microseconds). */
+    virtual void onComplete(unsigned core, std::uint64_t id,
+                            sim::Tick now, double latency_us)
+    {
+        (void)core;
+        (void)id;
+        (void)now;
         (void)latency_us;
     }
+    /** @} */
+};
+
+/**
+ * Fan-out observer: forwards every callback to each attached sink,
+ * in attachment order. ServerSim/FleetSim hold a single observer
+ * pointer; this is how two passive consumers (say a timeline
+ * sampler and a request tracer) watch the same run. Passivity
+ * composes: a fanout over passive observers is itself passive.
+ */
+class TelemetryFanout final : public TelemetryObserver
+{
+  public:
+    /** Attach @p sink (nullptr is ignored). Must outlive the run. */
+    void add(TelemetryObserver *sink)
+    {
+        if (sink)
+            _sinks.push_back(sink);
+    }
+
+    void onMeasurementStart(sim::Tick now) override
+    {
+        for (auto *s : _sinks)
+            s->onMeasurementStart(now);
+    }
+    void onMeasurementEnd(sim::Tick now) override
+    {
+        for (auto *s : _sinks)
+            s->onMeasurementEnd(now);
+    }
+    void onCStateEnter(unsigned core, sim::Tick now,
+                       cstate::CStateId state) override
+    {
+        for (auto *s : _sinks)
+            s->onCStateEnter(core, now, state);
+    }
+    void onCorePower(unsigned core, sim::Tick now,
+                     power::Watts watts) override
+    {
+        for (auto *s : _sinks)
+            s->onCorePower(core, now, watts);
+    }
+    void onUncorePower(sim::Tick now, power::Watts watts) override
+    {
+        for (auto *s : _sinks)
+            s->onUncorePower(now, watts);
+    }
+    void onIdleStart(unsigned core, sim::Tick now) override
+    {
+        for (auto *s : _sinks)
+            s->onIdleStart(core, now);
+    }
+    void onIdleObserved(unsigned core, sim::Tick now,
+                        sim::Tick idle) override
+    {
+        for (auto *s : _sinks)
+            s->onIdleObserved(core, now, idle);
+    }
+    void onRequestArrival(unsigned core, std::uint64_t id,
+                          sim::Tick now) override
+    {
+        for (auto *s : _sinks)
+            s->onRequestArrival(core, id, now);
+    }
+    void onRequestDispatch(unsigned core, std::uint64_t id,
+                           sim::Tick now) override
+    {
+        for (auto *s : _sinks)
+            s->onRequestDispatch(core, id, now);
+    }
+    void onWakeStart(unsigned core, sim::Tick now,
+                     cstate::CStateId from) override
+    {
+        for (auto *s : _sinks)
+            s->onWakeStart(core, now, from);
+    }
+    void onWakeEnd(unsigned core, sim::Tick now) override
+    {
+        for (auto *s : _sinks)
+            s->onWakeEnd(core, now);
+    }
+    void onServiceStart(unsigned core, std::uint64_t id,
+                        sim::Tick now) override
+    {
+        for (auto *s : _sinks)
+            s->onServiceStart(core, id, now);
+    }
+    void onComplete(unsigned core, std::uint64_t id, sim::Tick now,
+                    double latency_us) override
+    {
+        for (auto *s : _sinks)
+            s->onComplete(core, id, now, latency_us);
+    }
+
+  private:
+    std::vector<TelemetryObserver *> _sinks;
 };
 
 } // namespace aw::server

@@ -114,6 +114,7 @@ class PercentileTracker
     double p50() const { return percentile(50.0); }
     double p95() const { return percentile(95.0); }
     double p99() const { return percentile(99.0); }
+    double p999() const { return percentile(99.9); }
 
     double mean() const;
 

@@ -71,11 +71,12 @@ readFile(const std::string &path)
 TEST(PerfRegistry, PinnedScenariosPresentInOrder)
 {
     const auto &scenarios = exp::perfScenarios();
-    ASSERT_EQ(scenarios.size(), 4u);
+    ASSERT_EQ(scenarios.size(), 5u);
     EXPECT_EQ(scenarios[0].name, "single_memcached");
     EXPECT_EQ(scenarios[1].name, "fleet_sweep");
     EXPECT_EQ(scenarios[2].name, "governors_axis");
     EXPECT_EQ(scenarios[3].name, "fleet_sweep_timeline");
+    EXPECT_EQ(scenarios[4].name, "fleet_sweep_trace");
     for (const auto &s : scenarios) {
         EXPECT_FALSE(s.description.empty());
         EXPECT_TRUE(static_cast<bool>(s.run));
@@ -148,6 +149,23 @@ TEST(PerfRegistry, TimelineScenarioExecutesTheSameEventStream)
     ASSERT_NE(timeline, nullptr);
     const auto a = exp::measurePerfScenario(*plain, 1);
     const auto b = exp::measurePerfScenario(*timeline, 1);
+    EXPECT_EQ(a.totals.events, b.totals.events);
+    EXPECT_EQ(a.totals.requests, b.totals.requests);
+    EXPECT_DOUBLE_EQ(a.totals.simSeconds, b.totals.simSeconds);
+}
+
+TEST(PerfRegistry, TraceScenarioExecutesTheSameEventStream)
+{
+    // Same passivity pin for the request tracer: fleet_sweep_trace
+    // must execute exactly the same kernel events and complete
+    // exactly the same requests as the plain sweep, or the tracer
+    // has perturbed the simulation it claims merely to observe.
+    const auto *plain = exp::findPerfScenario("fleet_sweep");
+    const auto *trace = exp::findPerfScenario("fleet_sweep_trace");
+    ASSERT_NE(plain, nullptr);
+    ASSERT_NE(trace, nullptr);
+    const auto a = exp::measurePerfScenario(*plain, 1);
+    const auto b = exp::measurePerfScenario(*trace, 1);
     EXPECT_EQ(a.totals.events, b.totals.events);
     EXPECT_EQ(a.totals.requests, b.totals.requests);
     EXPECT_DOUBLE_EQ(a.totals.simSeconds, b.totals.simSeconds);

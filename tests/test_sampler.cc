@@ -40,7 +40,7 @@ TEST(Sampler, EventExactlyOnBoundaryLandsInNextInterval)
 {
     TimelineRecorder rec(cfgWith(1e-3), 1);
     rec.onMeasurementStart(0);
-    rec.onComplete(0, kIv, 10.0); // exactly on the first boundary
+    rec.onComplete(0, 0, kIv, 10.0); // exactly on the first boundary
     rec.onMeasurementEnd(2 * kIv);
 
     const TimelineSeries &s = rec.series();
@@ -55,7 +55,7 @@ TEST(Sampler, RunShorterThanOneIntervalEmitsOnePartial)
 {
     TimelineRecorder rec(cfgWith(1e-3), 1);
     rec.onMeasurementStart(0);
-    rec.onComplete(0, kIv / 4, 5.0);
+    rec.onComplete(0, 0, kIv / 4, 5.0);
     rec.onMeasurementEnd(kIv / 2);
 
     const TimelineSeries &s = rec.series();
@@ -73,7 +73,7 @@ TEST(Sampler, EndExactlyOnBoundaryEmitsNoZeroLengthInterval)
 {
     TimelineRecorder rec(cfgWith(1e-3), 1);
     rec.onMeasurementStart(0);
-    rec.onComplete(0, 100, 5.0);
+    rec.onComplete(0, 0, 100, 5.0);
     rec.onMeasurementEnd(3 * kIv);
 
     const TimelineSeries &s = rec.series();
@@ -89,7 +89,7 @@ TEST(Sampler, WarmupActivityIsExcluded)
     TimelineRecorder rec(cfgWith(1e-3), 1);
     // Pre-measurement traffic: levels are tracked, nothing accrues.
     rec.onCorePower(0, 0, 5.0);
-    rec.onComplete(0, 10, 3.0);
+    rec.onComplete(0, 0, 10, 3.0);
     rec.onMeasurementStart(7 * kIv); // warmup ended mid-run
     rec.onMeasurementEnd(8 * kIv);
 
@@ -148,7 +148,7 @@ TEST(Sampler, PooledP99MatchesNearestRank)
     TimelineRecorder rec(cfgWith(1e-3), 1);
     rec.onMeasurementStart(0);
     for (int i = 100; i >= 1; --i) // unsorted on purpose
-        rec.onComplete(0, 10 + i, static_cast<double>(i));
+        rec.onComplete(0, 0, 10 + i, static_cast<double>(i));
     rec.onMeasurementEnd(kIv);
 
     const TimelineSeries &s = rec.series();
@@ -182,14 +182,14 @@ TEST(Sampler, FoldPoolsAcrossServers)
     a.onCorePower(0, 0, 1.0);
     a.onMeasurementStart(0);
     for (int i = 1; i <= 50; ++i)
-        a.onComplete(0, 10 + i, static_cast<double>(i));
+        a.onComplete(0, 0, 10 + i, static_cast<double>(i));
     a.onMeasurementEnd(kIv);
 
     b.onCorePower(0, 0, 2.0);
     b.onMeasurementStart(0);
     b.onCStateEnter(0, kIv / 2, cstate::CStateId::C6);
     for (int i = 51; i <= 100; ++i)
-        b.onComplete(0, 10 + i, static_cast<double>(i));
+        b.onComplete(0, 0, 10 + i, static_cast<double>(i));
     b.onMeasurementEnd(kIv);
 
     const auto folded = foldTimelines({a.series(), b.series()});
@@ -308,7 +308,7 @@ TEST(Sampler, CsvSchemaIsPinned)
 {
     TimelineRecorder rec(cfgWith(1e-3), 1);
     rec.onMeasurementStart(0);
-    rec.onComplete(0, 100, 5.0);
+    rec.onComplete(0, 0, 100, 5.0);
     rec.onMeasurementEnd(kIv);
     const std::string csv = timelineCsv(rec.series());
     EXPECT_EQ(csv.rfind("# aw-timeline/1\n", 0), 0u);

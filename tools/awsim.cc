@@ -29,6 +29,7 @@
 #include "analysis/power_model.hh"
 #include "analysis/sampler.hh"
 #include "analysis/table.hh"
+#include "analysis/trace.hh"
 #include "cluster/fleet.hh"
 #include "exp/emit.hh"
 #include "exp/spec.hh"
@@ -83,6 +84,15 @@ usage()
         "  --timeline-interval S  sampling interval in sim seconds\n"
         "                    (default 0.01 when a timeline file is "
         "given)\n"
+        "  --trace-requests FILE  write per-request spans as "
+        "aw-trace/1\n"
+        "                    CSV (docs/TRACING.md)\n"
+        "  --trace-requests-json FILE  write the tail-latency\n"
+        "                    attribution (all/p99/p99.9 cohorts) as "
+        "JSON\n"
+        "  --trace-chrome FILE  write a Chrome trace_event JSON "
+        "loadable\n"
+        "                    in Perfetto / chrome://tracing\n"
         "\nfleet mode (--fleet):\n"
         "  --fleet N         simulate N servers behind a balancer\n"
         "  --route NAME      round-robin|random|least-outstanding|"
@@ -142,6 +152,62 @@ struct TimelineOpts
     }
 };
 
+/** --trace-requests/--trace-requests-json/--trace-chrome. */
+struct TraceOpts
+{
+    std::string csvPath;
+    std::string jsonPath;
+    std::string chromePath;
+
+    bool enabled() const
+    {
+        return !csvPath.empty() || !jsonPath.empty() ||
+               !chromePath.empty();
+    }
+};
+
+/** Write the requested aw-trace/1 artifacts for one series and
+ *  print its tail-attribution summary. */
+void
+writeRequestTrace(const analysis::TraceSeries &series,
+                  const std::string &label, const TraceOpts &tr)
+{
+    if (!tr.csvPath.empty())
+        exp::writeFile(tr.csvPath, analysis::traceCsv(series));
+    if (!tr.jsonPath.empty())
+        exp::writeFile(tr.jsonPath,
+                       analysis::attributionJson(series, label));
+    if (!tr.chromePath.empty())
+        exp::writeFile(tr.chromePath,
+                       analysis::chromeTraceJson(series));
+
+    const auto attr = analysis::attributeTail(series);
+    std::printf("\ntrace: spans=%llu dropped=%llu "
+                "wake_episodes=%llu\n",
+                static_cast<unsigned long long>(attr.spans),
+                static_cast<unsigned long long>(attr.dropped),
+                static_cast<unsigned long long>(
+                    series.wakesEmitted));
+    analysis::TableWriter at(
+        {"cohort", "count", "wake share", "queue share",
+         "service share", "mean wake (us)"});
+    const std::pair<const char *, const analysis::CohortStats &>
+        cohorts[] = {{"all", attr.all},
+                     {"p99", attr.p99},
+                     {"p99.9", attr.p999}};
+    for (const auto &[name, st] : cohorts) {
+        at.addRow({name,
+                   analysis::cell("%llu",
+                                  static_cast<unsigned long long>(
+                                      st.count)),
+                   analysis::cell("%.1f%%", 100 * st.wakeShare),
+                   analysis::cell("%.1f%%", 100 * st.queueShare),
+                   analysis::cell("%.1f%%", 100 * st.serviceShare),
+                   analysis::cell("%.2f", st.meanWakeUs)});
+    }
+    at.print();
+}
+
 /** Write the requested aw-timeline/1 artifacts for one series. */
 void
 writeTimeline(const analysis::TimelineSeries &series,
@@ -165,7 +231,8 @@ void
 runFleet(const cluster::FleetConfig &fleet_cfg,
          const workload::WorkloadProfile &profile, double qps,
          double seconds, double warmup,
-         const std::string &trace_path, const TimelineOpts &tl)
+         const std::string &trace_path, const TimelineOpts &tl,
+         const TraceOpts &tr)
 {
     // A replayed trace defines the offered rate, like the
     // single-server path.
@@ -179,6 +246,8 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
         fleet.setArrivalTrace(std::move(*trace));
     if (tl.enabled())
         fleet.enableTimeline(tl.config());
+    if (tr.enabled())
+        fleet.enableRequestTrace(analysis::TraceConfig{});
 
     const auto r =
         seconds > 0.0
@@ -213,6 +282,8 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
               analysis::cell("%.2f", r.avgLatencyUs)});
     t.addRow({"p99 latency (us)",
               analysis::cell("%.2f", r.p99LatencyUs)});
+    t.addRow({"p99.9 latency (us)",
+              analysis::cell("%.2f", r.p999LatencyUs)});
     t.addRow({"deep idle (C6 family)",
               analysis::cell("%.1f%%", 100 * r.deepIdleShare)});
     t.addRow({"deep idle spread",
@@ -243,15 +314,14 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
     }
     ps.print();
 
-    if (tl.enabled()) {
-        writeTimeline(*r.timeline,
-                      sim::strprintf("fleet%u/%s/%s/%.0fqps",
-                                     r.servers,
-                                     r.workloadName.c_str(),
-                                     r.configName.c_str(),
-                                     r.offeredQps),
-                      tl);
-    }
+    const std::string label =
+        sim::strprintf("fleet%u/%s/%s/%.0fqps", r.servers,
+                       r.workloadName.c_str(), r.configName.c_str(),
+                       r.offeredQps);
+    if (tl.enabled())
+        writeTimeline(*r.timeline, label, tl);
+    if (tr.enabled())
+        writeRequestTrace(*r.trace, label, tr);
 }
 
 } // namespace
@@ -280,6 +350,7 @@ main(int argc, char **argv)
     double diurnal = 0.0;
     double diurnal_period = 1.0;
     TimelineOpts timeline;
+    TraceOpts reqtrace;
     const char *fleet_flag = nullptr; //!< last fleet-only flag seen
 
     for (int i = 1; i < argc; ++i) {
@@ -328,6 +399,12 @@ main(int argc, char **argv)
             timeline.csvPath = next("--timeline");
         } else if (arg == "--timeline-json") {
             timeline.jsonPath = next("--timeline-json");
+        } else if (arg == "--trace-requests") {
+            reqtrace.csvPath = next("--trace-requests");
+        } else if (arg == "--trace-requests-json") {
+            reqtrace.jsonPath = next("--trace-requests-json");
+        } else if (arg == "--trace-chrome") {
+            reqtrace.chromePath = next("--trace-chrome");
         } else if (arg == "--timeline-interval") {
             timeline.intervalSeconds = parseDouble(
                 "--timeline-interval", next("--timeline-interval"));
@@ -399,7 +476,7 @@ main(int argc, char **argv)
             fc.schedule = cluster::RateSchedule::sinusoidal(
                 sim::fromSec(diurnal_period), diurnal);
         runFleet(fc, profile, qps, seconds, warmup, trace_path,
-                 timeline);
+                 timeline, reqtrace);
         return 0;
     }
 
@@ -417,9 +494,20 @@ main(int argc, char **argv)
     }
     server::ServerSim &srv = *srv_owner;
     std::optional<analysis::TimelineRecorder> recorder;
-    if (timeline.enabled()) {
+    std::optional<analysis::RequestTracer> tracer;
+    server::TelemetryFanout fanout;
+    if (timeline.enabled())
         recorder.emplace(timeline.config(), cfg.cores);
+    if (reqtrace.enabled())
+        tracer.emplace(analysis::TraceConfig{}, cfg.cores);
+    if (recorder && tracer) {
+        fanout.add(&*recorder);
+        fanout.add(&*tracer);
+        srv.setObserver(&fanout);
+    } else if (recorder) {
         srv.setObserver(&*recorder);
+    } else if (tracer) {
+        srv.setObserver(&*tracer);
     }
     const auto r =
         seconds > 0.0
@@ -454,6 +542,8 @@ main(int argc, char **argv)
               analysis::cell("%.2f", r.avgLatencyUs)});
     t.addRow({"p99 latency (us)",
               analysis::cell("%.2f", r.p99LatencyUs)});
+    t.addRow({"p99.9 latency (us)",
+              analysis::cell("%.2f", r.p999LatencyUs)});
     t.addRow({"avg latency e2e (us)",
               analysis::cell("%.2f", r.avgLatencyE2eUs)});
     t.addRow({"transitions/request",
@@ -480,14 +570,13 @@ main(int argc, char **argv)
                     100 * r.pkgResidency[2], r.avgUncorePower);
     }
 
-    if (recorder) {
-        writeTimeline(recorder->series(),
-                      sim::strprintf("%s/%s/%.0fqps",
-                                     r.workloadName.c_str(),
-                                     r.configName.c_str(),
-                                     r.offeredQps),
-                      timeline);
-    }
+    const std::string run_label = sim::strprintf(
+        "%s/%s/%.0fqps", r.workloadName.c_str(),
+        r.configName.c_str(), r.offeredQps);
+    if (recorder)
+        writeTimeline(recorder->series(), run_label, timeline);
+    if (tracer)
+        writeRequestTrace(tracer->series(), run_label, reqtrace);
 
     if (estimate_aw) {
         core::AwCoreModel aw_model;

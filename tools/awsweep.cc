@@ -81,7 +81,15 @@ usage()
         "                    per-point C-state transition maps)\n"
         "  --timeline-interval S  sampling interval in sim seconds\n"
         "                    (default 0.01 when a timeline file is "
-        "given)\n");
+        "given)\n"
+        "\nrequest tracing (aw-trace/1, see docs/TRACING.md):\n"
+        "  --trace-requests FILE  record per-request spans at every\n"
+        "                    point and write the tail-latency "
+        "attribution\n"
+        "                    sweep (p99 wake/queue shares) as CSV\n"
+        "  --trace-requests-json FILE  the same attributions as "
+        "JSON\n"
+        "                    (full all/p99/p99.9 cohort objects)\n");
 }
 
 std::vector<std::string>
@@ -150,6 +158,8 @@ main(int argc, char **argv)
     std::string json_path;
     std::string timeline_csv_path;
     std::string timeline_json_path;
+    std::string trace_csv_path;
+    std::string trace_json_path;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -210,6 +220,10 @@ main(int argc, char **argv)
                 "--timeline-interval", next("--timeline-interval"));
             if (spec.timelineIntervalSeconds <= 0.0)
                 sim::fatal("--timeline-interval: must be positive");
+        } else if (arg == "--trace-requests") {
+            trace_csv_path = next("--trace-requests");
+        } else if (arg == "--trace-requests-json") {
+            trace_json_path = next("--trace-requests-json");
         } else if (arg == "--name") {
             spec.name = next("--name");
         } else if (arg == "--quiet") {
@@ -229,6 +243,10 @@ main(int argc, char **argv)
     if (!want_timeline && spec.timelineIntervalSeconds > 0.0)
         sim::fatal("--timeline-interval needs --timeline or "
                    "--timeline-json");
+    const bool want_trace =
+        !trace_csv_path.empty() || !trace_json_path.empty();
+    if (want_trace)
+        spec.traceRequests = true;
 
     // expand() inside run() validates on this thread before any
     // worker spawns.
@@ -275,9 +293,13 @@ main(int argc, char **argv)
     if (!timeline_json_path.empty())
         exp::writeFile(timeline_json_path,
                        exp::toTimelineJson(result));
-    if (!quiet &&
-        (!csv_path.empty() || !json_path.empty() || want_timeline)) {
-        std::printf("\nartifacts:%s%s%s%s%s%s%s%s\n",
+    if (!trace_csv_path.empty())
+        exp::writeFile(trace_csv_path, exp::toTraceCsv(result));
+    if (!trace_json_path.empty())
+        exp::writeFile(trace_json_path, exp::toTraceJson(result));
+    if (!quiet && (!csv_path.empty() || !json_path.empty() ||
+                   want_timeline || want_trace)) {
+        std::printf("\nartifacts:%s%s%s%s%s%s%s%s%s%s%s%s\n",
                     csv_path.empty() ? "" : " csv=",
                     csv_path.c_str(),
                     json_path.empty() ? "" : " json=",
@@ -286,7 +308,11 @@ main(int argc, char **argv)
                     timeline_csv_path.c_str(),
                     timeline_json_path.empty() ? ""
                                                : " timeline_json=",
-                    timeline_json_path.c_str());
+                    timeline_json_path.c_str(),
+                    trace_csv_path.empty() ? "" : " trace=",
+                    trace_csv_path.c_str(),
+                    trace_json_path.empty() ? "" : " trace_json=",
+                    trace_json_path.c_str());
     }
     return 0;
 }
