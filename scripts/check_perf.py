@@ -18,6 +18,7 @@ Exit status: 0 = pass, 1 = regression or schema violation.
 
 import argparse
 import json
+import math
 import sys
 
 SCHEMA = "aw-perf/1"
@@ -73,6 +74,19 @@ def load(path):
                     f"{path}: scenario {entry.get('name')!r} key "
                     f"{key!r} is {type(entry[key]).__name__}, "
                     f"expected {typ.__name__}")
+            # json.load() happily parses NaN/Infinity literals, and
+            # NaN would then sail through the ratio comparison below
+            # (any comparison with NaN is False) -- a malformed
+            # document must be a schema error, not a silent pass.
+            if typ in (int, float) and not math.isfinite(value):
+                raise ValueError(
+                    f"{path}: scenario {entry.get('name')!r} key "
+                    f"{key!r} is {value!r}, expected a finite "
+                    "number")
+            if typ in (int, float) and value < 0:
+                raise ValueError(
+                    f"{path}: scenario {entry.get('name')!r} key "
+                    f"{key!r} is negative ({value!r})")
         name = entry["name"]
         if name in by_name:
             raise ValueError(f"{path}: duplicate scenario {name!r}")
@@ -123,7 +137,17 @@ def main():
             continue
         base_v = float(base[args.metric])
         cur_v = float(cur[args.metric])
-        if cur_v <= 0.0:
+        if base_v <= 0.0:
+            # A zero-events baseline entry can never gate anything
+            # (every ratio would be 0): that is a broken baseline,
+            # not a pass -- and guarding here also keeps the ratio
+            # below away from a 0/0.
+            failures.append(f"scenario {name!r}: non-positive "
+                            f"baseline {args.metric} "
+                            f"({base_v:.4g}); regenerate the "
+                            f"baseline")
+            verdict, ratio_str = "FAIL", "-"
+        elif cur_v <= 0.0:
             failures.append(f"scenario {name!r}: non-positive "
                             f"current {args.metric}")
             verdict, ratio_str = "FAIL", "-"

@@ -133,7 +133,10 @@ fi
 
 # Kernel speed telemetry: the pinned awperf scenarios, as both the
 # human-readable table and the machine-readable BENCH_perf.json the
-# CI perf gate consumes. When a stored baseline exists the gate
+# CI perf gate consumes. The registry includes fleet_10k (a
+# 10,000-server diurnal day through the epoch-parallel fleet
+# kernel, ~13 s per repeat single-core), so this step dominates
+# the script's runtime. When a stored baseline exists the gate
 # script reports the local ratios too (informational here -- the
 # hard >2x gate runs in CI, where the runner class is known).
 AWPERF="$BUILD_DIR/awperf"

@@ -377,6 +377,22 @@ std::string
 timelineCsv(const TimelineSeries &series)
 {
     std::string out = sim::strprintf("# %s\n", kTimelineSchema);
+    if (series.dropped > 0) {
+        // The keep-newest ring overflowed: the oldest intervals are
+        // gone and every downstream consumer sees a biased (recent)
+        // subset. Flag it in the artifact and on stderr -- silence
+        // here is how a lossy timeline gets read as a complete one.
+        out += sim::strprintf(
+            "# emitted %llu dropped %llu (ring overflow: oldest "
+            "intervals missing)\n",
+            static_cast<unsigned long long>(series.emitted),
+            static_cast<unsigned long long>(series.dropped));
+        sim::warn("aw-timeline/1: interval ring overflowed "
+                  "(%llu of %llu intervals dropped); raise "
+                  "TimelineConfig::capacity or widen the interval",
+                  static_cast<unsigned long long>(series.dropped),
+                  static_cast<unsigned long long>(series.emitted));
+    }
     out += timelineCsvHeader();
     out += '\n';
     for (const auto &s : series.samples) {

@@ -464,6 +464,20 @@ std::string
 traceCsv(const TraceSeries &series)
 {
     std::string out = sim::strprintf("# %s\n", kTraceSchema);
+    if (series.dropped > 0) {
+        // Same contract as the timeline renderer: a wrapped span
+        // ring means the artifact holds a keep-newest subset, and
+        // both the file and stderr must say so.
+        out += sim::strprintf(
+            "# emitted %llu dropped %llu (ring overflow: oldest "
+            "spans missing)\n",
+            static_cast<unsigned long long>(series.emitted),
+            static_cast<unsigned long long>(series.dropped));
+        sim::warn("aw-trace/1: span ring overflowed (%llu of %llu "
+                  "spans dropped); raise TraceConfig::capacity",
+                  static_cast<unsigned long long>(series.dropped),
+                  static_cast<unsigned long long>(series.emitted));
+    }
     out += traceCsvHeader();
     for (const auto &span : series.spans)
         out += traceCsvRow(series, span);

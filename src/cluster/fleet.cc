@@ -1,22 +1,60 @@
 #include "cluster/fleet.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
+#include <set>
 
 #include "cstate/governors.hh"
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace aw::cluster {
 
 namespace {
 
-/** Concrete FleetView over the balancer's outstanding counters. */
-class OutstandingView : public FleetView
+/**
+ * Structure-of-arrays snapshot of the balancer's per-server state.
+ * Keeping the hot columns (outstanding counts, last-arrival ticks,
+ * routed totals) in flat parallel vectors keeps the per-decision
+ * loop cache-friendly at O(10k) servers, where most entries belong
+ * to idle servers the routing policy skips over.
+ */
+struct LbState
+{
+    explicit LbState(unsigned k)
+        : outstanding(k, 0), lastArrival(k, 0), routed(k, 0), gaps(k)
+    {}
+
+    std::vector<unsigned> outstanding;
+    std::vector<sim::Tick> lastArrival;
+    std::vector<std::uint64_t> routed;
+
+    /** Per-server inter-arrival splits of the offered stream. */
+    std::vector<std::vector<sim::Tick>> gaps;
+};
+
+/**
+ * Concrete FleetView over the SoA outstanding column. When built
+ * with a non-zero pack capacity it maintains an ordered index of
+ * under-capacity servers, so pack-first's "lowest-indexed server
+ * below capacity" probe is O(log K) instead of an O(K) scan across
+ * the packed prefix -- the scan is the balancer bottleneck at
+ * K=10k, where nearly every probe walks hundreds of at-capacity
+ * servers before finding the spill target. The index answers
+ * exactly what the linear scan would.
+ */
+class IndexedView : public FleetView
 {
   public:
-    explicit OutstandingView(const std::vector<unsigned> &counts)
-        : _counts(counts)
-    {}
+    IndexedView(const std::vector<unsigned> &counts,
+                unsigned pack_capacity)
+        : _counts(counts), _capacity(pack_capacity)
+    {
+        if (_capacity > 0)
+            for (std::uint32_t i = 0; i < counts.size(); ++i)
+                _under.insert(_under.end(), i);
+    }
 
     std::size_t servers() const override { return _counts.size(); }
     unsigned outstanding(std::size_t i) const override
@@ -24,8 +62,33 @@ class OutstandingView : public FleetView
         return _counts[i]; // route() is bounded by servers()
     }
 
+    std::size_t firstUnderCapacity(unsigned capacity) const override
+    {
+        if (_capacity == 0 || capacity != _capacity)
+            return FleetView::firstUnderCapacity(capacity);
+        if (_under.empty())
+            return _counts.size();
+        return *_under.begin();
+    }
+
+    /** Balancer bookkeeping after routing to @p i. */
+    void onRouted(std::size_t i)
+    {
+        if (_capacity > 0 && _counts[i] >= _capacity)
+            _under.erase(static_cast<std::uint32_t>(i));
+    }
+
+    /** Balancer bookkeeping after a completion at @p i. */
+    void onCompleted(std::size_t i)
+    {
+        if (_capacity > 0 && _counts[i] == _capacity - 1)
+            _under.insert(static_cast<std::uint32_t>(i));
+    }
+
   private:
     const std::vector<unsigned> &_counts;
+    const unsigned _capacity;
+    std::set<std::uint32_t> _under;
 };
 
 /** One request in flight in the balancer's occupancy estimate. */
@@ -35,6 +98,20 @@ struct InFlight
     std::size_t server;
 
     bool operator>(const InFlight &o) const { return done > o.done; }
+};
+
+using InFlightHeap =
+    std::priority_queue<InFlight, std::vector<InFlight>,
+                        std::greater<InFlight>>;
+
+/** Results of one per-server run, written into its pre-assigned
+ *  slot by whichever worker executed it. */
+struct ServerSlot
+{
+    server::RunResult result;
+    std::optional<analysis::TimelineSeries> timeline;
+    std::optional<analysis::TraceSeries> trace;
+    sim::PercentileTracker latency;
 };
 
 } // namespace
@@ -56,6 +133,10 @@ FleetSim::FleetSim(FleetConfig cfg, workload::WorkloadProfile profile,
         sim::fatal("FleetSim: need at least one server");
     if (total_qps <= 0.0)
         sim::fatal("FleetSim: offered load must be positive");
+    if (!std::isfinite(_cfg.epochSeconds) || _cfg.epochSeconds < 0.0)
+        sim::fatal("FleetSim: epoch length must be a finite "
+                   "non-negative number of seconds (got %g)",
+                   _cfg.epochSeconds);
     // Validate the policy and governor names up front, not at
     // run() time. Fleet servers are driven by centrally dispatched
     // per-server splits, so clairvoyant governors have no per-core
@@ -128,20 +209,42 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
     // Split the offered stream into per-server gap sequences. The
     // balancer keeps an occupancy estimate per server: each routed
     // request holds its server for one drawn service time, the same
-    // outstanding-work signal real L7 balancers route on.
+    // outstanding-work signal real L7 balancers route on. The
+    // estimate lives entirely on the balancer side (it never reads
+    // live server state), which is what makes the per-server phase
+    // below embarrassingly parallel.
     auto offered = makeOfferedStream();
     auto policy = makeRoutingPolicy(_cfg.routing, packCapacity());
     sim::Rng lb_rng(sim::deriveSeed(_cfg.seed, K));
     sim::Rng est_rng(sim::deriveSeed(_cfg.seed, K + 1));
 
-    std::vector<std::vector<sim::Tick>> gaps(K);
-    std::vector<std::uint64_t> routed(K, 0);
-    std::vector<sim::Tick> last_arrival(K, 0);
-    std::vector<unsigned> outstanding(K, 0);
-    OutstandingView view(outstanding);
-    std::priority_queue<InFlight, std::vector<InFlight>,
-                        std::greater<InFlight>>
-        in_flight;
+    LbState lb(K);
+    // The under-capacity index only pays for itself when someone
+    // asks the question it answers.
+    IndexedView view(lb.outstanding,
+                     _cfg.routing == "pack-first" ? packCapacity()
+                                                  : 0);
+    InFlightHeap in_flight;
+
+    // Completion estimates are published by draining the heap up to
+    // a time bound. The pop order for a given bound sequence is the
+    // heap's, so draining to an epoch boundary first and to the
+    // decision time after pops the exact entries, in the exact
+    // order, that draining straight to the decision time would --
+    // epoch length cannot change any routing decision (byte
+    // identity at any epoch; pinned by tests).
+    const auto drainCompletions = [&](sim::Tick upto) {
+        while (!in_flight.empty() && in_flight.top().done <= upto) {
+            const std::size_t s = in_flight.top().server;
+            --lb.outstanding[s];
+            view.onCompleted(s);
+            in_flight.pop();
+        }
+    };
+    const sim::Tick epoch = _cfg.epochSeconds > 0.0
+                                ? sim::fromSec(_cfg.epochSeconds)
+                                : 0;
+    sim::Tick next_epoch = epoch > 0 ? epoch : sim::kMaxTick;
 
     // Routing decisions of the measured window, for the trace
     // artifact: keep-newest ring like the tracer's spans.
@@ -160,19 +263,23 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
         if (now >= horizon)
             break;
 
-        while (!in_flight.empty() && in_flight.top().done <= now) {
-            --outstanding[in_flight.top().server];
-            in_flight.pop();
+        while (epoch > 0 && now >= next_epoch) {
+            drainCompletions(next_epoch);
+            if (next_epoch >= sim::kMaxTick - epoch)
+                next_epoch = sim::kMaxTick;
+            else
+                next_epoch += epoch;
         }
+        drainCompletions(now);
 
         const std::size_t target = policy->route(view, lb_rng);
         if (target >= K)
             sim::panic("FleetSim: policy '%s' routed to server %zu "
                        "of %u",
                        policy->name(), target, K);
-        gaps[target].push_back(now - last_arrival[target]);
-        last_arrival[target] = now;
-        ++routed[target];
+        lb.gaps[target].push_back(now - lb.lastArrival[target]);
+        lb.lastArrival[target] = now;
+        ++lb.routed[target];
         ++total_routed;
         if (_requestTrace && now >= warmup) {
             auto &slot =
@@ -186,7 +293,8 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
             _profile.service().draw(est_rng).duration(
                 _profile.service().referenceFrequency());
         in_flight.push(InFlight{now + estimate, target});
-        ++outstanding[target];
+        ++lb.outstanding[target];
+        view.onRouted(target);
     }
 
     // ---------------------------------------------- per-server runs
@@ -197,27 +305,46 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
     fr.servers = K;
     fr.offeredQps = _totalQps;
     fr.routed = total_routed;
-    fr.routedPerServer = routed;
+    fr.routedPerServer = lb.routed;
 
-    sim::PercentileTracker pooled;
-    std::vector<analysis::TimelineSeries> timelines;
-    if (_timeline)
-        timelines.reserve(K);
-    std::vector<analysis::TraceSeries> traces;
-    if (_requestTrace)
-        traces.reserve(K);
+    // Homogeneous-idle fast path: every server the balancer never
+    // routed to sees the same input (one never-firing gap) and, as
+    // no per-server RNG is ever drawn on that path, evolves
+    // identically regardless of its derived seed -- so one idle
+    // reference run stands in for all of them. At warehouse scale
+    // under pack-first almost the whole fleet is never-routed, and
+    // the K-server point costs O(busy servers), not O(K).
+    std::size_t idle_ref = K; // index of the reference, if any
+    std::vector<bool> reuse_ref(K, false);
+    std::vector<unsigned> to_run;
+    to_run.reserve(K);
     for (unsigned i = 0; i < K; ++i) {
+        if (lb.gaps[i].empty())
+            ++fr.neverRouted;
+        if (_cfg.idleFastPath && lb.gaps[i].empty() &&
+            idle_ref < K) {
+            reuse_ref[i] = true;
+            continue;
+        }
+        if (_cfg.idleFastPath && lb.gaps[i].empty())
+            idle_ref = i;
+        to_run.push_back(i);
+    }
+
+    std::vector<ServerSlot> slots(K);
+    const auto runServer = [&](unsigned i) {
         server::ServerConfig scfg = _cfg.server;
         scfg.seed = sim::deriveSeed(_cfg.seed, i);
 
         // A server that received no traffic still burns idle power:
         // drive it with a single never-arriving gap.
-        if (gaps[i].empty())
-            gaps[i].push_back(sim::kMaxTick);
+        std::vector<sim::Tick> g = std::move(lb.gaps[i]);
+        if (g.empty())
+            g.push_back(sim::kMaxTick);
         server::ServerSim srv(
             scfg, _profile,
             std::make_unique<workload::TraceArrivals>(
-                workload::ArrivalTrace(std::move(gaps[i])),
+                workload::ArrivalTrace(std::move(g)),
                 /*loop=*/false));
         std::optional<analysis::TimelineRecorder> recorder;
         std::optional<analysis::RequestTracer> tracer;
@@ -235,12 +362,52 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
         } else if (tracer) {
             srv.setObserver(&*tracer);
         }
-        auto r = srv.run(duration, warmup);
+        ServerSlot &slot = slots[i];
+        slot.result = srv.run(duration, warmup);
         if (recorder)
-            timelines.push_back(recorder->series());
+            slot.timeline = recorder->series();
         if (tracer)
-            traces.push_back(tracer->series());
-        pooled.merge(srv.latencySamples());
+            slot.trace = tracer->series();
+        slot.latency = srv.latencySamples();
+    };
+
+    const unsigned workers = std::min<std::size_t>(
+        sim::ThreadPool::resolveThreads(_cfg.fleetThreads),
+        to_run.size());
+    if (workers <= 1) {
+        for (const unsigned i : to_run)
+            runServer(i);
+    } else {
+        // Each run writes only its pre-assigned slot, so the
+        // partition needs no locks and no ordering; determinism
+        // comes from the in-order aggregation below.
+        sim::ThreadPool pool(workers);
+        for (const unsigned i : to_run)
+            pool.submit([&runServer, i] { runServer(i); });
+        pool.wait();
+    }
+    for (unsigned i = 0; i < K; ++i)
+        if (reuse_ref[i])
+            slots[i] = slots[idle_ref];
+
+    // Aggregate in strict server-index order: the floating-point op
+    // sequence (and thus every emitted byte) is independent of how
+    // the runs were scheduled.
+    sim::PercentileTracker pooled;
+    std::vector<analysis::TimelineSeries> timelines;
+    if (_timeline)
+        timelines.reserve(K);
+    std::vector<analysis::TraceSeries> traces;
+    if (_requestTrace)
+        traces.reserve(K);
+    for (unsigned i = 0; i < K; ++i) {
+        ServerSlot &slot = slots[i];
+        server::RunResult &r = slot.result;
+        if (slot.timeline)
+            timelines.push_back(std::move(*slot.timeline));
+        if (slot.trace)
+            traces.push_back(std::move(*slot.trace));
+        pooled.merge(slot.latency);
 
         fr.window = r.window;
         fr.requests += r.requests;
@@ -294,8 +461,8 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
         fr.p999LatencyUs = pooled.p999();
     }
     if (total_routed > 0) {
-        const auto busiest =
-            *std::max_element(routed.begin(), routed.end());
+        const auto busiest = *std::max_element(lb.routed.begin(),
+                                               lb.routed.end());
         fr.busiestShareOfLoad =
             static_cast<double>(busiest) / total_routed;
     }

@@ -72,6 +72,37 @@ struct FleetConfig
 
     /** Offered-load shaping (flat by default). */
     RateSchedule schedule = RateSchedule::flat();
+
+    /** Worker threads for the per-server phase. Once the balancer
+     *  has split the offered stream, the K per-server event streams
+     *  are fully independent (the balancer routes on its own a
+     *  priori occupancy estimate, never on live server state), so
+     *  they partition across threads; each run writes into a
+     *  pre-assigned result slot and aggregation walks the slots in
+     *  index order, making every result and artifact bit-identical
+     *  to the serial reference at any thread count. 0 = hardware
+     *  concurrency; 1 (the default) = the serial reference path. */
+    unsigned fleetThreads = 1;
+
+    /** Routing-decision epoch length in seconds. The balancer
+     *  publishes its completion estimates (drains the in-flight
+     *  heap) at every epoch boundary in addition to the per-decision
+     *  drain. The boundary drain pops exactly the entries the next
+     *  per-decision drain would pop anyway, in the same heap order,
+     *  so results are byte-identical for ANY epoch length (pinned
+     *  by tests, including a boundary landing exactly on a routing
+     *  decision). 0 (the default) = one epoch spanning the run. */
+    double epochSeconds = 0.0;
+
+    /** Homogeneous-idle fast path: servers the balancer never
+     *  routed to are advanced by simulating ONE idle reference
+     *  server and reusing its slot for every other never-routed
+     *  server. Bit-identical to simulating each one, because an
+     *  idle server's evolution is seed-independent: its arrival
+     *  stream is a single never-firing gap and no per-server RNG is
+     *  ever drawn (tests pin the identity). Disable to force
+     *  event-by-event simulation of every server. */
+    bool idleFastPath = true;
 };
 
 /**
@@ -125,6 +156,11 @@ struct FleetResult
 
     /** Largest per-server share of routed arrivals (1/K = even). */
     double busiestShareOfLoad = 0.0;
+
+    /** Servers the balancer never routed to (candidates for the
+     *  homogeneous-idle fast path; diagnostics only, never part of
+     *  artifact schemas). */
+    unsigned neverRouted = 0;
 
     std::vector<server::RunResult> perServer;
 

@@ -5,6 +5,16 @@
 namespace aw::cluster {
 
 std::size_t
+FleetView::firstUnderCapacity(unsigned capacity) const
+{
+    const std::size_t n = servers();
+    for (std::size_t i = 0; i < n; ++i)
+        if (outstanding(i) < capacity)
+            return i;
+    return n;
+}
+
+std::size_t
 RoundRobinRouting::route(const FleetView &view, sim::Rng &)
 {
     return _next++ % view.servers();
@@ -48,18 +58,20 @@ PackFirstRouting::route(const FleetView &view, sim::Rng &)
     const std::size_t n = view.servers();
     if (n == 0)
         return 0;
+    const std::size_t first = view.firstUnderCapacity(_capacity);
+    if (first < n)
+        return first;
+    // Everyone at capacity: spill to the least loaded.
     std::size_t best = 0;
     unsigned best_out = view.outstanding(0);
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 1; i < n; ++i) {
         const unsigned out = view.outstanding(i);
-        if (out < _capacity)
-            return i;
         if (out < best_out) {
             best = i;
             best_out = out;
         }
     }
-    return best; // everyone at capacity: spill to the least loaded
+    return best;
 }
 
 std::unique_ptr<RoutingPolicy>

@@ -37,6 +37,16 @@ class FleetView
 
     /** Requests in flight at server @p i (LB-side estimate). */
     virtual unsigned outstanding(std::size_t i) const = 0;
+
+    /**
+     * The lowest-indexed server with outstanding work below
+     * @p capacity, or servers() when every server is at or above
+     * it. The default is the linear scan pack-first has always
+     * routed with; views that maintain an ordered under-capacity
+     * index (the fleet balancer's does) override it to answer in
+     * O(log K) instead of O(K) -- the answer must be identical.
+     */
+    virtual std::size_t firstUnderCapacity(unsigned capacity) const;
 };
 
 /**

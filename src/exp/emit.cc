@@ -215,6 +215,27 @@ toTimelineCsv(const SweepResult &result)
 {
     std::string out =
         sim::strprintf("# %s\n", analysis::kTimelineSchema);
+    for (const auto &p : result.points) {
+        const auto &series = pointTimeline(p);
+        if (series.dropped == 0)
+            continue;
+        // Per-point overflow flags ride as comment lines so the
+        // column schema (and every non-overflowing golden) stays
+        // byte-identical.
+        out += sim::strprintf(
+            "# point %zu emitted %llu dropped %llu (ring overflow: "
+            "oldest intervals missing)\n",
+            p.point.index,
+            static_cast<unsigned long long>(series.emitted),
+            static_cast<unsigned long long>(series.dropped));
+        sim::warn("aw-timeline/1: point '%s' interval ring "
+                  "overflowed (%llu of %llu intervals dropped); "
+                  "raise TimelineConfig::capacity or widen the "
+                  "interval",
+                  p.point.label().c_str(),
+                  static_cast<unsigned long long>(series.dropped),
+                  static_cast<unsigned long long>(series.emitted));
+    }
     out += "index,workload,config,governor,policy,variant,servers,"
            "qps,replica,";
     out += analysis::timelineCsvHeader();

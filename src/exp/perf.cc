@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "cluster/fleet.hh"
 #include "exp/runner.hh"
 #include "exp/spec.hh"
 #include "server/server_sim.hh"
@@ -143,6 +144,50 @@ makeScenarios()
             spec.seed = 42;
             spec.traceRequests = true;
             return sweepTotals(spec);
+        }});
+
+    // Warehouse scale (ROADMAP item 1): a 10,000-server diurnal
+    // memcached "day" through the epoch-parallel fleet kernel, as
+    // the two paired headline points -- the AW config consolidated
+    // by pack-first (mostly-idle fleet: the homogeneous-idle fast
+    // path carries almost every server) and the tuned-C6 baseline
+    // spread by round-robin (10k individually simulated servers).
+    // Hardware fleet threads, 0.25 s routing epochs; results are
+    // bit-identical to the serial reference either way.
+    s.push_back(PerfScenario{
+        "fleet_10k",
+        "10,000-server diurnal memcached day: {aw x pack-first, "
+        "c1c6 x round-robin} @ 3 MQPS, 2 s day, hardware fleet "
+        "threads",
+        []() {
+            struct FleetPoint
+            {
+                const char *config;
+                const char *routing;
+            };
+            PerfTotals t;
+            for (const FleetPoint &p :
+                 {FleetPoint{"aw", "pack-first"},
+                  FleetPoint{"c1c6", "round-robin"}}) {
+                cluster::FleetConfig fc;
+                fc.servers = 10000;
+                fc.server = configByName(p.config);
+                fc.server.idlePromotion = true;
+                fc.routing = p.routing;
+                fc.seed = 42;
+                fc.schedule = cluster::RateSchedule::sinusoidal(
+                    sim::fromSec(2.0), 0.6);
+                fc.fleetThreads = 0; // hardware concurrency
+                fc.epochSeconds = 0.25;
+                cluster::FleetSim fleet(
+                    fc, profileByName("memcached"), 3e6);
+                const auto r = fleet.run(sim::fromSec(2.0),
+                                         sim::fromSec(0.2));
+                t.simSeconds += 2.2 * fc.servers;
+                t.events += r.events;
+                t.requests += r.requests;
+            }
+            return t;
         }});
 
     return s;

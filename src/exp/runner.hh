@@ -2,85 +2,33 @@
  * @file
  * Parallel sweep execution.
  *
- * ThreadPool is a small work-stealing pool: each worker owns a
- * deque, submissions are distributed round-robin, an idle worker
- * steals from the front of a peer's deque. SweepRunner expands an
- * ExperimentSpec and executes the grid points on the pool; every
- * point's RNG stream is derived from (spec seed, grid index) and
- * each result is written into its pre-assigned slot, so the folded
- * SweepResult is bit-identical regardless of thread count or
- * completion order.
+ * SweepRunner expands an ExperimentSpec and executes the grid
+ * points on a work-stealing sim::ThreadPool; every point's RNG
+ * stream is derived from (spec seed, grid index) and each result is
+ * written into its pre-assigned slot, so the folded SweepResult is
+ * bit-identical regardless of thread count or completion order.
  */
 
 #ifndef AW_EXP_RUNNER_HH
 #define AW_EXP_RUNNER_HH
 
 #include <array>
-#include <condition_variable>
-#include <deque>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "analysis/sampler.hh"
 #include "analysis/trace.hh"
 #include "cstate/cstate.hh"
 #include "exp/spec.hh"
+#include "sim/thread_pool.hh"
 
 namespace aw::exp {
 
-/**
- * Work-stealing thread pool. submit() may only be called from the
- * thread that owns the pool; tasks must not throw.
- */
-class ThreadPool
-{
-  public:
-    /** @param threads  worker count; 0 = hardware concurrency. */
-    explicit ThreadPool(unsigned threads = 0);
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool &) = delete;
-    ThreadPool &operator=(const ThreadPool &) = delete;
-
-    /** Enqueue one task. */
-    void submit(std::function<void()> task);
-
-    /** Block until every submitted task has finished. */
-    void wait();
-
-    unsigned threads() const
-    {
-        return static_cast<unsigned>(_workers.size());
-    }
-
-    /** The worker count a thread argument resolves to. */
-    static unsigned resolveThreads(unsigned threads);
-
-  private:
-    struct Worker
-    {
-        std::deque<std::function<void()>> queue;
-        std::mutex mtx;
-    };
-
-    void workerLoop(std::size_t self);
-    std::optional<std::function<void()>> take(std::size_t self);
-    bool haveWork() const;
-
-    std::vector<std::unique_ptr<Worker>> _workers;
-    std::vector<std::thread> _threads;
-    std::size_t _nextWorker = 0; //!< round-robin submission cursor
-
-    std::mutex _mtx;
-    std::condition_variable _workCv; //!< wakes idle workers
-    std::condition_variable _doneCv; //!< wakes wait()
-    std::size_t _pending = 0;        //!< submitted, not yet finished
-    bool _stop = false;
-};
+/** The pool moved to the base layer (sim/thread_pool.hh) so the
+ *  cluster layer can parallelize within a fleet point; the exp-side
+ *  name stays valid for existing users. */
+using ThreadPool = sim::ThreadPool;
 
 /**
  * Metrics of one executed grid point. The simulation fields are

@@ -166,6 +166,11 @@ ExperimentSpec::validate() const
         sim::fatal("ExperimentSpec '%s': timelineIntervalSeconds "
                    "must be >= 0 (0 disables the sampler; got %f)",
                    name.c_str(), timelineIntervalSeconds);
+    if (epochSeconds < 0.0 || !std::isfinite(epochSeconds))
+        sim::fatal("ExperimentSpec '%s': epochSeconds must be a "
+                   "finite non-negative number (0 = one epoch "
+                   "spanning the run; got %f)",
+                   name.c_str(), epochSeconds);
 
     // Resolve every axis value now so a bad name dies here, on the
     // caller's thread, not inside a worker mid-sweep.

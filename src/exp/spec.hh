@@ -119,6 +119,21 @@ struct ExperimentSpec
      *  config's default; see server::dispatchPolicyNames()). */
     std::string dispatch;
 
+    /** Worker threads WITHIN each fleet point (FleetConfig::
+     *  fleetThreads): the per-server phase of a fleet run
+     *  partitions its K independent server simulations across this
+     *  many threads, bit-identically to the serial reference.
+     *  Composes with the SweepRunner's across-points pool; the
+     *  default of 1 keeps small grids on the across-points axis.
+     *  0 = hardware concurrency. Ignored by single-server points. */
+    unsigned fleetThreads = 1;
+
+    /** Routing-decision epoch length in seconds (FleetConfig::
+     *  epochSeconds); results are byte-identical for any value.
+     *  0 = one epoch spanning the run. Must be finite and >= 0.
+     *  Ignored by single-server points. */
+    double epochSeconds = 0.0;
+
     /** fatal() on empty or unknown axis values. */
     void validate() const;
 

@@ -71,12 +71,13 @@ readFile(const std::string &path)
 TEST(PerfRegistry, PinnedScenariosPresentInOrder)
 {
     const auto &scenarios = exp::perfScenarios();
-    ASSERT_EQ(scenarios.size(), 5u);
+    ASSERT_EQ(scenarios.size(), 6u);
     EXPECT_EQ(scenarios[0].name, "single_memcached");
     EXPECT_EQ(scenarios[1].name, "fleet_sweep");
     EXPECT_EQ(scenarios[2].name, "governors_axis");
     EXPECT_EQ(scenarios[3].name, "fleet_sweep_timeline");
     EXPECT_EQ(scenarios[4].name, "fleet_sweep_trace");
+    EXPECT_EQ(scenarios[5].name, "fleet_10k");
     for (const auto &s : scenarios) {
         EXPECT_FALSE(s.description.empty());
         EXPECT_TRUE(static_cast<bool>(s.run));
@@ -299,6 +300,91 @@ TEST(CheckPerfGate, RejectsARegressionAndSchemaDrift)
                    " " + cur + " " + base);
     EXPECT_NE(drift.first, 0);
     EXPECT_NE(drift.second.find("schema"), std::string::npos);
+
+    std::remove(cur.c_str());
+    std::remove(base.c_str());
+}
+
+TEST(CheckPerfGate, NanAndInfiniteValuesAreSchemaErrors)
+{
+    // Python's json.load parses NaN/Infinity literals, and every
+    // comparison with NaN is False -- so a NaN metric used to sail
+    // through the gate as a silent pass. It must be a schema error.
+    if (!havePython3())
+        GTEST_SKIP() << "python3 not available";
+    const std::string cur = tmpPath("awperf_gate_nan_cur.json");
+    const std::string base = tmpPath("awperf_gate_nan_base.json");
+
+    exp::PerfMeasurement m;
+    m.name = "fleet_sweep";
+    m.repeat = 1;
+    m.wallSeconds = 1.0;
+    m.totals.simSeconds = 10.0;
+    m.totals.events = 1000000;
+    m.totals.requests = 100000;
+    std::ofstream(base) << exp::perfToJson({m});
+
+    auto entry = [](const char *events_per_s) {
+        return std::string(
+                   "{\"schema\": \"aw-perf/1\", \"scenarios\": "
+                   "[{\"name\": \"fleet_sweep\", \"repeat\": 1, "
+                   "\"wall_s\": 1.0, \"sim_s\": 10.0, "
+                   "\"events\": 1000000, \"requests\": 100000, "
+                   "\"sim_per_wall\": 10.0, \"events_per_s\": ") +
+               events_per_s +
+               ", \"requests_per_s\": 100000.0}]}";
+    };
+    for (const char *bad : {"NaN", "Infinity", "-Infinity"}) {
+        std::ofstream(cur) << entry(bad);
+        const auto [code, out] =
+            runCommand("python3 " + std::string(AW_CHECK_PERF_PY) +
+                       " " + cur + " " + base);
+        EXPECT_NE(code, 0) << bad;
+        EXPECT_NE(out.find("finite"), std::string::npos)
+            << bad << ": " << out;
+    }
+    // A negative metric is equally malformed.
+    std::ofstream(cur) << entry("-5.0");
+    const auto neg =
+        runCommand("python3 " + std::string(AW_CHECK_PERF_PY) +
+                   " " + cur + " " + base);
+    EXPECT_NE(neg.first, 0);
+    EXPECT_NE(neg.second.find("negative"), std::string::npos)
+        << neg.second;
+
+    std::remove(cur.c_str());
+    std::remove(base.c_str());
+}
+
+TEST(CheckPerfGate, ZeroEventsBaselineFailsInsteadOfPassing)
+{
+    // A broken (zero-events) baseline entry makes every ratio 0,
+    // which used to read as "no regression" forever -- and divided
+    // by zero on the way. It must fail loudly and name the cure.
+    if (!havePython3())
+        GTEST_SKIP() << "python3 not available";
+    const std::string cur = tmpPath("awperf_gate_zero_cur.json");
+    const std::string base = tmpPath("awperf_gate_zero_base.json");
+
+    exp::PerfMeasurement m;
+    m.name = "fleet_sweep";
+    m.repeat = 1;
+    m.wallSeconds = 1.0;
+    m.totals.simSeconds = 10.0;
+    m.totals.events = 1000000;
+    m.totals.requests = 100000;
+    std::ofstream(cur) << exp::perfToJson({m});
+    m.totals.events = 0; // baseline measured nothing
+    std::ofstream(base) << exp::perfToJson({m});
+
+    const auto [code, out] =
+        runCommand("python3 " + std::string(AW_CHECK_PERF_PY) +
+                   " " + cur + " " + base);
+    EXPECT_NE(code, 0);
+    EXPECT_NE(out.find("non-positive baseline"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("regenerate the baseline"),
+              std::string::npos);
 
     std::remove(cur.c_str());
     std::remove(base.c_str());

@@ -131,6 +131,44 @@ TEST(AwsimTool, UnknownConfigFails)
     EXPECT_NE(code, 0);
 }
 
+/** Every row must die (exit 1) with the given needle on stderr. */
+struct BadFlag
+{
+    const char *args;
+    const char *needle;
+};
+
+class AwsimToolRejects : public ::testing::TestWithParam<BadFlag>
+{};
+
+TEST_P(AwsimToolRejects, DegenerateValueUpFront)
+{
+    const auto [code, out] = runCommand(
+        std::string(AWSIM_BIN) + " " + GetParam().args);
+    EXPECT_EQ(code, 1) << out;
+    EXPECT_NE(out.find(GetParam().needle), std::string::npos)
+        << out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Validation, AwsimToolRejects,
+    ::testing::Values(
+        BadFlag{"--qps 0", "positive"},
+        BadFlag{"--qps -500", "positive"},
+        BadFlag{"--qps banana", "bad value"},
+        BadFlag{"--seconds -1", ">= 0"},
+        BadFlag{"--warmup -0.2", ">= 0"},
+        BadFlag{"--cores 0", "at least 1 core"},
+        BadFlag{"--cores -4", "bad value"},
+        BadFlag{"--seed -7", "bad value"},
+        BadFlag{"--snoops -1", ">= 0"},
+        BadFlag{"--fleet 0", "at least 1 server"},
+        BadFlag{"--fleet 8 --fleet-threads 0", "at least 1"},
+        BadFlag{"--fleet 8 --epoch 0", "positive"},
+        BadFlag{"--fleet 8 --epoch -0.5", "positive"},
+        BadFlag{"--fleet-threads 2", "requires --fleet"},
+        BadFlag{"--epoch 0.1", "requires --fleet"}));
+
 TEST(AwsimTool, DeterministicForFixedSeed)
 {
     const std::string cmd =

@@ -24,6 +24,7 @@
 #include "exp/runner.hh"
 #include "exp/spec.hh"
 #include "server/server_sim.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "workload/profiles.hh"
 
@@ -70,6 +71,44 @@ TEST(RequestTracer, RingKeepsTheNewestSpansAndCountsDrops)
         EXPECT_EQ(s.spans[k].id, 6 + k); // oldest retained first
         EXPECT_EQ(s.spans[k].latency(), 30u);
     }
+}
+
+TEST(RequestTracer, OverflowedRingIsFlaggedInCsvAndOnStderr)
+{
+    // Regression: a wrapped span ring used to render exactly like a
+    // complete trace. The CSV must carry an overflow comment line
+    // (a comment, so the column schema and every lossless golden
+    // stay byte-identical) and the renderer must warn on stderr.
+    RequestTracer t(cfgWith(4), 1);
+    t.onMeasurementStart(0);
+    for (std::uint64_t id = 0; id < 10; ++id) {
+        const sim::Tick base = 1000 * id;
+        oneRequest(t, id, base, base + 10, base + 30);
+    }
+    t.onMeasurementEnd(20000);
+    ASSERT_EQ(t.series().dropped, 6u);
+
+    const bool was_quiet = sim::quiet();
+    sim::setQuiet(false);
+    testing::internal::CaptureStderr();
+    const std::string csv = traceCsv(t.series());
+    const std::string err = testing::internal::GetCapturedStderr();
+    sim::setQuiet(was_quiet);
+
+    EXPECT_NE(csv.find("# emitted 10 dropped 6 (ring overflow"),
+              std::string::npos)
+        << csv;
+    EXPECT_NE(err.find("span ring overflowed"), std::string::npos)
+        << err;
+    EXPECT_NE(csv.find(traceCsvHeader()), std::string::npos);
+
+    // A lossless series carries no flag line.
+    RequestTracer ok(cfgWith(64), 1);
+    ok.onMeasurementStart(0);
+    oneRequest(ok, 0, 100, 110, 130);
+    ok.onMeasurementEnd(1000);
+    EXPECT_EQ(traceCsv(ok.series()).find("# emitted"),
+              std::string::npos);
 }
 
 TEST(RequestTracer, WarmupCompletionsAreNotRecorded)

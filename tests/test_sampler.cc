@@ -15,6 +15,7 @@
 #include "exp/runner.hh"
 #include "exp/spec.hh"
 #include "server/server_sim.hh"
+#include "sim/logging.hh"
 #include "workload/profiles.hh"
 
 namespace {
@@ -316,6 +317,79 @@ TEST(Sampler, CsvSchemaIsPinned)
                        "power_w,p99_us,res_c0,res_c1,res_c1e,"
                        "res_c6a,res_c6ae,res_c6\n"),
               std::string::npos);
+    // A lossless series carries no overflow flag line (the pinned
+    // goldens depend on that).
+    EXPECT_EQ(csv.find("# emitted"), std::string::npos);
+}
+
+TEST(Sampler, OverflowedRingIsFlaggedInCsvAndOnStderr)
+{
+    // Regression: a wrapped interval ring used to render exactly
+    // like a complete one -- only the JSON counters knew. Overflow
+    // a capacity-4 ring and require both the artifact comment line
+    // and the stderr warning.
+    TimelineRecorder rec(cfgWith(1e-3, /*capacity=*/4), 1);
+    rec.onMeasurementStart(0);
+    rec.onMeasurementEnd(10 * kIv);
+    ASSERT_EQ(rec.series().dropped, 6u);
+
+    const bool was_quiet = sim::quiet();
+    sim::setQuiet(false);
+    testing::internal::CaptureStderr();
+    const std::string csv = timelineCsv(rec.series());
+    const std::string err = testing::internal::GetCapturedStderr();
+    sim::setQuiet(was_quiet);
+
+    EXPECT_NE(csv.find("# emitted 10 dropped 6 (ring overflow"),
+              std::string::npos)
+        << csv;
+    EXPECT_NE(err.find("interval ring overflowed"),
+              std::string::npos)
+        << err;
+    // The flag is a comment: the column schema stays identical.
+    EXPECT_NE(csv.find("interval,t0_s,t1_s,requests"),
+              std::string::npos);
+    // And the JSON rendering carries the counters for machines.
+    const std::string json =
+        timelineJson(rec.series(), "overflow-test");
+    EXPECT_NE(json.find("\"intervals_emitted\": 10"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"intervals_dropped\": 6"),
+              std::string::npos);
+}
+
+TEST(Sampler, SweepTimelineOverflowIsFlaggedPerPoint)
+{
+    // End to end through the sweep emitter: a sampling interval
+    // fine enough to wrap the default 4096-interval ring must
+    // surface per-point overflow comments in the aw-timeline/1
+    // sweep CSV (and warn), not silently truncate the day.
+    exp::ExperimentSpec spec;
+    spec.name = "overflow";
+    spec.workloads = {"memcached"};
+    spec.configs = {"aw"};
+    spec.qps = {20e3};
+    spec.seconds = 0.45;
+    spec.seed = 1;
+    spec.timelineIntervalSeconds = 1e-4; // 4500 intervals > 4096
+    const auto result = exp::SweepRunner(1).run(spec);
+    ASSERT_EQ(result.points.size(), 1u);
+    ASSERT_TRUE(result.points[0].timeline.has_value());
+    ASSERT_GT(result.points[0].timeline->dropped, 0u);
+
+    const bool was_quiet = sim::quiet();
+    sim::setQuiet(false);
+    testing::internal::CaptureStderr();
+    const std::string csv = exp::toTimelineCsv(result);
+    const std::string err = testing::internal::GetCapturedStderr();
+    sim::setQuiet(was_quiet);
+
+    EXPECT_NE(csv.find("# point 0 emitted "), std::string::npos)
+        << csv.substr(0, 400);
+    EXPECT_NE(csv.find("(ring overflow"), std::string::npos);
+    EXPECT_NE(err.find("interval ring overflowed"),
+              std::string::npos)
+        << err;
 }
 
 } // namespace

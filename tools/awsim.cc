@@ -103,7 +103,16 @@ usage()
         "  --diurnal A       sinusoidal diurnal load, amplitude A "
         "in [0,1]\n"
         "  --diurnal-period S  length of one simulated \"day\" "
-        "(default 1 s)\n");
+        "(default 1 s)\n"
+        "  --fleet-threads N worker threads for the per-server "
+        "phase\n"
+        "                    (default 1; results are bit-identical "
+        "at any N)\n"
+        "  --epoch S         routing-decision epoch length in sim "
+        "seconds\n"
+        "                    (default: one epoch; results are "
+        "identical\n"
+        "                    for any value)\n");
 }
 
 /** Parse a non-negative integer flag value or die. */
@@ -129,6 +138,20 @@ parseDouble(const char *flag, const char *value)
     const double v = std::strtod(value, &end);
     if (end == value || *end != '\0' || !std::isfinite(v))
         sim::fatal("%s: bad value '%s'", flag, value);
+    return v;
+}
+
+/** Parse a 64-bit unsigned flag value or die. */
+std::uint64_t
+parseUint64(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || value[0] == '-' ||
+        errno == ERANGE) {
+        sim::fatal("%s: bad value '%s'", flag, value);
+    }
     return v;
 }
 
@@ -349,6 +372,8 @@ main(int argc, char **argv)
     unsigned pack_cap = 0;
     double diurnal = 0.0;
     double diurnal_period = 1.0;
+    unsigned fleet_threads = 1;
+    double epoch_seconds = 0.0;
     TimelineOpts timeline;
     TraceOpts reqtrace;
     const char *fleet_flag = nullptr; //!< last fleet-only flag seen
@@ -372,19 +397,34 @@ main(int argc, char **argv)
         } else if (arg == "--dispatch") {
             dispatch = next("--dispatch");
         } else if (arg == "--qps") {
-            qps = std::atof(next("--qps"));
+            qps = parseDouble("--qps", next("--qps"));
+            if (qps <= 0.0)
+                sim::fatal("--qps: offered load must be positive "
+                           "(got %g)",
+                           qps);
         } else if (arg == "--seconds") {
-            seconds = std::atof(next("--seconds"));
+            seconds = parseDouble("--seconds", next("--seconds"));
+            if (seconds < 0.0)
+                sim::fatal("--seconds: window must be >= 0 "
+                           "(0 = auto-sized; got %g)",
+                           seconds);
         } else if (arg == "--warmup") {
-            warmup = std::atof(next("--warmup"));
+            warmup = parseDouble("--warmup", next("--warmup"));
+            if (warmup < 0.0)
+                sim::fatal("--warmup: must be >= 0 (omit the flag "
+                           "for the window/10 default; got %g)",
+                           warmup);
         } else if (arg == "--cores") {
-            cores = static_cast<unsigned>(
-                std::atoi(next("--cores")));
+            cores = parseUnsigned("--cores", next("--cores"));
+            if (cores == 0)
+                sim::fatal("--cores: need at least 1 core");
         } else if (arg == "--seed") {
-            seed = static_cast<std::uint64_t>(
-                std::atoll(next("--seed")));
+            seed = parseUint64("--seed", next("--seed"));
         } else if (arg == "--snoops") {
-            snoops = std::atof(next("--snoops"));
+            snoops = parseDouble("--snoops", next("--snoops"));
+            if (snoops < 0.0)
+                sim::fatal("--snoops: rate must be >= 0 (got %g)",
+                           snoops);
         } else if (arg == "--packing") {
             packing = true;
         } else if (arg == "--package") {
@@ -428,6 +468,21 @@ main(int argc, char **argv)
             diurnal_period = parseDouble("--diurnal-period",
                                          next("--diurnal-period"));
             fleet_flag = "--diurnal-period";
+        } else if (arg == "--fleet-threads") {
+            fleet_threads = parseUnsigned("--fleet-threads",
+                                          next("--fleet-threads"));
+            if (fleet_threads == 0)
+                sim::fatal("--fleet-threads: need at least 1 "
+                           "worker thread");
+            fleet_flag = "--fleet-threads";
+        } else if (arg == "--epoch") {
+            epoch_seconds = parseDouble("--epoch", next("--epoch"));
+            if (epoch_seconds <= 0.0)
+                sim::fatal("--epoch: epoch length must be positive "
+                           "(omit the flag for one epoch spanning "
+                           "the run; got %g)",
+                           epoch_seconds);
+            fleet_flag = "--epoch";
         } else {
             usage();
             sim::fatal("unknown argument '%s'", arg.c_str());
@@ -472,6 +527,8 @@ main(int argc, char **argv)
         fc.routing = route;
         fc.packCapacity = pack_cap;
         fc.seed = seed;
+        fc.fleetThreads = fleet_threads;
+        fc.epochSeconds = epoch_seconds;
         if (diurnal > 0.0)
             fc.schedule = cluster::RateSchedule::sinusoidal(
                 sim::fromSec(diurnal_period), diurnal);

@@ -66,8 +66,18 @@ usage()
         "point\n"
         "                    (static|packing; default: config)\n"
         "  --seed N          top-level seed (default 42)\n"
+        "  --fleet-threads N worker threads WITHIN each fleet "
+        "point\n"
+        "                    (default 1; artifacts are bit-identical "
+        "at any N)\n"
+        "  --epoch S         fleet routing-decision epoch length in "
+        "sim\n"
+        "                    seconds (default: one epoch; artifacts "
+        "are\n"
+        "                    identical for any value)\n"
         "\nexecution and artifacts:\n"
-        "  --threads N       worker threads (default: hardware)\n"
+        "  --threads N       worker threads across grid points\n"
+        "                    (default: hardware)\n"
         "  --csv FILE        write the sweep as CSV\n"
         "  --json FILE       write the sweep as JSON\n"
         "  --name NAME       spec name recorded in the artifacts\n"
@@ -184,29 +194,72 @@ main(int argc, char **argv)
             spec.policies = splitList(next("--policies"));
         } else if (arg == "--fleet") {
             spec.fleetSizes.clear();
-            for (const auto &v : splitList(next("--fleet")))
-                spec.fleetSizes.push_back(
-                    parseUnsigned("--fleet", v.c_str()));
+            for (const auto &v : splitList(next("--fleet"))) {
+                const unsigned k =
+                    parseUnsigned("--fleet", v.c_str());
+                if (k == 0)
+                    sim::fatal("--fleet: need at least 1 server "
+                               "(omit the flag for single-server "
+                               "sweeps)");
+                spec.fleetSizes.push_back(k);
+            }
         } else if (arg == "--qps") {
             spec.qps.clear();
-            for (const auto &v : splitList(next("--qps")))
-                spec.qps.push_back(parseDouble("--qps", v.c_str()));
+            for (const auto &v : splitList(next("--qps"))) {
+                const double q = parseDouble("--qps", v.c_str());
+                if (q <= 0.0)
+                    sim::fatal("--qps: offered load must be "
+                               "positive (got %g)",
+                               q);
+                spec.qps.push_back(q);
+            }
         } else if (arg == "--replicas") {
             spec.replicas =
                 parseUnsigned("--replicas", next("--replicas"));
+            if (spec.replicas == 0)
+                sim::fatal("--replicas: need at least 1 replica");
         } else if (arg == "--per-server-qps") {
             spec.qpsPerServer = true;
         } else if (arg == "--seconds") {
             spec.seconds = parseDouble("--seconds", next("--seconds"));
+            if (spec.seconds < 0.0)
+                sim::fatal("--seconds: window must be >= 0 "
+                           "(0 = auto-sized; got %g)",
+                           spec.seconds);
         } else if (arg == "--warmup") {
             spec.warmupSeconds =
                 parseDouble("--warmup", next("--warmup"));
+            if (spec.warmupSeconds < 0.0)
+                sim::fatal("--warmup: must be >= 0 (omit the flag "
+                           "for the window/10 default; got %g)",
+                           spec.warmupSeconds);
         } else if (arg == "--cores") {
             spec.cores = parseUnsigned("--cores", next("--cores"));
+            if (spec.cores == 0)
+                sim::fatal("--cores: need at least 1 core (omit "
+                           "the flag for the config default)");
         } else if (arg == "--seed") {
             spec.seed = parseUint64("--seed", next("--seed"));
         } else if (arg == "--threads") {
             threads = parseUnsigned("--threads", next("--threads"));
+            if (threads == 0)
+                sim::fatal("--threads: need at least 1 worker "
+                           "thread (omit the flag for hardware "
+                           "concurrency)");
+        } else if (arg == "--fleet-threads") {
+            spec.fleetThreads = parseUnsigned(
+                "--fleet-threads", next("--fleet-threads"));
+            if (spec.fleetThreads == 0)
+                sim::fatal("--fleet-threads: need at least 1 "
+                           "worker thread");
+        } else if (arg == "--epoch") {
+            spec.epochSeconds =
+                parseDouble("--epoch", next("--epoch"));
+            if (spec.epochSeconds <= 0.0)
+                sim::fatal("--epoch: epoch length must be positive "
+                           "(omit the flag for one epoch spanning "
+                           "the run; got %g)",
+                           spec.epochSeconds);
         } else if (arg == "--csv") {
             csv_path = next("--csv");
         } else if (arg == "--json") {
