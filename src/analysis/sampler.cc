@@ -74,6 +74,7 @@ TimelineRecorder::accrueCore(unsigned core, sim::Tick now)
         const sim::Tick dt = now - t.last;
         _stateTicks[cstate::index(t.state)] += dt;
         _energyJ += t.power * sim::toSec(dt);
+        _freqGhzSec += t.freqHz * 1e-9 * sim::toSec(dt);
     }
     t.last = now;
 }
@@ -108,6 +109,7 @@ TimelineRecorder::closeInterval(sim::Tick t1)
             core_time > 0.0 ? sim::toSec(_stateTicks[i]) / core_time
                             : 0.0;
     }
+    s.freqGhz = core_time > 0.0 ? _freqGhzSec / core_time : 0.0;
 
     const std::size_t slot = _emitted % _capacity;
     _ring[slot] = s;
@@ -122,6 +124,7 @@ TimelineRecorder::closeInterval(sim::Tick t1)
     _requests = 0;
     _stateTicks.fill(0);
     _energyJ = 0.0;
+    _freqGhzSec = 0.0;
     _intervalStart = t1;
     _intervalEnd = t1 + _interval;
 }
@@ -145,6 +148,7 @@ TimelineRecorder::onMeasurementStart(sim::Tick now)
     _intervalEnd = now + _interval;
     _stateTicks.fill(0);
     _energyJ = 0.0;
+    _freqGhzSec = 0.0;
     _requests = 0;
     _latencies.clear();
     _emitted = 0;
@@ -223,6 +227,15 @@ TimelineRecorder::onUncorePower(sim::Tick now, power::Watts watts)
     advanceTo(now);
     accrueUncore(now);
     _uncorePower = watts;
+}
+
+void
+TimelineRecorder::onFreqChange(unsigned core, sim::Tick now,
+                               double hz)
+{
+    advanceTo(now);
+    accrueCore(core, now);
+    _cores[core].freqHz = hz;
 }
 
 void
@@ -331,24 +344,27 @@ foldTimelines(const std::vector<TimelineSeries> &parts)
             s.powerW += ps.powerW;
             for (std::size_t r = 0; r < cstate::kNumCStates; ++r)
                 s.residency[r] += ps.residency[r] * p.cores;
+            s.freqGhz += ps.freqGhz * p.cores;
             pooled.insert(pooled.end(), p.latencies[i].begin(),
                           p.latencies[i].end());
         }
         for (std::size_t r = 0; r < cstate::kNumCStates; ++r)
             s.residency[r] /= static_cast<double>(out.cores);
+        s.freqGhz /= static_cast<double>(out.cores);
         std::sort(pooled.begin(), pooled.end());
         s.p99Us = p99Sorted(pooled);
     }
     return out;
 }
 
-// ------------------------------------------------------ aw-timeline/1
+// ------------------------------------------------------ aw-timeline/2
 
 std::string
 timelineCsvHeader()
 {
     return "interval,t0_s,t1_s,requests,achieved_qps,power_w,"
-           "p99_us,res_c0,res_c1,res_c1e,res_c6a,res_c6ae,res_c6";
+           "p99_us,res_c0,res_c1,res_c1e,res_c6a,res_c6ae,res_c6,"
+           "freq_ghz";
 }
 
 std::string
@@ -370,6 +386,8 @@ timelineCsvRow(const TimelineSeries &series,
         out += ',';
         out += num(share);
     }
+    out += ',';
+    out += num(sample.freqGhz);
     return out;
 }
 
@@ -387,7 +405,7 @@ timelineCsv(const TimelineSeries &series)
             "intervals missing)\n",
             static_cast<unsigned long long>(series.emitted),
             static_cast<unsigned long long>(series.dropped));
-        sim::warn("aw-timeline/1: interval ring overflowed "
+        sim::warn("aw-timeline/2: interval ring overflowed "
                   "(%llu of %llu intervals dropped); raise "
                   "TimelineConfig::capacity or widen the interval",
                   static_cast<unsigned long long>(series.dropped),
@@ -425,7 +443,9 @@ timelineIntervalsJson(const TimelineSeries &series)
                 out += ", ";
             out += num(s.residency[r]);
         }
-        out += "]}";
+        out += "]";
+        out += ", \"freq_ghz\": " + num(s.freqGhz);
+        out += "}";
     }
     out += series.samples.empty() ? "]" : "\n    ]";
     return out;

@@ -6,8 +6,10 @@
  * TimelineRecorder implements server::TelemetryObserver and folds
  * the observer callbacks into fixed sim-time intervals -- per
  * interval: completed requests, achieved QPS, average package power
- * (exact energy integral over the interval), pooled p99 latency and
- * per-state residency shares -- emitted into a preallocated ring
+ * (exact energy integral over the interval), pooled p99 latency,
+ * per-state residency shares and the core-time mean effective
+ * frequency (the DVFS operating point integrated over every core,
+ * from onFreqChange) -- emitted into a preallocated ring
  * buffer so the hot path stays allocation-free. A per-core
  * TransitionAnalyzer rides along on the same callback stream and a
  * ground-truth cross-check validates every governor observeIdle
@@ -30,8 +32,9 @@
  *     and counts the overwritten ones in `dropped` (the total
  *     `emitted` keeps counting).
  *
- * Serialized form: the versioned `aw-timeline/1` CSV/JSON schema
- * (docs/TELEMETRY.md), stable like `aw-perf/1`.
+ * Serialized form: the versioned `aw-timeline/2` CSV/JSON schema
+ * (docs/TELEMETRY.md), stable like `aw-perf/1`. (/2 appended the
+ * freq_ghz column to /1; there is no in-place schema evolution.)
  */
 
 #ifndef AW_ANALYSIS_SAMPLER_HH
@@ -52,7 +55,7 @@ namespace aw::analysis {
 /** Version tag of the timeline artifact schema. Changing the CSV
  *  columns or JSON keys is a schema change: bump this and
  *  docs/TELEMETRY.md together. */
-inline constexpr const char *kTimelineSchema = "aw-timeline/1";
+inline constexpr const char *kTimelineSchema = "aw-timeline/2";
 
 /**
  * Sampler knobs.
@@ -85,6 +88,13 @@ struct IntervalSample
     double powerW = 0.0; //!< mean package power (cores + uncore)
     double p99Us = 0.0;  //!< pooled p99 server latency (0 if none)
     std::array<double, cstate::kNumCStates> residency{};
+
+    /** Core-time mean effective frequency (GHz): the operating
+     *  point each core last announced via onFreqChange, integrated
+     *  over the interval across all cores (idle time included --
+     *  this is the P-state the core would execute at, not a
+     *  utilization-weighted clock). */
+    double freqGhz = 0.0;
 
     /** Completions per second over the interval. */
     double achievedQps() const
@@ -143,6 +153,8 @@ class TimelineRecorder final : public server::TelemetryObserver
     void onCorePower(unsigned core, sim::Tick now,
                      power::Watts watts) override;
     void onUncorePower(sim::Tick now, power::Watts watts) override;
+    void onFreqChange(unsigned core, sim::Tick now,
+                      double hz) override;
     void onIdleStart(unsigned core, sim::Tick now) override;
     void onIdleObserved(unsigned core, sim::Tick now,
                         sim::Tick idle) override;
@@ -173,6 +185,7 @@ class TimelineRecorder final : public server::TelemetryObserver
         cstate::CStateId state = cstate::CStateId::C0;
         sim::Tick last = 0; //!< accrued-up-to timestamp
         power::Watts power = 0.0;
+        double freqHz = 0.0; //!< last announced operating point
         sim::Tick idleStart = sim::kMaxTick;
     };
 
@@ -190,6 +203,7 @@ class TimelineRecorder final : public server::TelemetryObserver
     sim::Tick _intervalEnd = 0;
     std::array<sim::Tick, cstate::kNumCStates> _stateTicks{};
     double _energyJ = 0.0;
+    double _freqGhzSec = 0.0; //!< freq x core-time integral
     std::uint64_t _requests = 0;
     std::vector<double> _latencies; //!< scratch, capacity reused
     /** @} */
@@ -221,12 +235,12 @@ class TimelineRecorder final : public server::TelemetryObserver
 TimelineSeries
 foldTimelines(const std::vector<TimelineSeries> &parts);
 
-/** @{ aw-timeline/1 rendering. The CSV column schema:
+/** @{ aw-timeline/2 rendering. The CSV column schema:
  *
  *   interval,t0_s,t1_s,requests,achieved_qps,power_w,p99_us,
- *   res_c0,res_c1,res_c1e,res_c6a,res_c6ae,res_c6
+ *   res_c0,res_c1,res_c1e,res_c6a,res_c6ae,res_c6,freq_ghz
  *
- *  timelineCsv() prefixes the `# aw-timeline/1` schema line;
+ *  timelineCsv() prefixes the `# aw-timeline/2` schema line;
  *  timestamps are seconds relative to the series origin, numbers
  *  render with the schedule-independent "%.10g". */
 std::string timelineCsvHeader();

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "cstate/governors.hh"
+#include "freq/policies.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 
@@ -150,6 +151,10 @@ FleetSim::FleetSim(FleetConfig cfg, workload::WorkloadProfile profile,
                    "foreknowledge)",
                    _cfg.server.governor.c_str());
     }
+    _cfg.server.pstates.validate();
+    if (!_cfg.server.freqPolicy.empty())
+        freq::makeFreqPolicy(_cfg.server.freqPolicy,
+                             freq::PStateLadder(_cfg.server.pstates));
 }
 
 void

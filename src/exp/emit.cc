@@ -76,16 +76,66 @@ static_assert(sizeof(kResidencyColumns) /
                   sizeof(kResidencyColumns[0]) ==
               cstate::kNumCStates);
 
+/**
+ * DVFS coordinate columns appear only when the spec actually swept
+ * the corresponding axis, so artifacts of specs without a frequency
+ * axis (every pre-DVFS spec) stay byte-identical.
+ */
+struct DvfsColumns
+{
+    explicit DvfsColumns(const SweepResult &result)
+        : freq(!result.spec.freqPolicies.empty()),
+          slo(!result.spec.sloUs.empty())
+    {}
+
+    /** Append ",freq_policy" / ",slo_us" header fragments. */
+    void header(std::string &out) const
+    {
+        if (freq)
+            out += ",freq_policy";
+        if (slo)
+            out += ",slo_us";
+    }
+
+    /** Append this point's ",<policy>" / ",<slo>" CSV fields. */
+    void csv(std::string &out, const GridPoint &pt) const
+    {
+        if (freq) {
+            out += ',';
+            out += csvField(pt.freqPolicy);
+        }
+        if (slo) {
+            out += ',';
+            out += num(pt.sloUs);
+        }
+    }
+
+    /** Append the '"freq_policy": ..., ' JSON members. */
+    void json(std::string &out, const GridPoint &pt) const
+    {
+        if (freq)
+            out +=
+                "\"freq_policy\": " + jsonString(pt.freqPolicy) +
+                ", ";
+        if (slo)
+            out += "\"slo_us\": " + num(pt.sloUs) + ", ";
+    }
+
+    bool freq;
+    bool slo;
+};
+
 } // namespace
 
 std::string
 csvHeader(const SweepResult &result)
 {
-    std::string h =
-        "index,workload,config,governor,policy,variant,servers,qps,"
-        "replica,seed,requests,achieved_qps,window_s,power_w,"
-        "mj_per_request,avg_latency_us,p99_latency_us,deep_idle,"
-        "min_server_deep,max_server_deep,busiest_share";
+    std::string h = "index,workload,config,governor";
+    DvfsColumns(result).header(h);
+    h += ",policy,variant,servers,qps,"
+         "replica,seed,requests,achieved_qps,window_s,power_w,"
+         "mj_per_request,avg_latency_us,p99_latency_us,deep_idle,"
+         "min_server_deep,max_server_deep,busiest_share";
     for (const char *col : kResidencyColumns) {
         h += ',';
         h += col;
@@ -104,13 +154,16 @@ toCsv(const SweepResult &result)
 {
     std::string out = csvHeader(result);
     out += '\n';
+    const DvfsColumns dvfs(result);
     for (const auto &p : result.points) {
         const auto &pt = p.point;
+        out += sim::strprintf("%zu,%s,%s,%s", pt.index,
+                              csvField(pt.workload).c_str(),
+                              csvField(pt.config).c_str(),
+                              csvField(pt.governor).c_str());
+        dvfs.csv(out, pt);
         out += sim::strprintf(
-            "%zu,%s,%s,%s,%s,%s,%u,%s,%u,%llu,%llu", pt.index,
-            csvField(pt.workload).c_str(),
-            csvField(pt.config).c_str(),
-            csvField(pt.governor).c_str(),
+            ",%s,%s,%u,%s,%u,%llu,%llu",
             csvField(pt.policy).c_str(),
             csvField(pt.variant).c_str(), pt.servers,
             num(pt.qps).c_str(), pt.replica,
@@ -148,6 +201,7 @@ toJson(const SweepResult &result)
                           static_cast<unsigned long long>(spec.seed));
     out += sim::strprintf("  \"replicas\": %u,\n", spec.replicas);
     out += sim::strprintf("  \"points\": [");
+    const DvfsColumns dvfs(result);
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const auto &p = result.points[i];
         const auto &pt = p.point;
@@ -156,6 +210,7 @@ toJson(const SweepResult &result)
         out += "\"workload\": " + jsonString(pt.workload) + ", ";
         out += "\"config\": " + jsonString(pt.config) + ", ";
         out += "\"governor\": " + jsonString(pt.governor) + ", ";
+        dvfs.json(out, pt);
         out += "\"policy\": " + jsonString(pt.policy) + ", ";
         out += "\"variant\": " + jsonString(pt.variant) + ", ";
         out += sim::strprintf(
@@ -228,7 +283,7 @@ toTimelineCsv(const SweepResult &result)
             p.point.index,
             static_cast<unsigned long long>(series.emitted),
             static_cast<unsigned long long>(series.dropped));
-        sim::warn("aw-timeline/1: point '%s' interval ring "
+        sim::warn("aw-timeline/2: point '%s' interval ring "
                   "overflowed (%llu of %llu intervals dropped); "
                   "raise TimelineConfig::capacity or widen the "
                   "interval",
@@ -236,19 +291,23 @@ toTimelineCsv(const SweepResult &result)
                   static_cast<unsigned long long>(series.dropped),
                   static_cast<unsigned long long>(series.emitted));
     }
-    out += "index,workload,config,governor,policy,variant,servers,"
-           "qps,replica,";
+    const DvfsColumns dvfs(result);
+    out += "index,workload,config,governor";
+    dvfs.header(out);
+    out += ",policy,variant,servers,qps,replica,";
     out += analysis::timelineCsvHeader();
     out += '\n';
     for (const auto &p : result.points) {
         const auto &series = pointTimeline(p);
         const auto &pt = p.point;
-        const std::string prefix = sim::strprintf(
-            "%zu,%s,%s,%s,%s,%s,%u,%s,%u,", pt.index,
+        std::string prefix = sim::strprintf(
+            "%zu,%s,%s,%s", pt.index,
             csvField(pt.workload).c_str(),
             csvField(pt.config).c_str(),
-            csvField(pt.governor).c_str(),
-            csvField(pt.policy).c_str(),
+            csvField(pt.governor).c_str());
+        dvfs.csv(prefix, pt);
+        prefix += sim::strprintf(
+            ",%s,%s,%u,%s,%u,", csvField(pt.policy).c_str(),
             csvField(pt.variant).c_str(), pt.servers,
             num(pt.qps).c_str(), pt.replica);
         for (const auto &s : series.samples) {
@@ -273,6 +332,7 @@ toTimelineJson(const SweepResult &result)
     out += sim::strprintf("  \"interval_s\": %s,\n",
                           num(spec.timelineIntervalSeconds).c_str());
     out += "  \"points\": [";
+    const DvfsColumns dvfs(result);
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const auto &p = result.points[i];
         const auto &series = pointTimeline(p);
@@ -282,6 +342,7 @@ toTimelineJson(const SweepResult &result)
         out += "\"workload\": " + jsonString(pt.workload) + ", ";
         out += "\"config\": " + jsonString(pt.config) + ", ";
         out += "\"governor\": " + jsonString(pt.governor) + ", ";
+        dvfs.json(out, pt);
         out += "\"policy\": " + jsonString(pt.policy) + ", ";
         out += "\"variant\": " + jsonString(pt.variant) + ", ";
         out += sim::strprintf(
@@ -338,7 +399,10 @@ toTraceCsv(const SweepResult &result)
 {
     std::string out =
         sim::strprintf("# %s\n", analysis::kTraceSchema);
-    out += "index,workload,config,governor,policy,variant,servers,"
+    const DvfsColumns dvfs(result);
+    out += "index,workload,config,governor";
+    dvfs.header(out);
+    out += ",policy,variant,servers,"
            "qps,replica,spans,emitted,dropped,p99_threshold_us,"
            "p999_threshold_us,p999_latency_us,all_wake_share,"
            "all_queue_share,all_service_share,all_routing_share,"
@@ -355,11 +419,13 @@ toTraceCsv(const SweepResult &result)
     for (const auto &p : result.points) {
         const auto &attr = pointTrace(p);
         const auto &pt = p.point;
+        out += sim::strprintf("%zu,%s,%s,%s", pt.index,
+                              csvField(pt.workload).c_str(),
+                              csvField(pt.config).c_str(),
+                              csvField(pt.governor).c_str());
+        dvfs.csv(out, pt);
         out += sim::strprintf(
-            "%zu,%s,%s,%s,%s,%s,%u,%s,%u,%llu,%llu,%llu", pt.index,
-            csvField(pt.workload).c_str(),
-            csvField(pt.config).c_str(),
-            csvField(pt.governor).c_str(),
+            ",%s,%s,%u,%s,%u,%llu,%llu,%llu",
             csvField(pt.policy).c_str(),
             csvField(pt.variant).c_str(), pt.servers,
             num(pt.qps).c_str(), pt.replica,
@@ -401,6 +467,7 @@ toTraceJson(const SweepResult &result)
                           static_cast<unsigned long long>(spec.seed));
     out += sim::strprintf("  \"replicas\": %u,\n", spec.replicas);
     out += "  \"points\": [";
+    const DvfsColumns dvfs(result);
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const auto &p = result.points[i];
         const auto &attr = pointTrace(p);
@@ -410,6 +477,7 @@ toTraceJson(const SweepResult &result)
         out += "\"workload\": " + jsonString(pt.workload) + ", ";
         out += "\"config\": " + jsonString(pt.config) + ", ";
         out += "\"governor\": " + jsonString(pt.governor) + ", ";
+        dvfs.json(out, pt);
         out += "\"policy\": " + jsonString(pt.policy) + ", ";
         out += "\"variant\": " + jsonString(pt.variant) + ", ";
         out += sim::strprintf(

@@ -146,6 +146,29 @@ makeScenarios()
             return sweepTotals(spec);
         }});
 
+    // The DVFS governance axes: the joint freq x idle grid behind
+    // the race-to-halt headline. Gates the dynamic-frequency hot
+    // path -- per-level table swaps, ramp events, the ondemand/
+    // conservative sampling ticks and racetohalt's edge observes --
+    // against the static operating point's throughput.
+    s.push_back(PerfScenario{
+        "fleet_sweep_dvfs",
+        "1 server x {c1c6,aw} x {racetohalt,ondemand,powersave} x "
+        "slo {0,8 us} @ 200 KQPS, 0.3 s, 1 thread",
+        []() {
+            ExperimentSpec spec;
+            spec.name = "awperf-dvfs";
+            spec.workloads = {"memcached"};
+            spec.configs = {"c1c6", "aw"};
+            spec.freqPolicies = {"racetohalt", "ondemand",
+                                 "powersave"};
+            spec.sloUs = {0.0, 8.0};
+            spec.qps = {200e3};
+            spec.seconds = 0.3;
+            spec.seed = 42;
+            return sweepTotals(spec);
+        }});
+
     // Warehouse scale (ROADMAP item 1): a 10,000-server diurnal
     // memcached "day" through the epoch-parallel fleet kernel, as
     // the two paired headline points -- the AW config consolidated

@@ -20,6 +20,10 @@ SweepResult::Query::matches(const GridPoint &pt) const
         return false;
     if (governor && *governor != pt.governor)
         return false;
+    if (freqPolicy && *freqPolicy != pt.freqPolicy)
+        return false;
+    if (sloUs && *sloUs != pt.sloUs)
+        return false;
     if (policy && *policy != pt.policy)
         return false;
     if (variant && *variant != pt.variant)
@@ -103,6 +107,10 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
         cfg.cores = spec.cores;
     if (!pt.governor.empty())
         cfg.governor = pt.governor;
+    if (!pt.freqPolicy.empty())
+        cfg.freqPolicy = pt.freqPolicy;
+    if (pt.sloUs > 0.0)
+        cfg.sloUs = pt.sloUs;
     if (!spec.dispatch.empty())
         cfg.dispatch = server::dispatchPolicyByName(spec.dispatch);
 

@@ -104,6 +104,8 @@ struct SweepResult
         std::optional<std::string> workload;
         std::optional<std::string> config;
         std::optional<std::string> governor;
+        std::optional<std::string> freqPolicy;
+        std::optional<double> sloUs;
         std::optional<std::string> policy;
         std::optional<std::string> variant;
         std::optional<unsigned> servers;

@@ -4,6 +4,7 @@
 
 #include "cluster/routing.hh"
 #include "cstate/governors.hh"
+#include "freq/policies.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -122,6 +123,10 @@ GridPoint::label() const
     std::string l = workload + "/" + config;
     if (!governor.empty())
         l += "/" + governor;
+    if (!freqPolicy.empty())
+        l += "/" + freqPolicy;
+    if (sloUs > 0.0)
+        l += sim::strprintf("/slo%gus", sloUs);
     if (!policy.empty())
         l += "/" + policy;
     if (servers > 0)
@@ -198,6 +203,20 @@ ExperimentSpec::validate() const
                            name.c_str(), g.c_str());
         }
     }
+    for (const auto &f : freqPolicies) {
+        // Resolve every (config, freq policy) pairing against the
+        // config's own P-state table, mirroring the governor check:
+        // a bad spec dies here, not inside a sweep worker.
+        for (const auto &c : configs)
+            freq::makeFreqPolicy(
+                f, freq::PStateLadder(configByName(c).pstates));
+    }
+    for (const double s : sloUs)
+        if (s < 0.0 || !std::isfinite(s))
+            sim::fatal("ExperimentSpec '%s': sloUs values must be "
+                       "finite and non-negative (0 = unconstrained; "
+                       "got %f)",
+                       name.c_str(), s);
     if (!dispatch.empty())
         server::dispatchPolicyByName(dispatch);
     for (const auto &p : policies)
@@ -223,8 +242,11 @@ ExperimentSpec::gridSize() const
                            : (policies.empty() ? 1 : policies.size());
     const std::size_t vars = variants.empty() ? 1 : variants.size();
     const std::size_t govs = governors.empty() ? 1 : governors.size();
-    return workloads.size() * configs.size() * govs * pols * fleets *
-           qps.size() * vars * replicas;
+    const std::size_t freqs =
+        freqPolicies.empty() ? 1 : freqPolicies.size();
+    const std::size_t slos = sloUs.empty() ? 1 : sloUs.size();
+    return workloads.size() * configs.size() * govs * freqs * slos *
+           pols * fleets * qps.size() * vars * replicas;
 }
 
 std::vector<GridPoint>
@@ -245,33 +267,40 @@ ExperimentSpec::expand() const
         variants.empty() ? std::vector<std::string>{""} : variants;
     const std::vector<std::string> govs =
         governors.empty() ? std::vector<std::string>{""} : governors;
+    const std::vector<std::string> freqs =
+        freqPolicies.empty() ? std::vector<std::string>{""}
+                             : freqPolicies;
+    const std::vector<double> slos =
+        sloUs.empty() ? std::vector<double>{0.0} : sloUs;
 
     std::vector<GridPoint> grid;
     grid.reserve(gridSize());
     for (const auto &w : workloads)
-        for (const auto &c : configs)
-            for (const auto &g : govs)
-                for (const auto &p : pols)
-                    for (const unsigned k : fleets)
-                        for (const double q : qps)
-                            for (const auto &v : vars)
-                                for (unsigned r = 0; r < replicas;
-                                     ++r) {
-                                    GridPoint pt;
-                                    pt.index = grid.size();
-                                    pt.workload = w;
-                                    pt.config = c;
-                                    pt.governor = g;
-                                    pt.policy = p;
-                                    pt.servers = k;
-                                    pt.qps =
-                                        qpsPerServer ? q * k : q;
-                                    pt.variant = v;
-                                    pt.replica = r;
-                                    pt.seed = sim::deriveSeed(
-                                        seed, pt.index);
-                                    grid.push_back(std::move(pt));
-                                }
+      for (const auto &c : configs)
+        for (const auto &g : govs)
+          for (const auto &f : freqs)
+            for (const double s : slos)
+              for (const auto &p : pols)
+                for (const unsigned k : fleets)
+                    for (const double q : qps)
+                        for (const auto &v : vars)
+                            for (unsigned r = 0; r < replicas; ++r) {
+                                GridPoint pt;
+                                pt.index = grid.size();
+                                pt.workload = w;
+                                pt.config = c;
+                                pt.governor = g;
+                                pt.freqPolicy = f;
+                                pt.sloUs = s;
+                                pt.policy = p;
+                                pt.servers = k;
+                                pt.qps = qpsPerServer ? q * k : q;
+                                pt.variant = v;
+                                pt.replica = r;
+                                pt.seed =
+                                    sim::deriveSeed(seed, pt.index);
+                                grid.push_back(std::move(pt));
+                            }
     return grid;
 }
 

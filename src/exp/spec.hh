@@ -37,6 +37,8 @@ struct GridPoint
     std::string workload; //!< workload profile registry name
     std::string config;   //!< server configuration registry name
     std::string governor; //!< governor spec ("" = config default)
+    std::string freqPolicy; //!< frequency governor ("" = static point)
+    double sloUs = 0.0;   //!< latency SLO in us (0 = unconstrained)
     std::string policy;   //!< routing policy ("" = single server)
     unsigned servers = 0; //!< fleet size (0 = single server)
     double qps = 0.0;     //!< effective offered load (already scaled)
@@ -71,6 +73,17 @@ struct ExperimentSpec
      *  axis. "oracle" is single-server only (it needs per-core
      *  arrival foreknowledge) and is rejected on fleet grids. */
     std::vector<std::string> governors;
+    /** Frequency-governor specs (freq::FreqRegistry grammar, e.g.
+     *  "performance", "ondemand", "racetohalt"). Empty = each
+     *  config's static operating point (base, or Pn under runAtPn),
+     *  leaving the grid -- and every emitted artifact -- identical
+     *  to a spec without the axis. */
+    std::vector<std::string> freqPolicies;
+    /** Per-request latency-SLO axis in microseconds (freq::
+     *  LatencyQoS). Empty = unconstrained; a 0 value inside the
+     *  axis also means unconstrained, so one grid can compare
+     *  with/without an SLO. */
+    std::vector<double> sloUs;
     std::vector<std::string> policies;
     std::vector<unsigned> fleetSizes;
     std::vector<double> qps{100e3};
@@ -100,7 +113,7 @@ struct ExperimentSpec
     /** Streaming-telemetry interval (seconds); 0 disables the
      *  sampler entirely (the default -- no observer is attached,
      *  so a disabled sweep pays one untaken branch per event).
-     *  When > 0 every point records an aw-timeline/1 series into
+     *  When > 0 every point records an aw-timeline/2 series into
      *  PointResult::timeline (see analysis/sampler.hh and
      *  docs/TELEMETRY.md); the sampler is passive, so all other
      *  results and artifacts stay byte-identical. */
@@ -141,8 +154,9 @@ struct ExperimentSpec
     std::size_t gridSize() const;
 
     /** The ordered cartesian grid. Expansion order (outer to
-     *  inner): workload, config, governor, policy, fleet size, qps,
-     *  variant, replica. Calls validate(). */
+     *  inner): workload, config, governor, freq policy, SLO,
+     *  policy, fleet size, qps, variant, replica. Calls
+     *  validate(). */
     std::vector<GridPoint> expand() const;
 };
 

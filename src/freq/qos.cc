@@ -1,0 +1,42 @@
+#include "freq/qos.hh"
+
+namespace aw::freq {
+
+cstate::CStateConfig
+LatencyQoS::admissibleStates(const cstate::CStateConfig &in) const
+{
+    if (!active())
+        return in;
+    const sim::Tick budget =
+        sim::fromUs(kWakeShare * sloUs);
+    cstate::CStateConfig out = in;
+    for (const auto &d : cstate::allDescriptors()) {
+        if (d.id == cstate::CStateId::C0 || !out.enabled(d.id))
+            continue;
+        if (d.transitionTime > budget)
+            out.set(d.id, false);
+    }
+    return out;
+}
+
+std::size_t
+LatencyQoS::frequencyFloor(const PStateLadder &ladder,
+                           const workload::ServiceModel &svc) const
+{
+    if (!active())
+        return 0;
+    const double budget_us = kServiceShare * sloUs;
+    const double mean_us = sim::toUs(svc.meanServiceTime());
+    const double cs = svc.computeShare();
+    const double ref_hz = svc.referenceFrequency().hz();
+    for (std::size_t l = 0; l < ladder.count(); ++l) {
+        const double at_level_us =
+            mean_us * (cs * ref_hz / ladder.frequency(l).hz() +
+                       (1.0 - cs));
+        if (at_level_us <= budget_us)
+            return l;
+    }
+    return ladder.top();
+}
+
+} // namespace aw::freq

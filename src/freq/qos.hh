@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PM-QoS-style per-request latency SLO.
+ *
+ * Linux PM-QoS lets latency-sensitive software publish a
+ * cpu_dma_latency bound that cpuidle honors by refusing idle states
+ * whose exit latency would blow the budget. LatencyQoS models that
+ * constraint jointly across both governance axes: it filters the
+ * idle governor's enabled-state set down to states whose worst-case
+ * transition cost fits a wake share of the SLO, and it floors the
+ * DVFS ladder at the slowest level whose mean request service time
+ * still fits a service share of the SLO. Both halves are resolved
+ * once per server at build time (ServerSim::buildCores /
+ * FleetSim's per-server construction) so the hot path never
+ * consults the SLO.
+ */
+
+#ifndef AW_FREQ_QOS_HH
+#define AW_FREQ_QOS_HH
+
+#include <cstddef>
+
+#include "cstate/config.hh"
+#include "freq/freq_policy.hh"
+#include "workload/service.hh"
+
+namespace aw::freq {
+
+/**
+ * A per-request latency SLO (microseconds; 0 = unconstrained) and
+ * the budget split it implies.
+ */
+struct LatencyQoS
+{
+    /** Share of the SLO an idle-state wake may consume. */
+    static constexpr double kWakeShare = 0.25;
+
+    /** Share of the SLO the mean service time may consume. */
+    static constexpr double kServiceShare = 0.5;
+
+    double sloUs = 0.0;
+
+    bool active() const { return sloUs > 0.0; }
+
+    /**
+     * Copy of @p in with every idle state whose worst-case
+     * transition cost exceeds the wake budget disabled. Filtering
+     * every state is legal: the governor then polls in C0, exactly
+     * like cpu_dma_latency = 0 on Linux.
+     */
+    cstate::CStateConfig
+    admissibleStates(const cstate::CStateConfig &in) const;
+
+    /**
+     * The slowest ladder level whose mean request service time --
+     * compute share rescaled from the model's reference frequency,
+     * fixed share unchanged -- fits the service budget; top() when
+     * even P1 cannot (the SLO then demands best effort).
+     */
+    std::size_t frequencyFloor(const PStateLadder &ladder,
+                               const workload::ServiceModel &svc) const;
+};
+
+} // namespace aw::freq
+
+#endif // AW_FREQ_QOS_HH

@@ -97,6 +97,20 @@ struct ServerConfig
     TurboModel::Params turboParams{};
     PStateTable pstates = PStateTable::xeonSilver4114();
 
+    /** Frequency-governance policy spec (freq::FreqRegistry):
+     *  "performance", "powersave", "ondemand", "conservative" or
+     *  "racetohalt". Empty (the default) keeps the legacy static
+     *  operating point (base, or Pn under runAtPn) with zero DVFS
+     *  machinery on the hot path. Like `governor`, each core clones
+     *  its own instance from one validated prototype. */
+    std::string freqPolicy;
+
+    /** PM-QoS-style per-request latency SLO in microseconds
+     *  (freq::LatencyQoS). 0 (the default) = unconstrained; > 0
+     *  filters the enabled idle states down to wakes the SLO can
+     *  absorb and floors the DVFS ladder at build time. */
+    double sloUs = 0.0;
+
     /** Uncore (LLC, mesh, memory controllers) power, charged at
      *  package level regardless of core states. */
     power::Watts uncorePower = 18.0;

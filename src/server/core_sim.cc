@@ -1,5 +1,6 @@
 #include "server/core_sim.hh"
 
+#include "freq/qos.hh"
 #include "sim/logging.hh"
 
 namespace aw::server {
@@ -23,6 +24,7 @@ StatePowers::fromModels(const core::AwPpaModel &ppa)
 
 CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
                  const cstate::GovernorPolicy &governor,
+                 const freq::FreqPolicy *freq_proto,
                  const core::AwCoreModel &aw,
                  const workload::WorkloadProfile &profile,
                  double per_core_rate, unsigned id,
@@ -71,6 +73,52 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
     _boostPower = _powers.activeBoost * scale;
     _deepestEnabled = _cfg.cstates.deepestEnabled();
 
+    if (freq_proto) {
+        // ---- DVFS governance: one table per ladder level, derived
+        // exactly like the static point above (AW degradation and
+        // the C6 flush split included), so pinning the top level
+        // reproduces the legacy tables bit-for-bit. The policy
+        // subsumes runAtPn -- level 0 IS the Pn point.
+        _freqPolicy = freq_proto->clone();
+        const auto &ladder = _freqPolicy->ladder();
+        const double degrade =
+            _cfg.cstates.usesAgileWatts()
+                ? 1.0 - core::Ufpg::kFrequencyDegradation
+                : 1.0;
+        _levels.resize(ladder.count());
+        for (std::size_t l = 0; l < ladder.count(); ++l) {
+            LevelTables &t = _levels[l];
+            t.effFreq =
+                sim::Frequency(ladder.frequency(l).hz() * degrade);
+            for (std::size_t i = 0; i < cstate::kNumCStates; ++i) {
+                const auto id_i = static_cast<CStateId>(i);
+                if (id_i != CStateId::C6)
+                    t.lat[i] = _transitions.latency(id_i, t.effFreq);
+            }
+            t.latC6Fixed =
+                _transitions.latency(CStateId::C6, t.effFreq);
+            t.latC6Fixed.entry -= _caches.flushTime(t.effFreq);
+            t.activeUnscaled = ladder.activePower(l);
+            t.activePower = t.activeUnscaled * scale;
+        }
+        if (_cfg.sloUs > 0.0) {
+            _minLevel = freq::LatencyQoS{_cfg.sloUs}.frequencyFloor(
+                ladder, _profile.service());
+        }
+        _curLevel = _freqPolicy->select(0, 0.0);
+        if (_curLevel < _minLevel)
+            _curLevel = _minLevel;
+        if (_curLevel > ladder.top())
+            _curLevel = ladder.top();
+        _pendingLevel = _curLevel;
+        const LevelTables &t0 = _levels[_curLevel];
+        _effFreq = t0.effFreq;
+        _lat = t0.lat;
+        _latC6Fixed = t0.latC6Fixed;
+        _activePower = t0.activePower;
+        _turbo.setSustainedPower(_sim.now(), t0.activeUnscaled);
+    }
+
     if (_governor->needsOracle()) {
         // Clairvoyance only exists where this core generates its
         // own arrivals: there is always exactly one future arrival
@@ -117,8 +165,93 @@ CoreSim::start()
         scheduleNextArrival();
     if (_snoops.enabled())
         scheduleNextSnoop();
+    if (_freqPolicy && _freqPolicy->evalInterval() > 0) {
+        _loadLast = _sim.now();
+        scheduleFreqEval();
+    }
     // The core starts with an empty queue: go idle.
     beginIdle();
+}
+
+void
+CoreSim::noteBusy(bool busy)
+{
+    if (!_freqPolicy || busy == _busyNow)
+        return;
+    const sim::Tick now = _sim.now();
+    accrueLoad(now);
+    _busyNow = busy;
+    requestLevel(_freqPolicy->observe(now, busy, targetLevel()));
+}
+
+void
+CoreSim::scheduleFreqEval()
+{
+    _sim.scheduleIn(_freqPolicy->evalInterval(),
+                    [this]() { onFreqEval(); });
+}
+
+void
+CoreSim::onFreqEval()
+{
+    const sim::Tick now = _sim.now();
+    accrueLoad(now);
+    const sim::Tick window = _freqPolicy->evalInterval();
+    double load = static_cast<double>(_busyAccum) /
+                  static_cast<double>(window);
+    if (load > 1.0)
+        load = 1.0;
+    _busyAccum = 0;
+    requestLevel(_freqPolicy->select(now, load));
+    scheduleFreqEval();
+}
+
+void
+CoreSim::requestLevel(std::size_t level)
+{
+    if (level < _minLevel)
+        level = _minLevel;
+    const std::size_t top = _levels.size() - 1;
+    if (level > top)
+        level = top;
+    if (_rampInFlight) {
+        // Coalesce: the in-flight ramp lands on the newest target.
+        _pendingLevel = level;
+        return;
+    }
+    if (level == _curLevel)
+        return;
+    _pendingLevel = level;
+    _rampInFlight = true;
+    _sim.scheduleIn(freq::kRampLatency, [this]() { onRampDone(); });
+}
+
+void
+CoreSim::onRampDone()
+{
+    _rampInFlight = false;
+    if (_pendingLevel == _curLevel)
+        return; // retargeted back mid-ramp: nothing changed
+    applyLevel(_pendingLevel);
+}
+
+void
+CoreSim::applyLevel(std::size_t level)
+{
+    _curLevel = level;
+    const LevelTables &t = _levels[level];
+    _effFreq = t.effFreq;
+    _lat = t.lat;
+    _latC6Fixed = t.latC6Fixed;
+    _activePower = t.activePower;
+    ++_freqTransitions;
+    _freqRampEnergy += freq::kRampEnergy;
+    // In-flight service keeps the rate it started at; the power
+    // level and the turbo sustain anchor move with the new point.
+    _turbo.setSustainedPower(_sim.now(), t.activeUnscaled);
+    if (_observer)
+        _observer->onFreqChange(_id, _sim.now(), _effFreq.hz());
+    updatePower();
 }
 
 std::uint64_t
@@ -188,6 +321,7 @@ CoreSim::beginService()
         return;
     }
     _mode = Mode::Active;
+    noteBusy(true);
     workload::Request req = std::move(_queue.front());
     _queue.pop_front();
     req.serviceStart = _sim.now();
@@ -195,12 +329,18 @@ CoreSim::beginService()
         _observer->onServiceStart(_id, req.id, _sim.now());
 
     // Frequency decision: boost if the thermal credit covers the
-    // whole request, else base.
+    // whole request, else base. A frequency governor gates boost on
+    // targeting the top ladder level (intel_pstate-style: turbo only
+    // engages above a max-performance request), with the sustain
+    // anchor tracking the applied level.
     sim::Frequency freq = _effFreq;
     const sim::Tick dur_boost = req.demand.duration(
         _cfg.pstates.turbo);
     _boosting = false;
-    if (_turbo.enabled() && !_cfg.runAtPn &&
+    const bool boost_ok =
+        _freqPolicy ? targetLevel() + 1 == _levels.size()
+                    : !_cfg.runAtPn;
+    if (_turbo.enabled() && boost_ok &&
         _turbo.canBoost(_sim.now(), dur_boost)) {
         _turbo.commitBoost(_sim.now(), dur_boost);
         _boosting = true;
@@ -229,6 +369,7 @@ CoreSim::onServiceDone(workload::Request req)
 void
 CoreSim::beginIdle()
 {
+    noteBusy(false);
     _idleStart = _sim.now();
     _idleState = _governor->select(_sim.now());
     if (_observer)
@@ -461,13 +602,18 @@ CoreSim::residency() const
 power::Joules
 CoreSim::energy()
 {
-    return _meter.energy(_sim.now());
+    // The fixed PLL/VR relock energy of each completed P-state ramp
+    // rides on top of the piecewise-constant power integral.
+    return _meter.energy(_sim.now()) + freqTransitionEnergy();
 }
 
 power::Watts
 CoreSim::averagePower()
 {
-    return _meter.averagePower(_sim.now(), _statsStart);
+    const sim::Tick now = _sim.now();
+    if (now <= _statsStart)
+        return 0.0;
+    return energy() / sim::toSec(now - _statsStart);
 }
 
 void
@@ -484,6 +630,13 @@ CoreSim::resetStats()
         _observer->onCStateEnter(_id, _sim.now(), cur);
     _completed = 0;
     _mispredictedEntries = 0;
+    _freqTransitionsAtReset = _freqTransitions;
+    _rampEnergyAtReset = _freqRampEnergy;
+    // Re-announce the operating point (static path included) so
+    // interval samplers can integrate mean frequency from the
+    // window's start without waiting for the first ramp.
+    if (_observer)
+        _observer->onFreqChange(_id, _sim.now(), _effFreq.hz());
 }
 
 } // namespace aw::server

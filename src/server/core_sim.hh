@@ -30,11 +30,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/aw_core.hh"
 #include "cstate/governor.hh"
 #include "cstate/residency.hh"
 #include "cstate/transition.hh"
+#include "freq/freq_policy.hh"
 #include "power/energy_meter.hh"
 #include "server/config.hh"
 #include "server/telemetry.hh"
@@ -84,6 +86,9 @@ class CoreSim
      * @param cfg           server configuration
      * @param governor      idle-governance prototype; the core
      *                      clone()s its own private instance
+     * @param freq_proto    frequency-governance prototype (also
+     *                      cloned per core); nullptr keeps the
+     *                      legacy static operating point
      * @param aw            shared AW constants (latencies, PPA)
      * @param profile       workload profile
      * @param per_core_rate this core's arrival rate (req/s);
@@ -94,6 +99,7 @@ class CoreSim
      */
     CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
             const cstate::GovernorPolicy &governor,
+            const freq::FreqPolicy *freq_proto,
             const core::AwCoreModel &aw,
             const workload::WorkloadProfile &profile,
             double per_core_rate, unsigned id,
@@ -164,8 +170,30 @@ class CoreSim
         return *_governor;
     }
 
-    /** Effective base frequency (AW's ~1% gate IR-drop applied). */
+    /** Effective base frequency (AW's ~1% gate IR-drop applied).
+     *  Under a frequency governor this is the live operating point
+     *  of the currently applied ladder level. */
     sim::Frequency effectiveBaseFrequency() const { return _effFreq; }
+
+    /** @{ DVFS governance state (null policy = static path). */
+    const freq::FreqPolicy *freqPolicy() const
+    {
+        return _freqPolicy.get();
+    }
+    std::size_t freqLevel() const { return _curLevel; }
+    std::size_t freqFloorLevel() const { return _minLevel; }
+
+    /** Completed P-state ramps / their fixed energy, both counted
+     *  over the current statistics window. */
+    std::uint64_t freqTransitions() const
+    {
+        return _freqTransitions - _freqTransitionsAtReset;
+    }
+    power::Joules freqTransitionEnergy() const
+    {
+        return _freqRampEnergy - _rampEnergyAtReset;
+    }
+    /** @} */
 
   private:
     /** @{ State machine. */
@@ -191,6 +219,49 @@ class CoreSim
     /** @{ Snoop handling. */
     void scheduleNextSnoop();
     void onSnoop();
+    /** @} */
+
+    /** @{ DVFS governance. The policy's chosen level is clamped to
+     *  the LatencyQoS floor and lands after freq::kRampLatency; the
+     *  old level's tables stay live for the ramp window, and a
+     *  retarget mid-ramp coalesces into the in-flight ramp. All of
+     *  it is bypassed (single null test) on the static path. */
+
+    /** Per-ladder-level precomputed hot-loop tables. */
+    struct LevelTables
+    {
+        sim::Frequency effFreq;
+        std::array<cstate::TransitionLatency, cstate::kNumCStates>
+            lat{};
+        cstate::TransitionLatency latC6Fixed;
+        power::Watts activePower = 0.0;    //!< profile-scaled
+        power::Watts activeUnscaled = 0.0; //!< turbo sustain anchor
+    };
+
+    /** The level the core is moving toward (or sitting at). */
+    std::size_t targetLevel() const
+    {
+        return _rampInFlight ? _pendingLevel : _curLevel;
+    }
+
+    /** Lazy busy-time accrual for the policy's load estimate. */
+    void accrueLoad(sim::Tick now)
+    {
+        if (_busyNow)
+            _busyAccum += now - _loadLast;
+        _loadLast = now;
+    }
+
+    /** Busy/idle edge: update load accounting, let edge-driven
+     *  policies retarget. Only Mode::Active counts as busy --
+     *  transition flows burn active power but serve no work. */
+    void noteBusy(bool busy);
+
+    void scheduleFreqEval();
+    void onFreqEval();
+    void requestLevel(std::size_t level);
+    void onRampDone();
+    void applyLevel(std::size_t level);
     /** @} */
 
     /** Recompute and charge the current power level. */
@@ -261,6 +332,22 @@ class CoreSim
     power::Watts _activePower = 0.0; //!< scaled P1-or-Pn active draw
     power::Watts _boostPower = 0.0;  //!< scaled turbo draw
     cstate::CStateId _deepestEnabled = cstate::CStateId::C0;
+    /** @} */
+
+    /** @{ DVFS governance (empty on the static path). */
+    std::unique_ptr<freq::FreqPolicy> _freqPolicy;
+    std::vector<LevelTables> _levels; //!< one per ladder level
+    std::size_t _curLevel = 0;
+    std::size_t _pendingLevel = 0;
+    std::size_t _minLevel = 0; //!< LatencyQoS frequency floor
+    bool _rampInFlight = false;
+    bool _busyNow = false;
+    sim::Tick _loadLast = 0;  //!< busy-accrual cursor
+    sim::Tick _busyAccum = 0; //!< busy time this eval window
+    std::uint64_t _freqTransitions = 0;
+    std::uint64_t _freqTransitionsAtReset = 0;
+    power::Joules _freqRampEnergy = 0.0;
+    power::Joules _rampEnergyAtReset = 0.0;
     /** @} */
 
     std::unique_ptr<workload::ArrivalProcess> _arrivals;

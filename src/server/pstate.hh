@@ -8,6 +8,7 @@
 #ifndef AW_SERVER_PSTATE_HH
 #define AW_SERVER_PSTATE_HH
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace aw::server {
@@ -23,6 +24,32 @@ struct PStateTable
     xeonSilver4114()
     {
         return PStateTable{};
+    }
+
+    /**
+     * Die unless the table is physically ordered: every point
+     * positive and minimum <= base <= turbo. Called wherever a
+     * table enters the simulation (ServerSim/FleetSim build), so a
+     * hand-edited config fails loudly instead of producing negative
+     * service times or an inverted DVFS ladder.
+     */
+    void
+    validate() const
+    {
+        if (!minimum.valid() || !base.valid() || !turbo.valid())
+            sim::fatal("PStateTable: all frequency points must be "
+                       "positive (Pn=%.3f GHz, P1=%.3f GHz, "
+                       "turbo=%.3f GHz)",
+                       minimum.gigahertz(), base.gigahertz(),
+                       turbo.gigahertz());
+        if (minimum.hz() > base.hz())
+            sim::fatal("PStateTable: Pn (%.3f GHz) must not exceed "
+                       "P1 (%.3f GHz)",
+                       minimum.gigahertz(), base.gigahertz());
+        if (base.hz() > turbo.hz())
+            sim::fatal("PStateTable: P1 (%.3f GHz) must not exceed "
+                       "turbo (%.3f GHz)",
+                       base.gigahertz(), turbo.gigahertz());
     }
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "cstate/governors.hh"
+#include "freq/policies.hh"
+#include "freq/qos.hh"
 #include "sim/logging.hh"
 
 namespace aw::server {
@@ -57,19 +59,41 @@ ServerSim::buildCores(double per_core_rate)
         _package = PackageCStateModel(_cfg.packageParams);
     }
 
-    // One governor prototype per server, validated here (bad specs
-    // die on construction, not mid-run); each core clones a private
-    // instance so prediction state never leaks across cores.
+    // DVFS / PM-QoS resolution happens before the cores (which hold
+    // a reference to _cfg) are constructed. A latency SLO filters
+    // the enabled idle states down to wakes its budget absorbs and,
+    // on the static path, refuses a Pn pin the service budget cannot
+    // carry; the frequency floor for governed cores is derived
+    // per-core from the same LatencyQoS.
+    _cfg.pstates.validate();
+    if (_cfg.sloUs > 0.0) {
+        const freq::LatencyQoS qos{_cfg.sloUs};
+        _cfg.cstates = qos.admissibleStates(_cfg.cstates);
+        if (_cfg.runAtPn && _cfg.freqPolicy.empty()) {
+            const freq::PStateLadder ladder(_cfg.pstates);
+            if (qos.frequencyFloor(ladder, _profile.service()) > 0)
+                _cfg.runAtPn = false;
+        }
+    }
+
+    // One prototype per governance axis per server, validated here
+    // (bad specs die on construction, not mid-run); each core clones
+    // private instances so policy state never leaks across cores.
     const auto governor_proto =
         cstate::makeGovernor(_cfg.governor, _cfg.cstates);
+    std::unique_ptr<freq::FreqPolicy> freq_proto;
+    if (!_cfg.freqPolicy.empty()) {
+        freq_proto = freq::makeFreqPolicy(
+            _cfg.freqPolicy, freq::PStateLadder(_cfg.pstates));
+    }
 
     _latency.reserve(1 << 16);
     _coreIdle.assign(_cfg.cores, 0);
     _coreDeep.assign(_cfg.cores, 0);
     for (unsigned i = 0; i < _cfg.cores; ++i) {
         _cores.push_back(std::make_unique<CoreSim>(
-            _sim, _cfg, *governor_proto, *_aw, _profile,
-            per_core_rate, i,
+            _sim, _cfg, *governor_proto, freq_proto.get(), *_aw,
+            _profile, per_core_rate, i,
             [this, i](const workload::Request &req) {
                 const double us = sim::toUs(req.serverLatency());
                 _latency.add(us);
@@ -250,6 +274,8 @@ ServerSim::run(sim::Tick duration, sim::Tick warmup)
         r.avgCorePower += core->averagePower() / _cores.size();
         r.requests += core->requestsCompleted();
         r.mispredictedEntries += core->mispredictedEntries();
+        r.freqTransitions += core->freqTransitions();
+        r.freqTransitionEnergyJ += core->freqTransitionEnergy();
     }
     r.residency = agg;
 

@@ -61,6 +61,15 @@ struct RunResult
      *  case input). */
     double transitionsPerRequest = 0.0;
 
+    /** @{ DVFS governance accounting over the measured window: the
+     *  number of completed P-state ramps across all cores, the fixed
+     *  relock energy they were charged (already inside coreEnergy),
+     *  and the core-time mean operating frequency. All zero /
+     *  the static operating point on the legacy path. */
+    std::uint64_t freqTransitions = 0;
+    power::Joules freqTransitionEnergyJ = 0.0;
+    /** @} */
+
     /** Package C-state residency shares (all zero when the package
      *  hierarchy is disabled; PC0 then covers the whole window). */
     std::array<double, kNumPkgCStates> pkgResidency{};

@@ -79,6 +79,18 @@ class TelemetryObserver
         (void)watts;
     }
 
+    /** Core @p core's DVFS operating point becomes @p hz at @p now.
+     *  Announced once per core at measurement start (like
+     *  onCStateEnter) and on every completed P-state ramp; turbo
+     *  bursts are power events, not operating-point changes, and do
+     *  not fire this. */
+    virtual void onFreqChange(unsigned core, sim::Tick now, double hz)
+    {
+        (void)core;
+        (void)now;
+        (void)hz;
+    }
+
     /** Core @p core begins an idle period at @p now (CoreSim
      *  beginIdle; promotions continue the same period). */
     virtual void onIdleStart(unsigned core, sim::Tick now)
@@ -219,6 +231,12 @@ class TelemetryFanout final : public TelemetryObserver
     {
         for (auto *s : _sinks)
             s->onUncorePower(now, watts);
+    }
+    void onFreqChange(unsigned core, sim::Tick now,
+                      double hz) override
+    {
+        for (auto *s : _sinks)
+            s->onFreqChange(core, now, hz);
     }
     void onIdleStart(unsigned core, sim::Tick now) override
     {

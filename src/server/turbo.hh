@@ -62,6 +62,22 @@ class TurboModel
         _power = w;
     }
 
+    /**
+     * Re-anchor the sustainable power to the active power of the
+     * current P-state (DVFS coupling): boost headroom is the gap
+     * between the boost power and what the core would draw anyway,
+     * so pacing at a low operating point both costs more credit per
+     * boosted second and, symmetrically, leaves the cooling
+     * threshold untouched. Accrues up to @p now first so credit
+     * earned under the old anchor is preserved.
+     */
+    void
+    setSustainedPower(sim::Tick now, power::Watts w)
+    {
+        accrue(now);
+        _params.sustainedPower = w;
+    }
+
     /** Current credit in joules (accrued to @p now). */
     power::Joules
     credit(sim::Tick now)

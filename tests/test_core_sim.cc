@@ -24,8 +24,8 @@ struct CoreHarness
         : cfg(std::move(config)),
           profile(workload::WorkloadProfile::memcached()),
           governor(cstate::makeGovernor(cfg.governor, cfg.cstates)),
-          core(simr, cfg, *governor, aw_model, profile,
-               per_core_rate, 0,
+          core(simr, cfg, *governor, /*freq_proto=*/nullptr,
+               aw_model, profile, per_core_rate, 0,
                [this](const workload::Request &req) {
                    latencies.push_back(toUs(req.serverLatency()));
                })

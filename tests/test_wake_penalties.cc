@@ -39,7 +39,8 @@ struct Harness
     explicit Harness(ServerConfig config)
         : cfg(std::move(config)), profile(probeProfile()),
           governor(cstate::makeGovernor(cfg.governor, cfg.cstates)),
-          core(simr, cfg, *governor, aw_model, profile, 200.0, 0,
+          core(simr, cfg, *governor, /*freq_proto=*/nullptr,
+               aw_model, profile, 200.0, 0,
                [this](const workload::Request &req) {
                    latencies.push_back(
                        toUs(req.serverLatency()));

@@ -60,6 +60,14 @@ usage()
         "                    (default menu; oracle is single-server "
         "static\n"
         "                    dispatch only)\n"
+        "  --freq-governor SPEC  DVFS governor: performance|"
+        "powersave|\n"
+        "                    ondemand|conservative|racetohalt\n"
+        "                    (default: the static operating point)\n"
+        "  --slo US          per-request latency SLO in us "
+        "(PM-QoS):\n"
+        "                    disables idle states too slow to wake\n"
+        "                    within it and floors the DVFS ladder\n"
         "  --dispatch NAME   request-to-core mapping: "
         "static|packing\n"
         "  --qps N           offered load, requests/s (default "
@@ -77,7 +85,7 @@ usage()
         "  --trace FILE      replay inter-arrival gaps from FILE\n"
         "                    (CSV, one gap in us per value; loops)\n"
         "  --timeline FILE   write the run's interval telemetry as\n"
-        "                    aw-timeline/1 CSV (docs/TELEMETRY.md)\n"
+        "                    aw-timeline/2 CSV (docs/TELEMETRY.md)\n"
         "  --timeline-json FILE  the same telemetry as JSON, plus "
         "the\n"
         "                    C-state transition map\n"
@@ -231,7 +239,7 @@ writeRequestTrace(const analysis::TraceSeries &series,
     at.print();
 }
 
-/** Write the requested aw-timeline/1 artifacts for one series. */
+/** Write the requested aw-timeline/2 artifacts for one series. */
 void
 writeTimeline(const analysis::TimelineSeries &series,
               const std::string &label, const TimelineOpts &tl)
@@ -279,13 +287,20 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
                                                    : seconds / 10.0))
             : fleet.run();
 
+    std::string dvfs_note;
+    if (!fleet_cfg.server.freqPolicy.empty())
+        dvfs_note += " freq=" + fleet_cfg.server.freqPolicy;
+    if (fleet_cfg.server.sloUs > 0.0)
+        dvfs_note +=
+            sim::strprintf(" slo=%gus", fleet_cfg.server.sloUs);
     std::printf("fleet=%u route=%s workload=%s config=%s "
-                "governor=%s qps=%.0f seed=%llu%s\n\n",
+                "governor=%s qps=%.0f seed=%llu%s%s\n\n",
                 r.servers, r.routingName.c_str(),
                 r.workloadName.c_str(), r.configName.c_str(),
                 fleet_cfg.server.governor.c_str(), r.offeredQps,
                 static_cast<unsigned long long>(fleet_cfg.seed),
-                fleet_cfg.schedule.isFlat() ? "" : " diurnal");
+                fleet_cfg.schedule.isFlat() ? "" : " diurnal",
+                dvfs_note.c_str());
 
     analysis::TableWriter t({"metric", "value"});
     t.addRow({"window (s)",
@@ -355,6 +370,8 @@ main(int argc, char **argv)
     std::string workload_name = "memcached";
     std::string config_name = "baseline";
     std::string governor; //!< empty = config default ("menu")
+    std::string freq_governor; //!< empty = static operating point
+    double slo_us = 0.0;  //!< 0 = unconstrained
     std::string dispatch; //!< empty = config default ("static")
     double qps = 100e3;
     double seconds = 0.0;
@@ -394,6 +411,14 @@ main(int argc, char **argv)
             config_name = next("--config");
         } else if (arg == "--governor") {
             governor = next("--governor");
+        } else if (arg == "--freq-governor") {
+            freq_governor = next("--freq-governor");
+        } else if (arg == "--slo") {
+            slo_us = parseDouble("--slo", next("--slo"));
+            if (slo_us <= 0.0)
+                sim::fatal("--slo: latency SLO must be a positive "
+                           "number of microseconds (got %g)",
+                           slo_us);
         } else if (arg == "--dispatch") {
             dispatch = next("--dispatch");
         } else if (arg == "--qps") {
@@ -498,6 +523,9 @@ main(int argc, char **argv)
     cfg.packageCStatesEnabled = package;
     if (!governor.empty())
         cfg.governor = governor;
+    if (!freq_governor.empty())
+        cfg.freqPolicy = freq_governor;
+    cfg.sloUs = slo_us;
     if (packing && !dispatch.empty() && dispatch != "packing")
         sim::fatal("--packing conflicts with --dispatch %s",
                    dispatch.c_str());
@@ -573,13 +601,19 @@ main(int argc, char **argv)
                                                  : seconds / 10.0))
             : srv.run();
 
+    std::string dvfs_note;
+    if (!cfg.freqPolicy.empty())
+        dvfs_note += " freq=" + cfg.freqPolicy;
+    if (cfg.sloUs > 0.0)
+        dvfs_note += sim::strprintf(" slo=%gus", cfg.sloUs);
     std::printf("workload=%s config=%s governor=%s dispatch=%s "
-                "qps=%.0f cores=%u seed=%llu%s%s\n\n",
+                "qps=%.0f cores=%u seed=%llu%s%s%s\n\n",
                 r.workloadName.c_str(), r.configName.c_str(),
                 cfg.governor.c_str(), server::name(cfg.dispatch),
                 r.offeredQps, cores,
                 static_cast<unsigned long long>(seed),
-                package ? " package" : "", pn ? " pn" : "");
+                package ? " package" : "", pn ? " pn" : "",
+                dvfs_note.c_str());
 
     analysis::TableWriter t({"metric", "value"});
     t.addRow({"window (s)", analysis::cell("%.3f",
@@ -609,6 +643,14 @@ main(int argc, char **argv)
               analysis::cell("%llu",
                              static_cast<unsigned long long>(
                                  r.mispredictedEntries))});
+    if (!cfg.freqPolicy.empty()) {
+        t.addRow({"P-state ramps",
+                  analysis::cell("%llu",
+                                 static_cast<unsigned long long>(
+                                     r.freqTransitions))});
+        t.addRow({"ramp energy (J)",
+                  analysis::cell("%.4f", r.freqTransitionEnergyJ)});
+    }
     t.print();
 
     std::printf("\nresidency: ");

@@ -52,6 +52,12 @@ usage()
         "  --governors A,B   idle governors (menu|teo|ladder|\n"
         "                    static:<state>|oracle; default: config\n"
         "                    default; oracle is single-server only)\n"
+        "  --freq-governors A,B  DVFS governors (performance|"
+        "powersave|\n"
+        "                    ondemand|conservative|racetohalt;\n"
+        "                    default: the static operating point)\n"
+        "  --slo N,M         per-request latency-SLO levels in us\n"
+        "                    (PM-QoS; 0 = unconstrained)\n"
         "  --policies A,B    routing policies (fleet mode only;\n"
         "                    default round-robin)\n"
         "  --fleet N,M       fleet sizes; omit for single-server\n"
@@ -82,7 +88,7 @@ usage()
         "  --json FILE       write the sweep as JSON\n"
         "  --name NAME       spec name recorded in the artifacts\n"
         "  --quiet           no summary table, just artifacts\n"
-        "\nstreaming telemetry (aw-timeline/1, see "
+        "\nstreaming telemetry (aw-timeline/2, see "
         "docs/TELEMETRY.md):\n"
         "  --timeline FILE   write every point's interval timeline "
         "as CSV\n"
@@ -188,6 +194,19 @@ main(int argc, char **argv)
             spec.configs = splitList(next("--configs"));
         } else if (arg == "--governors") {
             spec.governors = splitList(next("--governors"));
+        } else if (arg == "--freq-governors") {
+            spec.freqPolicies =
+                splitList(next("--freq-governors"));
+        } else if (arg == "--slo") {
+            spec.sloUs.clear();
+            for (const auto &v : splitList(next("--slo"))) {
+                const double s = parseDouble("--slo", v.c_str());
+                if (s < 0.0)
+                    sim::fatal("--slo: latency SLO must be >= 0 us "
+                               "(0 = unconstrained; got %g)",
+                               s);
+                spec.sloUs.push_back(s);
+            }
         } else if (arg == "--dispatch") {
             spec.dispatch = next("--dispatch");
         } else if (arg == "--policies") {
@@ -313,25 +332,46 @@ main(int argc, char **argv)
                     runner.threads(),
                     static_cast<unsigned long long>(spec.seed),
                     result.wallSeconds);
-        analysis::TableWriter t(
-            {"workload", "config", "governor", "policy", "K", "qps",
-             "rep", "power W", "mJ/req", "avg us", "p99 us",
-             "deep idle"});
+        // DVFS columns appear only when the spec swept those axes,
+        // mirroring the artifact emitters.
+        const bool freq_axis = !spec.freqPolicies.empty();
+        const bool slo_axis = !spec.sloUs.empty();
+        std::vector<std::string> headers = {"workload", "config",
+                                            "governor"};
+        if (freq_axis)
+            headers.push_back("freq");
+        if (slo_axis)
+            headers.push_back("slo us");
+        for (const char *h :
+             {"policy", "K", "qps", "rep", "power W", "mJ/req",
+              "avg us", "p99 us", "deep idle"})
+            headers.push_back(h);
+        analysis::TableWriter t(headers);
         for (const auto &p : result.points) {
             const auto &pt = p.point;
-            t.addRow({pt.workload, pt.config,
-                      pt.governor.empty() ? "-" : pt.governor,
-                      pt.policy.empty() ? "-" : pt.policy,
-                      pt.servers ? analysis::cell("%u", pt.servers)
-                                 : std::string("-"),
-                      analysis::cell("%.0f", pt.qps),
-                      analysis::cell("%u", pt.replica),
-                      analysis::cell("%.1f", p.powerW),
-                      analysis::cell("%.3f", p.energyPerRequestMj),
-                      analysis::cell("%.1f", p.avgLatencyUs),
-                      analysis::cell("%.1f", p.p99LatencyUs),
-                      analysis::cell("%.1f%%",
-                                     100 * p.deepIdleShare)});
+            std::vector<std::string> row = {
+                pt.workload, pt.config,
+                pt.governor.empty() ? "-" : pt.governor};
+            if (freq_axis)
+                row.push_back(pt.freqPolicy.empty() ? "-"
+                                                    : pt.freqPolicy);
+            if (slo_axis)
+                row.push_back(pt.sloUs > 0.0
+                                  ? analysis::cell("%g", pt.sloUs)
+                                  : std::string("-"));
+            for (std::string &cell : std::vector<std::string>{
+                     pt.policy.empty() ? "-" : pt.policy,
+                     pt.servers ? analysis::cell("%u", pt.servers)
+                                : std::string("-"),
+                     analysis::cell("%.0f", pt.qps),
+                     analysis::cell("%u", pt.replica),
+                     analysis::cell("%.1f", p.powerW),
+                     analysis::cell("%.3f", p.energyPerRequestMj),
+                     analysis::cell("%.1f", p.avgLatencyUs),
+                     analysis::cell("%.1f", p.p99LatencyUs),
+                     analysis::cell("%.1f%%", 100 * p.deepIdleShare)})
+                row.push_back(std::move(cell));
+            t.addRow(row);
         }
         t.print();
     }
