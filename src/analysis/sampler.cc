@@ -88,11 +88,20 @@ TimelineRecorder::accrueUncore(sim::Tick now)
 }
 
 void
+TimelineRecorder::accrueThrottle(sim::Tick now)
+{
+    if (_measuring && _throttled && now > _throttleLast)
+        _throttleTicks += now - _throttleLast;
+    _throttleLast = now;
+}
+
+void
 TimelineRecorder::closeInterval(sim::Tick t1)
 {
     for (unsigned c = 0; c < _cores.size(); ++c)
         accrueCore(c, t1);
     accrueUncore(t1);
+    accrueThrottle(t1);
 
     IntervalSample s;
     s.index = _emitted;
@@ -110,6 +119,9 @@ TimelineRecorder::closeInterval(sim::Tick t1)
                             : 0.0;
     }
     s.freqGhz = core_time > 0.0 ? _freqGhzSec / core_time : 0.0;
+    s.tempC = _tempC;
+    s.throttledShare =
+        sec > 0.0 ? sim::toSec(_throttleTicks) / sec : 0.0;
 
     const std::size_t slot = _emitted % _capacity;
     _ring[slot] = s;
@@ -125,6 +137,7 @@ TimelineRecorder::closeInterval(sim::Tick t1)
     _stateTicks.fill(0);
     _energyJ = 0.0;
     _freqGhzSec = 0.0;
+    _throttleTicks = 0;
     _intervalStart = t1;
     _intervalEnd = t1 + _interval;
 }
@@ -157,6 +170,8 @@ TimelineRecorder::onMeasurementStart(sim::Tick now)
         _analyzers[c].reset(now, _cores[c].state);
     }
     _uncoreLast = now;
+    _throttleLast = now;
+    _throttleTicks = 0;
     _idleObservations = 0;
     _idleObservedTotal = 0;
     _idleObservationMismatches = 0;
@@ -236,6 +251,25 @@ TimelineRecorder::onFreqChange(unsigned core, sim::Tick now,
     advanceTo(now);
     accrueCore(core, now);
     _cores[core].freqHz = hz;
+}
+
+void
+TimelineRecorder::onTemperature(sim::Tick now, double celsius)
+{
+    advanceTo(now);
+    _tempC = celsius;
+}
+
+void
+TimelineRecorder::onCapThrottle(sim::Tick now, std::size_t level_cap,
+                                double forced_idle_share,
+                                bool throttled)
+{
+    (void)level_cap;
+    (void)forced_idle_share;
+    advanceTo(now);
+    accrueThrottle(now);
+    _throttled = throttled;
 }
 
 void
@@ -345,26 +379,32 @@ foldTimelines(const std::vector<TimelineSeries> &parts)
             for (std::size_t r = 0; r < cstate::kNumCStates; ++r)
                 s.residency[r] += ps.residency[r] * p.cores;
             s.freqGhz += ps.freqGhz * p.cores;
+            // Fleet temperature is the hottest server (the thermal
+            // constraint binds per package); throttling folds as a
+            // core-weighted mean like residency.
+            s.tempC = std::max(s.tempC, ps.tempC);
+            s.throttledShare += ps.throttledShare * p.cores;
             pooled.insert(pooled.end(), p.latencies[i].begin(),
                           p.latencies[i].end());
         }
         for (std::size_t r = 0; r < cstate::kNumCStates; ++r)
             s.residency[r] /= static_cast<double>(out.cores);
         s.freqGhz /= static_cast<double>(out.cores);
+        s.throttledShare /= static_cast<double>(out.cores);
         std::sort(pooled.begin(), pooled.end());
         s.p99Us = p99Sorted(pooled);
     }
     return out;
 }
 
-// ------------------------------------------------------ aw-timeline/2
+// ------------------------------------------------------ aw-timeline/3
 
 std::string
 timelineCsvHeader()
 {
     return "interval,t0_s,t1_s,requests,achieved_qps,power_w,"
            "p99_us,res_c0,res_c1,res_c1e,res_c6a,res_c6ae,res_c6,"
-           "freq_ghz";
+           "freq_ghz,temp_c,throttled_share";
 }
 
 std::string
@@ -386,8 +426,11 @@ timelineCsvRow(const TimelineSeries &series,
         out += ',';
         out += num(share);
     }
-    out += ',';
-    out += num(sample.freqGhz);
+    for (const double v :
+         {sample.freqGhz, sample.tempC, sample.throttledShare}) {
+        out += ',';
+        out += num(v);
+    }
     return out;
 }
 
@@ -405,7 +448,7 @@ timelineCsv(const TimelineSeries &series)
             "intervals missing)\n",
             static_cast<unsigned long long>(series.emitted),
             static_cast<unsigned long long>(series.dropped));
-        sim::warn("aw-timeline/2: interval ring overflowed "
+        sim::warn("aw-timeline/3: interval ring overflowed "
                   "(%llu of %llu intervals dropped); raise "
                   "TimelineConfig::capacity or widen the interval",
                   static_cast<unsigned long long>(series.dropped),
@@ -445,6 +488,8 @@ timelineIntervalsJson(const TimelineSeries &series)
         }
         out += "]";
         out += ", \"freq_ghz\": " + num(s.freqGhz);
+        out += ", \"temp_c\": " + num(s.tempC);
+        out += ", \"throttled_share\": " + num(s.throttledShare);
         out += "}";
     }
     out += series.samples.empty() ? "]" : "\n    ]";

@@ -32,9 +32,11 @@
  *     and counts the overwritten ones in `dropped` (the total
  *     `emitted` keeps counting).
  *
- * Serialized form: the versioned `aw-timeline/2` CSV/JSON schema
+ * Serialized form: the versioned `aw-timeline/3` CSV/JSON schema
  * (docs/TELEMETRY.md), stable like `aw-perf/1`. (/2 appended the
- * freq_ghz column to /1; there is no in-place schema evolution.)
+ * freq_ghz column to /1; /3 appended temp_c and throttled_share;
+ * there is no in-place schema evolution -- see the versioning
+ * policy in docs/TELEMETRY.md.)
  */
 
 #ifndef AW_ANALYSIS_SAMPLER_HH
@@ -55,7 +57,7 @@ namespace aw::analysis {
 /** Version tag of the timeline artifact schema. Changing the CSV
  *  columns or JSON keys is a schema change: bump this and
  *  docs/TELEMETRY.md together. */
-inline constexpr const char *kTimelineSchema = "aw-timeline/2";
+inline constexpr const char *kTimelineSchema = "aw-timeline/3";
 
 /**
  * Sampler knobs.
@@ -95,6 +97,16 @@ struct IntervalSample
      *  this is the P-state the core would execute at, not a
      *  utilization-weighted clock). */
     double freqGhz = 0.0;
+
+    /** Junction temperature (deg C) at the interval close: the last
+     *  value the cap subsystem's RC thermal model announced via
+     *  onTemperature. 0 while the thermal model is off. */
+    double tempC = 0.0;
+
+    /** Share of the interval a power-cap/thermal throttle was in
+     *  effect (onCapThrottle edges integrated over the interval).
+     *  0 while the cap subsystem is off. */
+    double throttledShare = 0.0;
 
     /** Completions per second over the interval. */
     double achievedQps() const
@@ -155,6 +167,10 @@ class TimelineRecorder final : public server::TelemetryObserver
     void onUncorePower(sim::Tick now, power::Watts watts) override;
     void onFreqChange(unsigned core, sim::Tick now,
                       double hz) override;
+    void onTemperature(sim::Tick now, double celsius) override;
+    void onCapThrottle(sim::Tick now, std::size_t level_cap,
+                       double forced_idle_share,
+                       bool throttled) override;
     void onIdleStart(unsigned core, sim::Tick now) override;
     void onIdleObserved(unsigned core, sim::Tick now,
                         sim::Tick idle) override;
@@ -173,6 +189,7 @@ class TimelineRecorder final : public server::TelemetryObserver
      *  @p now (boundaries must already be closed). */
     void accrueCore(unsigned core, sim::Tick now);
     void accrueUncore(sim::Tick now);
+    void accrueThrottle(sim::Tick now);
 
     /** Close every interval boundary <= @p now. */
     void advanceTo(sim::Tick now);
@@ -197,6 +214,13 @@ class TimelineRecorder final : public server::TelemetryObserver
     std::vector<TransitionAnalyzer> _analyzers;
     power::Watts _uncorePower = 0.0;
     sim::Tick _uncoreLast = 0;
+
+    /** @{ Cap subsystem tracks (quiet while it is disabled). */
+    double _tempC = 0.0;       //!< last announced temperature
+    bool _throttled = false;   //!< current throttle state
+    sim::Tick _throttleLast = 0;
+    sim::Tick _throttleTicks = 0; //!< current-interval throttled time
+    /** @} */
 
     /** @{ Current-interval accumulators. */
     sim::Tick _intervalStart = 0;
@@ -235,12 +259,13 @@ class TimelineRecorder final : public server::TelemetryObserver
 TimelineSeries
 foldTimelines(const std::vector<TimelineSeries> &parts);
 
-/** @{ aw-timeline/2 rendering. The CSV column schema:
+/** @{ aw-timeline/3 rendering. The CSV column schema:
  *
  *   interval,t0_s,t1_s,requests,achieved_qps,power_w,p99_us,
- *   res_c0,res_c1,res_c1e,res_c6a,res_c6ae,res_c6,freq_ghz
+ *   res_c0,res_c1,res_c1e,res_c6a,res_c6ae,res_c6,freq_ghz,
+ *   temp_c,throttled_share
  *
- *  timelineCsv() prefixes the `# aw-timeline/2` schema line;
+ *  timelineCsv() prefixes the `# aw-timeline/3` schema line;
  *  timestamps are seconds relative to the series origin, numbers
  *  render with the schedule-independent "%.10g". */
 std::string timelineCsvHeader();

@@ -1,0 +1,149 @@
+#include "cap/powercap.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace aw::cap {
+
+RcThermalModel::RcThermalModel(const ThermalParams &params,
+                               sim::Tick start)
+    : _params(params), _tempC(params.ambientC), _last(start)
+{
+}
+
+double
+RcThermalModel::advance(sim::Tick now, power::Watts watts)
+{
+    if (now > _last) {
+        // Exact solution of C dT/dt = P - (T - Tamb)/R over an
+        // interval of constant P: exponential relaxation toward the
+        // steady state. Closed form keeps the trace independent of
+        // the control loop's sampling cadence.
+        const double tau =
+            _params.resistanceCPerW * _params.capacitanceJPerC;
+        const double tss = steadyStateC(watts);
+        const double dt = sim::toSec(now - _last);
+        _tempC = tss + (_tempC - tss) * std::exp(-dt / tau);
+        _last = now;
+    }
+    return _tempC;
+}
+
+void
+CapConfig::validate() const
+{
+    if (!(capWatts >= 0.0) || !std::isfinite(capWatts))
+        sim::fatal("cap: budget must be a finite watt value >= 0 "
+                   "(got %g)",
+                   capWatts);
+    if (enabled() && controlInterval == 0)
+        sim::fatal("cap: control interval must be positive");
+    if (enabled() && napPeriod == 0)
+        sim::fatal("cap: forced-idle nap period must be positive");
+    if (!(hysteresis >= 0.0) || hysteresis >= 1.0)
+        sim::fatal("cap: hysteresis must be in [0, 1) (got %g)",
+                   hysteresis);
+    if (thermalEnabled) {
+        if (!(thermal.resistanceCPerW > 0.0) ||
+            !(thermal.capacitanceJPerC > 0.0)) {
+            sim::fatal("cap: thermal R and C must be positive "
+                       "(got R=%g C=%g)",
+                       thermal.resistanceCPerW,
+                       thermal.capacitanceJPerC);
+        }
+        if (!(thermal.tripC > thermal.releaseC))
+            sim::fatal("cap: thermal trip (%g) must be above the "
+                       "release point (%g)",
+                       thermal.tripC, thermal.releaseC);
+        if (!(thermal.tripC > thermal.ambientC))
+            sim::fatal("cap: thermal trip (%g) must be above "
+                       "ambient (%g)",
+                       thermal.tripC, thermal.ambientC);
+    }
+}
+
+PowerCapController::PowerCapController(const CapConfig &cfg,
+                                       std::size_t ladder_levels)
+    : _cfg(cfg), _top(ladder_levels > 0 ? ladder_levels - 1 : 0),
+      _maxIndex(_top + kIdleSteps - 1), _budget(cfg.capWatts)
+{
+}
+
+ThrottleDecision
+PowerCapController::map(std::size_t index) const
+{
+    ThrottleDecision d;
+    const std::size_t ladder_steps = index < _top ? index : _top;
+    d.levelCap = _top - ladder_steps;
+    const std::size_t duty_steps = index - ladder_steps;
+    d.forcedIdleShare =
+        static_cast<double>(duty_steps) / kIdleSteps;
+    d.throttled = index > 0;
+    return d;
+}
+
+ThrottleDecision
+PowerCapController::step(power::Watts measured,
+                         double temperature_c)
+{
+    if (_cfg.thermalEnabled) {
+        // Latching trip: once hot, stay escalating until the
+        // temperature falls back through the release point.
+        if (temperature_c >= _cfg.thermal.tripC)
+            _tripped = true;
+        else if (temperature_c <= _cfg.thermal.releaseC)
+            _tripped = false;
+    }
+    const bool capped = _budget > 0.0;
+    const bool over = capped && measured > _budget;
+    const bool under =
+        !capped || measured < _budget * (1.0 - _cfg.hysteresis);
+    if (over || _tripped) {
+        if (_index < _maxIndex)
+            ++_index;
+    } else if (under && _index > 0) {
+        --_index;
+    }
+    return map(_index);
+}
+
+FleetBudgetPlanner::FleetBudgetPlanner(power::Watts per_server_watts,
+                                       std::size_t servers)
+    : _nominal(per_server_watts),
+      _base(per_server_watts * kBaseShare), _servers(servers)
+{
+    if (servers == 0)
+        sim::fatal("cap: budget planner needs at least one server");
+    if (!(per_server_watts > 0.0))
+        sim::fatal("cap: budget planner needs a positive per-server "
+                   "cap (got %g)",
+                   per_server_watts);
+}
+
+std::vector<power::Watts>
+FleetBudgetPlanner::epochBudgets(
+    const std::vector<std::uint64_t> &routed) const
+{
+    if (routed.size() != _servers)
+        sim::fatal("cap: planner got %zu routed counts for %zu "
+                   "servers",
+                   routed.size(), _servers);
+    std::uint64_t total = 0;
+    for (const auto count : routed)
+        total += count;
+    std::vector<power::Watts> budgets(_servers, _base);
+    if (total == 0)
+        return budgets;
+    // Pool = everything above the floors; dealt proportionally to
+    // the demand share, so sum(budgets) == servers * nominal.
+    const power::Watts pool =
+        static_cast<double>(_servers) * (_nominal - _base);
+    for (std::size_t i = 0; i < _servers; ++i) {
+        budgets[i] = _base + pool * static_cast<double>(routed[i]) /
+                                 static_cast<double>(total);
+    }
+    return budgets;
+}
+
+} // namespace aw::cap

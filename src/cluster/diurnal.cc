@@ -65,6 +65,32 @@ RateSchedule::sinusoidal(sim::Tick period, double amplitude,
     return RateSchedule(std::move(segments));
 }
 
+RateSchedule
+RateSchedule::flashCrowd(sim::Tick period, double spike,
+                         double spikeShare)
+{
+    if (period == 0)
+        sim::fatal("RateSchedule::flashCrowd: period must be "
+                   "positive");
+    if (spike < 0.0)
+        sim::fatal("RateSchedule::flashCrowd: negative spike "
+                   "multiplier %f", spike);
+    if (spikeShare <= 0.0 || spikeShare >= 1.0)
+        sim::fatal("RateSchedule::flashCrowd: spike share must be "
+                   "in (0, 1), got %f", spikeShare);
+
+    const auto spike_len = static_cast<sim::Tick>(
+        static_cast<double>(period) * spikeShare);
+    const sim::Tick lead = (period - spike_len) / 2;
+    const sim::Tick tail = period - spike_len - lead;
+    if (spike_len == 0 || lead == 0 || tail == 0)
+        sim::fatal("RateSchedule::flashCrowd: period too short for "
+                   "spike share %f", spikeShare);
+    return RateSchedule({Segment{lead, 1.0},
+                         Segment{spike_len, spike},
+                         Segment{tail, 1.0}});
+}
+
 double
 RateSchedule::scaleAt(sim::Tick t) const
 {

@@ -64,6 +64,21 @@ class RateSchedule
     static RateSchedule sinusoidal(sim::Tick period, double amplitude,
                                    std::size_t steps = 48);
 
+    /**
+     * Flash crowd: a quiet baseline (multiplier 1) with one load
+     * spike of @p spike x the base rate occupying the middle
+     * @p spikeShare of each period. Unlike sinusoidal() the mean is
+     * NOT renormalized -- the spike is extra traffic on top of the
+     * baseline, which is what a flash crowd is.
+     *
+     * @param period     schedule period (spike repeats per period)
+     * @param spike      rate multiplier during the spike (>= 0;
+     *                   > 1 for a surge, 0 for a blackout)
+     * @param spikeShare fraction of the period spiked, in (0, 1)
+     */
+    static RateSchedule flashCrowd(sim::Tick period, double spike,
+                                   double spikeShare = 0.25);
+
     /** Multiplier in effect at @p t (wraps modulo the period). */
     double scaleAt(sim::Tick t) const;
 

@@ -5,6 +5,7 @@
 #include <queue>
 #include <set>
 
+#include "cap/powercap.hh"
 #include "cstate/governors.hh"
 #include "freq/policies.hh"
 #include "sim/logging.hh"
@@ -48,9 +49,22 @@ struct LbState
 class IndexedView : public FleetView
 {
   public:
+    /**
+     * @param budgets current per-server cap budgets, updated in
+     *                place by the balancer at epoch boundaries;
+     *                nullptr when no power cap is configured (the
+     *                headroom default then makes route-to-headroom
+     *                degrade to least-outstanding).
+     * @param watts_per_request estimated draw one outstanding
+     *                request adds (the ladder-top per-core active
+     *                power: each request occupies one core).
+     */
     IndexedView(const std::vector<unsigned> &counts,
-                unsigned pack_capacity)
-        : _counts(counts), _capacity(pack_capacity)
+                unsigned pack_capacity,
+                const std::vector<power::Watts> *budgets = nullptr,
+                double watts_per_request = 0.0)
+        : _counts(counts), _capacity(pack_capacity),
+          _budgets(budgets), _wattsPerRequest(watts_per_request)
     {
         if (_capacity > 0)
             for (std::uint32_t i = 0; i < counts.size(); ++i)
@@ -72,6 +86,13 @@ class IndexedView : public FleetView
         return *_under.begin();
     }
 
+    double headroomWatts(std::size_t i) const override
+    {
+        if (!_budgets)
+            return FleetView::headroomWatts(i);
+        return (*_budgets)[i] - _wattsPerRequest * _counts[i];
+    }
+
     /** Balancer bookkeeping after routing to @p i. */
     void onRouted(std::size_t i)
     {
@@ -89,6 +110,8 @@ class IndexedView : public FleetView
   private:
     const std::vector<unsigned> &_counts;
     const unsigned _capacity;
+    const std::vector<power::Watts> *_budgets;
+    const double _wattsPerRequest;
     std::set<std::uint32_t> _under;
 };
 
@@ -155,6 +178,7 @@ FleetSim::FleetSim(FleetConfig cfg, workload::WorkloadProfile profile,
     if (!_cfg.server.freqPolicy.empty())
         freq::makeFreqPolicy(_cfg.server.freqPolicy,
                              freq::PStateLadder(_cfg.server.pstates));
+    _cfg.server.cap.validate();
 }
 
 void
@@ -224,11 +248,43 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
     sim::Rng est_rng(sim::deriveSeed(_cfg.seed, K + 1));
 
     LbState lb(K);
+
+    const sim::Tick epoch = _cfg.epochSeconds > 0.0
+                                ? sim::fromSec(_cfg.epochSeconds)
+                                : 0;
+
+    // Power-budget redistribution state. Every server starts the
+    // run at its nominal cap; at each epoch boundary the planner
+    // re-deals the fleet total from the balancer's own routing
+    // counts of the epoch just ended (one-epoch lag), and only
+    // budget *changes* append a schedule span. All of this is a
+    // pure function of the serial balancer pass, so schedules --
+    // and therefore every per-server run -- are bit-identical at
+    // any fleetThreads.
+    const bool cap_on = _cfg.server.cap.capWatts > 0.0;
+    const bool redistribute =
+        cap_on && _cfg.capRedistribution && epoch > 0;
+    std::vector<power::Watts> cur_budget;
+    if (cap_on)
+        cur_budget.assign(K, _cfg.server.cap.capWatts);
+    std::optional<cap::FleetBudgetPlanner> planner;
+    std::vector<std::vector<cap::BudgetSpan>> cap_spans;
+    std::vector<std::uint64_t> epoch_routed;
+    if (redistribute) {
+        planner.emplace(_cfg.server.cap.capWatts, K);
+        cap_spans.resize(K);
+        epoch_routed.assign(K, 0);
+    }
+
     // The under-capacity index only pays for itself when someone
-    // asks the question it answers.
+    // asks the question it answers. Headroom routing estimates one
+    // ladder-top busy core of draw per outstanding request.
+    const freq::PStateLadder ladder(_cfg.server.pstates);
     IndexedView view(lb.outstanding,
                      _cfg.routing == "pack-first" ? packCapacity()
-                                                  : 0);
+                                                  : 0,
+                     cap_on ? &cur_budget : nullptr,
+                     ladder.activePower(ladder.top()));
     InFlightHeap in_flight;
 
     // Completion estimates are published by draining the heap up to
@@ -246,9 +302,6 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
             in_flight.pop();
         }
     };
-    const sim::Tick epoch = _cfg.epochSeconds > 0.0
-                                ? sim::fromSec(_cfg.epochSeconds)
-                                : 0;
     sim::Tick next_epoch = epoch > 0 ? epoch : sim::kMaxTick;
 
     // Routing decisions of the measured window, for the trace
@@ -270,6 +323,19 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
 
         while (epoch > 0 && now >= next_epoch) {
             drainCompletions(next_epoch);
+            if (redistribute) {
+                const auto budgets =
+                    planner->epochBudgets(epoch_routed);
+                for (unsigned s = 0; s < K; ++s) {
+                    if (budgets[s] != cur_budget[s]) {
+                        cap_spans[s].push_back(
+                            cap::BudgetSpan{next_epoch, budgets[s]});
+                        cur_budget[s] = budgets[s];
+                    }
+                }
+                std::fill(epoch_routed.begin(), epoch_routed.end(),
+                          0);
+            }
             if (next_epoch >= sim::kMaxTick - epoch)
                 next_epoch = sim::kMaxTick;
             else
@@ -286,6 +352,8 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
         lb.lastArrival[target] = now;
         ++lb.routed[target];
         ++total_routed;
+        if (redistribute)
+            ++epoch_routed[target];
         if (_requestTrace && now >= warmup) {
             auto &slot =
                 decisions[decisions_emitted % decisions.size()];
@@ -351,6 +419,11 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
             std::make_unique<workload::TraceArrivals>(
                 workload::ArrivalTrace(std::move(g)),
                 /*loop=*/false));
+        // Never-routed servers all carry the identical base-budget
+        // schedule (zero demand every epoch), which is what keeps
+        // the idle-reference slot reuse below bit-identical.
+        if (redistribute && !cap_spans[i].empty())
+            srv.setCapSchedule(cap_spans[i]);
         std::optional<analysis::TimelineRecorder> recorder;
         std::optional<analysis::RequestTracer> tracer;
         server::TelemetryFanout fanout;
@@ -418,6 +491,9 @@ FleetSim::run(sim::Tick duration, sim::Tick warmup)
         fr.requests += r.requests;
         fr.events += r.events;
         fr.fleetPower += r.packagePower;
+        fr.capThrottleShare += r.capThrottleShare / K;
+        fr.forcedIdleNaps += r.forcedIdleNaps;
+        fr.maxTempC = std::max(fr.maxTempC, r.maxTempC);
         const double deep = deepIdleShare(r.residency);
         if (i == 0) {
             fr.minServerDeepShare = fr.maxServerDeepShare = deep;

@@ -94,6 +94,18 @@ struct FleetConfig
      *  decision). 0 (the default) = one epoch spanning the run. */
     double epochSeconds = 0.0;
 
+    /** Fleet power-budget redistribution (active only when
+     *  server.cap.capWatts > 0 and epochSeconds > 0): at every epoch
+     *  boundary the balancer re-deals the fleet's total budget
+     *  (servers * capWatts) from its own previous-epoch routing
+     *  counts -- a kBaseShare floor per server plus a
+     *  demand-proportional share of the pooled remainder (see
+     *  cap::FleetBudgetPlanner). The schedules are a pure function
+     *  of the serial balancer pass, so results stay bit-identical
+     *  at any fleetThreads. Disable to hold every server at its
+     *  nominal static cap. */
+    bool capRedistribution = true;
+
     /** Homogeneous-idle fast path: servers the balancer never
      *  routed to are advanced by simulating ONE idle reference
      *  server and reusing its slot for every other never-routed
@@ -156,6 +168,15 @@ struct FleetResult
 
     /** Largest per-server share of routed arrivals (1/K = even). */
     double busiestShareOfLoad = 0.0;
+
+    /** @{ Power-cap / thermal aggregates over the measured window
+     *  (all zero while the cap subsystem is disabled): server-mean
+     *  share of the window throttled, forced-idle naps fleet-wide,
+     *  and the hottest junction temperature any server reached. */
+    double capThrottleShare = 0.0;
+    std::uint64_t forcedIdleNaps = 0;
+    double maxTempC = 0.0;
+    /** @} */
 
     /** Servers the balancer never routed to (candidates for the
      *  homogeneous-idle fast path; diagnostics only, never part of

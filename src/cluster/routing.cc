@@ -74,6 +74,24 @@ PackFirstRouting::route(const FleetView &view, sim::Rng &)
     return best;
 }
 
+std::size_t
+RouteToHeadroomRouting::route(const FleetView &view, sim::Rng &)
+{
+    const std::size_t n = view.servers();
+    if (n == 0)
+        return 0;
+    std::size_t best = 0;
+    double best_headroom = view.headroomWatts(0);
+    for (std::size_t i = 1; i < n; ++i) {
+        const double headroom = view.headroomWatts(i);
+        if (headroom > best_headroom) {
+            best = i;
+            best_headroom = headroom;
+        }
+    }
+    return best;
+}
+
 std::unique_ptr<RoutingPolicy>
 makeRoutingPolicy(const std::string &name, unsigned pack_capacity)
 {
@@ -85,8 +103,10 @@ makeRoutingPolicy(const std::string &name, unsigned pack_capacity)
         return std::make_unique<LeastOutstandingRouting>();
     if (name == "pack-first")
         return std::make_unique<PackFirstRouting>(pack_capacity);
+    if (name == "route-to-headroom")
+        return std::make_unique<RouteToHeadroomRouting>();
     sim::fatal("unknown routing policy '%s' (round-robin|random|"
-               "least-outstanding|pack-first)",
+               "least-outstanding|pack-first|route-to-headroom)",
                name.c_str());
 }
 
@@ -94,7 +114,8 @@ const std::vector<std::string> &
 routingPolicyNames()
 {
     static const std::vector<std::string> names{
-        "round-robin", "random", "least-outstanding", "pack-first"};
+        "round-robin", "random", "least-outstanding", "pack-first",
+        "route-to-headroom"};
     return names;
 }
 

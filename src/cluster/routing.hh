@@ -47,6 +47,18 @@ class FleetView
      * O(log K) instead of O(K) -- the answer must be identical.
      */
     virtual std::size_t firstUnderCapacity(unsigned capacity) const;
+
+    /**
+     * Estimated watts of power-cap headroom at server @p i: the
+     * server's current budget minus the balancer's estimate of its
+     * draw. Views without budget information (no cap configured)
+     * return -outstanding(i), which makes headroom routing degrade
+     * to exactly least-outstanding.
+     */
+    virtual double headroomWatts(std::size_t i) const
+    {
+        return -static_cast<double>(outstanding(i));
+    }
 };
 
 /**
@@ -113,10 +125,26 @@ class PackFirstRouting : public RoutingPolicy
 };
 
 /**
+ * Power-cap awareness: route to the server with the most watts of
+ * cap headroom (budget minus estimated draw); ties break to the
+ * lowest index. With fleet budget redistribution this steers
+ * traffic away from servers the planner squeezed (whose caps would
+ * otherwise throttle the new arrival), and without any cap
+ * information it reduces exactly to least-outstanding -- see
+ * FleetView::headroomWatts().
+ */
+class RouteToHeadroomRouting : public RoutingPolicy
+{
+  public:
+    const char *name() const override { return "route-to-headroom"; }
+    std::size_t route(const FleetView &view, sim::Rng &rng) override;
+};
+
+/**
  * Build a policy by name: "round-robin", "random",
- * "least-outstanding" or "pack-first". @p pack_capacity is the
- * PackFirstRouting spill threshold (ignored by the others).
- * Unknown names are fatal().
+ * "least-outstanding", "pack-first" or "route-to-headroom".
+ * @p pack_capacity is the PackFirstRouting spill threshold (ignored
+ * by the others). Unknown names are fatal().
  */
 std::unique_ptr<RoutingPolicy>
 makeRoutingPolicy(const std::string &name, unsigned pack_capacity);

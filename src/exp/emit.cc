@@ -77,27 +77,31 @@ static_assert(sizeof(kResidencyColumns) /
               cstate::kNumCStates);
 
 /**
- * DVFS coordinate columns appear only when the spec actually swept
- * the corresponding axis, so artifacts of specs without a frequency
- * axis (every pre-DVFS spec) stay byte-identical.
+ * Optional coordinate columns (DVFS and power-cap axes) appear only
+ * when the spec actually swept the corresponding axis, so artifacts
+ * of specs without a frequency or cap axis (every pre-DVFS and
+ * pre-cap spec) stay byte-identical.
  */
-struct DvfsColumns
+struct AxisColumns
 {
-    explicit DvfsColumns(const SweepResult &result)
+    explicit AxisColumns(const SweepResult &result)
         : freq(!result.spec.freqPolicies.empty()),
-          slo(!result.spec.sloUs.empty())
+          slo(!result.spec.sloUs.empty()),
+          cap(!result.spec.capWatts.empty())
     {}
 
-    /** Append ",freq_policy" / ",slo_us" header fragments. */
+    /** Append ",freq_policy" / ",slo_us" / ",cap_w" headers. */
     void header(std::string &out) const
     {
         if (freq)
             out += ",freq_policy";
         if (slo)
             out += ",slo_us";
+        if (cap)
+            out += ",cap_w";
     }
 
-    /** Append this point's ",<policy>" / ",<slo>" CSV fields. */
+    /** Append this point's optional-coordinate CSV fields. */
     void csv(std::string &out, const GridPoint &pt) const
     {
         if (freq) {
@@ -107,6 +111,10 @@ struct DvfsColumns
         if (slo) {
             out += ',';
             out += num(pt.sloUs);
+        }
+        if (cap) {
+            out += ',';
+            out += num(pt.capWatts);
         }
     }
 
@@ -119,10 +127,13 @@ struct DvfsColumns
                 ", ";
         if (slo)
             out += "\"slo_us\": " + num(pt.sloUs) + ", ";
+        if (cap)
+            out += "\"cap_w\": " + num(pt.capWatts) + ", ";
     }
 
     bool freq;
     bool slo;
+    bool cap;
 };
 
 } // namespace
@@ -131,7 +142,7 @@ std::string
 csvHeader(const SweepResult &result)
 {
     std::string h = "index,workload,config,governor";
-    DvfsColumns(result).header(h);
+    AxisColumns(result).header(h);
     h += ",policy,variant,servers,qps,"
          "replica,seed,requests,achieved_qps,window_s,power_w,"
          "mj_per_request,avg_latency_us,p99_latency_us,deep_idle,"
@@ -154,7 +165,7 @@ toCsv(const SweepResult &result)
 {
     std::string out = csvHeader(result);
     out += '\n';
-    const DvfsColumns dvfs(result);
+    const AxisColumns dvfs(result);
     for (const auto &p : result.points) {
         const auto &pt = p.point;
         out += sim::strprintf("%zu,%s,%s,%s", pt.index,
@@ -201,7 +212,7 @@ toJson(const SweepResult &result)
                           static_cast<unsigned long long>(spec.seed));
     out += sim::strprintf("  \"replicas\": %u,\n", spec.replicas);
     out += sim::strprintf("  \"points\": [");
-    const DvfsColumns dvfs(result);
+    const AxisColumns dvfs(result);
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const auto &p = result.points[i];
         const auto &pt = p.point;
@@ -283,7 +294,7 @@ toTimelineCsv(const SweepResult &result)
             p.point.index,
             static_cast<unsigned long long>(series.emitted),
             static_cast<unsigned long long>(series.dropped));
-        sim::warn("aw-timeline/2: point '%s' interval ring "
+        sim::warn("aw-timeline/3: point '%s' interval ring "
                   "overflowed (%llu of %llu intervals dropped); "
                   "raise TimelineConfig::capacity or widen the "
                   "interval",
@@ -291,7 +302,7 @@ toTimelineCsv(const SweepResult &result)
                   static_cast<unsigned long long>(series.dropped),
                   static_cast<unsigned long long>(series.emitted));
     }
-    const DvfsColumns dvfs(result);
+    const AxisColumns dvfs(result);
     out += "index,workload,config,governor";
     dvfs.header(out);
     out += ",policy,variant,servers,qps,replica,";
@@ -332,7 +343,7 @@ toTimelineJson(const SweepResult &result)
     out += sim::strprintf("  \"interval_s\": %s,\n",
                           num(spec.timelineIntervalSeconds).c_str());
     out += "  \"points\": [";
-    const DvfsColumns dvfs(result);
+    const AxisColumns dvfs(result);
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const auto &p = result.points[i];
         const auto &series = pointTimeline(p);
@@ -399,7 +410,7 @@ toTraceCsv(const SweepResult &result)
 {
     std::string out =
         sim::strprintf("# %s\n", analysis::kTraceSchema);
-    const DvfsColumns dvfs(result);
+    const AxisColumns dvfs(result);
     out += "index,workload,config,governor";
     dvfs.header(out);
     out += ",policy,variant,servers,"
@@ -467,7 +478,7 @@ toTraceJson(const SweepResult &result)
                           static_cast<unsigned long long>(spec.seed));
     out += sim::strprintf("  \"replicas\": %u,\n", spec.replicas);
     out += "  \"points\": [";
-    const DvfsColumns dvfs(result);
+    const AxisColumns dvfs(result);
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const auto &p = result.points[i];
         const auto &attr = pointTrace(p);

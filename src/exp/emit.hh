@@ -37,8 +37,8 @@ std::string toCsv(const SweepResult &result);
 std::string toJson(const SweepResult &result);
 
 /**
- * Render every point's recorded timeline as one aw-timeline/2 CSV:
- * a `# aw-timeline/2` schema line, then a header of the point
+ * Render every point's recorded timeline as one aw-timeline/3 CSV:
+ * a `# aw-timeline/3` schema line, then a header of the point
  * coordinates followed by analysis::timelineCsvHeader() columns,
  * then one row per retained interval per point (grid order).
  * fatal() if any point lacks a timeline (run the sweep with

@@ -169,6 +169,42 @@ makeScenarios()
             return sweepTotals(spec);
         }});
 
+    // The power-capping axis (ROADMAP item 3): a capped flash
+    // crowd through the headroom-routed fleet. Gates the cap
+    // control loop's hot path -- per-interval controller steps,
+    // forced-idle nap injection, the closed-form RC thermal
+    // integration and the epoch budget redistribution -- under the
+    // load shape capping exists for: a surge the provisioned
+    // budget cannot absorb at full speed.
+    s.push_back(PerfScenario{
+        "fleet_sweep_cap",
+        "4-server capped flash crowd (3x spike) x {aw_c6a,c1c6} @ "
+        "18 W cap, thermal, route-to-headroom, 0.4 s, 1 thread",
+        []() {
+            PerfTotals t;
+            for (const char *config : {"aw_c6a", "c1c6"}) {
+                cluster::FleetConfig fc;
+                fc.servers = 4;
+                fc.server = configByName(config);
+                fc.server.idlePromotion = true;
+                fc.server.cap.capWatts = 18.0;
+                fc.server.cap.thermalEnabled = true;
+                fc.routing = "route-to-headroom";
+                fc.seed = 42;
+                fc.schedule = cluster::RateSchedule::flashCrowd(
+                    sim::fromSec(0.4), 3.0);
+                fc.epochSeconds = 0.05;
+                cluster::FleetSim fleet(
+                    fc, profileByName("memcached"), 200e3);
+                const auto r = fleet.run(sim::fromSec(0.4),
+                                         sim::fromSec(0.04));
+                t.simSeconds += 0.44 * fc.servers;
+                t.events += r.events;
+                t.requests += r.requests;
+            }
+            return t;
+        }});
+
     // Warehouse scale (ROADMAP item 1): a 10,000-server diurnal
     // memcached "day" through the epoch-parallel fleet kernel, as
     // the two paired headline points -- the AW config consolidated

@@ -24,6 +24,8 @@ SweepResult::Query::matches(const GridPoint &pt) const
         return false;
     if (sloUs && *sloUs != pt.sloUs)
         return false;
+    if (capWatts && *capWatts != pt.capWatts)
+        return false;
     if (policy && *policy != pt.policy)
         return false;
     if (variant && *variant != pt.variant)
@@ -111,6 +113,10 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
         cfg.freqPolicy = pt.freqPolicy;
     if (pt.sloUs > 0.0)
         cfg.sloUs = pt.sloUs;
+    if (pt.capWatts > 0.0)
+        cfg.cap.capWatts = pt.capWatts;
+    if (spec.thermal)
+        cfg.cap.thermalEnabled = true;
     if (!spec.dispatch.empty())
         cfg.dispatch = server::dispatchPolicyByName(spec.dispatch);
 
@@ -164,6 +170,14 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
         res.maxServerDeepShare = r.maxServerDeepShare;
         res.busiestShareOfLoad = r.busiestShareOfLoad;
         res.residency = r.residency.share;
+        // Cap metrics ride the extras channel only when the spec
+        // engaged the subsystem, so no-axis artifacts keep their
+        // pre-cap schema byte for byte.
+        if (!spec.capWatts.empty() || spec.thermal) {
+            res.extras.emplace_back("cap_throttle_share",
+                                    r.capThrottleShare);
+            res.extras.emplace_back("max_temp_c", r.maxTempC);
+        }
     } else {
         cfg.seed = pt.seed;
         server::ServerSim srv(cfg, profile, pt.qps);
@@ -211,6 +225,11 @@ SweepRunner::runPoint(const ExperimentSpec &spec, const GridPoint &pt)
         res.maxServerDeepShare = deep;
         res.busiestShareOfLoad = 1.0;
         res.residency = r.residency.share;
+        if (!spec.capWatts.empty() || spec.thermal) {
+            res.extras.emplace_back("cap_throttle_share",
+                                    r.capThrottleShare);
+            res.extras.emplace_back("max_temp_c", r.maxTempC);
+        }
     }
     return res;
 }

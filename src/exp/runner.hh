@@ -106,6 +106,7 @@ struct SweepResult
         std::optional<std::string> governor;
         std::optional<std::string> freqPolicy;
         std::optional<double> sloUs;
+        std::optional<double> capWatts;
         std::optional<std::string> policy;
         std::optional<std::string> variant;
         std::optional<unsigned> servers;

@@ -127,6 +127,8 @@ GridPoint::label() const
         l += "/" + freqPolicy;
     if (sloUs > 0.0)
         l += sim::strprintf("/slo%gus", sloUs);
+    if (capWatts > 0.0)
+        l += sim::strprintf("/cap%gW", capWatts);
     if (!policy.empty())
         l += "/" + policy;
     if (servers > 0)
@@ -217,6 +219,12 @@ ExperimentSpec::validate() const
                        "finite and non-negative (0 = unconstrained; "
                        "got %f)",
                        name.c_str(), s);
+    for (const double w : capWatts)
+        if (w < 0.0 || !std::isfinite(w))
+            sim::fatal("ExperimentSpec '%s': capWatts values must "
+                       "be finite and non-negative (0 = uncapped; "
+                       "got %f)",
+                       name.c_str(), w);
     if (!dispatch.empty())
         server::dispatchPolicyByName(dispatch);
     for (const auto &p : policies)
@@ -245,8 +253,9 @@ ExperimentSpec::gridSize() const
     const std::size_t freqs =
         freqPolicies.empty() ? 1 : freqPolicies.size();
     const std::size_t slos = sloUs.empty() ? 1 : sloUs.size();
+    const std::size_t caps = capWatts.empty() ? 1 : capWatts.size();
     return workloads.size() * configs.size() * govs * freqs * slos *
-           pols * fleets * qps.size() * vars * replicas;
+           caps * pols * fleets * qps.size() * vars * replicas;
 }
 
 std::vector<GridPoint>
@@ -272,6 +281,8 @@ ExperimentSpec::expand() const
                              : freqPolicies;
     const std::vector<double> slos =
         sloUs.empty() ? std::vector<double>{0.0} : sloUs;
+    const std::vector<double> caps =
+        capWatts.empty() ? std::vector<double>{0.0} : capWatts;
 
     std::vector<GridPoint> grid;
     grid.reserve(gridSize());
@@ -280,6 +291,7 @@ ExperimentSpec::expand() const
         for (const auto &g : govs)
           for (const auto &f : freqs)
             for (const double s : slos)
+             for (const double cw : caps)
               for (const auto &p : pols)
                 for (const unsigned k : fleets)
                     for (const double q : qps)
@@ -292,6 +304,7 @@ ExperimentSpec::expand() const
                                 pt.governor = g;
                                 pt.freqPolicy = f;
                                 pt.sloUs = s;
+                                pt.capWatts = cw;
                                 pt.policy = p;
                                 pt.servers = k;
                                 pt.qps = qpsPerServer ? q * k : q;

@@ -39,6 +39,7 @@ struct GridPoint
     std::string governor; //!< governor spec ("" = config default)
     std::string freqPolicy; //!< frequency governor ("" = static point)
     double sloUs = 0.0;   //!< latency SLO in us (0 = unconstrained)
+    double capWatts = 0.0; //!< package power cap in W (0 = uncapped)
     std::string policy;   //!< routing policy ("" = single server)
     unsigned servers = 0; //!< fleet size (0 = single server)
     double qps = 0.0;     //!< effective offered load (already scaled)
@@ -84,6 +85,12 @@ struct ExperimentSpec
      *  axis also means unconstrained, so one grid can compare
      *  with/without an SLO. */
     std::vector<double> sloUs;
+    /** Package power-cap axis in watts (cap::CapConfig::capWatts).
+     *  Empty = uncapped; a 0 value inside the axis also means
+     *  uncapped, so one grid can compare capped against uncapped.
+     *  Leaving the axis empty keeps the grid -- and every emitted
+     *  artifact -- identical to a spec without the axis. */
+    std::vector<double> capWatts;
     std::vector<std::string> policies;
     std::vector<unsigned> fleetSizes;
     std::vector<double> qps{100e3};
@@ -113,7 +120,7 @@ struct ExperimentSpec
     /** Streaming-telemetry interval (seconds); 0 disables the
      *  sampler entirely (the default -- no observer is attached,
      *  so a disabled sweep pays one untaken branch per event).
-     *  When > 0 every point records an aw-timeline/2 series into
+     *  When > 0 every point records an aw-timeline/3 series into
      *  PointResult::timeline (see analysis/sampler.hh and
      *  docs/TELEMETRY.md); the sampler is passive, so all other
      *  results and artifacts stay byte-identical. */
@@ -127,6 +134,13 @@ struct ExperimentSpec
      *  so all other results and artifacts stay byte-identical;
      *  disabled (the default) it costs nothing. */
     bool traceRequests = false;
+
+    /** Couple the RC thermal model (cap::CapConfig::thermalEnabled
+     *  with its default ThermalParams) on every point. A spec-level
+     *  knob, not an axis: thermal coupling changes the physical
+     *  machine being swept, like cores. Disabled (the default) the
+     *  grid stays identical to a spec without the knob. */
+    bool thermal = false;
 
     /** Dispatch-policy override applied to every point ("" = each
      *  config's default; see server::dispatchPolicyNames()). */
@@ -155,8 +169,8 @@ struct ExperimentSpec
 
     /** The ordered cartesian grid. Expansion order (outer to
      *  inner): workload, config, governor, freq policy, SLO,
-     *  policy, fleet size, qps, variant, replica. Calls
-     *  validate(). */
+     *  power cap, policy, fleet size, qps, variant, replica.
+     *  Calls validate(). */
     std::vector<GridPoint> expand() const;
 };
 

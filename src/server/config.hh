@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "cap/powercap.hh"
 #include "cstate/config.hh"
 #include "power/units.hh"
 #include "server/package.hh"
@@ -110,6 +111,13 @@ struct ServerConfig
      *  filters the enabled idle states down to wakes the SLO can
      *  absorb and floors the DVFS ladder at build time. */
     double sloUs = 0.0;
+
+    /** RAPL-style package power cap + RC thermal coupling
+     *  (cap::CapConfig). Disabled by default: no control events,
+     *  no enforcement machinery, artifacts byte-identical to a
+     *  build without the subsystem. Enforcement precedence is
+     *  cap -> QoS -> governor (docs/POWERCAP.md). */
+    cap::CapConfig cap;
 
     /** Uncore (LLC, mesh, memory controllers) power, charged at
      *  package level regardless of core states. */

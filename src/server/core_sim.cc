@@ -73,14 +73,19 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
     _boostPower = _powers.activeBoost * scale;
     _deepestEnabled = _cfg.cstates.deepestEnabled();
 
-    if (freq_proto) {
-        // ---- DVFS governance: one table per ladder level, derived
-        // exactly like the static point above (AW degradation and
-        // the C6 flush split included), so pinning the top level
-        // reproduces the legacy tables bit-for-bit. The policy
-        // subsumes runAtPn -- level 0 IS the Pn point.
-        _freqPolicy = freq_proto->clone();
-        const auto &ladder = _freqPolicy->ladder();
+    if (freq_proto || _cfg.cap.enabled()) {
+        // ---- DVFS governance and/or cap enforcement: one table
+        // per ladder level, derived exactly like the static point
+        // above (AW degradation and the C6 flush split included),
+        // so pinning the top level reproduces the legacy tables
+        // bit-for-bit. The policy subsumes runAtPn -- level 0 IS
+        // the Pn point. A power cap without a frequency governor
+        // builds the same tables: the cap controller clamps the
+        // operating point down this ladder before it resorts to
+        // forced idle.
+        if (freq_proto)
+            _freqPolicy = freq_proto->clone();
+        const freq::PStateLadder ladder(_cfg.pstates);
         const double degrade =
             _cfg.cstates.usesAgileWatts()
                 ? 1.0 - core::Ufpg::kFrequencyDegradation
@@ -105,12 +110,15 @@ CoreSim::CoreSim(sim::Simulator &simr, const ServerConfig &cfg,
             _minLevel = freq::LatencyQoS{_cfg.sloUs}.frequencyFloor(
                 ladder, _profile.service());
         }
-        _curLevel = _freqPolicy->select(0, 0.0);
+        _curLevel = _freqPolicy
+                        ? _freqPolicy->select(0, 0.0)
+                        : (_cfg.runAtPn ? 0 : ladder.top());
         if (_curLevel < _minLevel)
             _curLevel = _minLevel;
         if (_curLevel > ladder.top())
             _curLevel = ladder.top();
         _pendingLevel = _curLevel;
+        _wantLevel = _curLevel;
         const LevelTables &t0 = _levels[_curLevel];
         _effFreq = t0.effFreq;
         _lat = t0.lat;
@@ -209,9 +217,15 @@ CoreSim::onFreqEval()
 void
 CoreSim::requestLevel(std::size_t level)
 {
+    // Precedence cap -> QoS -> governor: remember the unclamped
+    // request (re-issued when the cap ceiling moves), raise it to
+    // the QoS floor, then let the cap ceiling override both.
+    _wantLevel = level;
     if (level < _minLevel)
         level = _minLevel;
-    const std::size_t top = _levels.size() - 1;
+    std::size_t top = _levels.size() - 1;
+    if (_capLevel < top)
+        top = _capLevel;
     if (level > top)
         level = top;
     if (_rampInFlight) {
@@ -254,6 +268,20 @@ CoreSim::applyLevel(std::size_t level)
     updatePower();
 }
 
+void
+CoreSim::setCapState(std::size_t level_cap, sim::Tick nap_len,
+                     sim::Tick nap_period)
+{
+    _capLevel = level_cap;
+    _napLen = nap_len;
+    _napPeriod = nap_period;
+    // Re-clamp the operating point against the new ceiling (or let
+    // it recover toward the last unclamped request). An in-flight
+    // nap completes on its own schedule.
+    if (!_levels.empty())
+        requestLevel(_wantLevel);
+}
+
 std::uint64_t
 CoreSim::inject(workload::Request req)
 {
@@ -290,6 +318,11 @@ CoreSim::onArrival(workload::Request req)
         // Will be drained when the current activity finishes.
         break;
       case Mode::EnteringIdle:
+        // A forced nap must run its course: arrivals queue behind
+        // it (that queueing -- plus the wake at nap end -- is the
+        // throttle's latency cost).
+        if (_napping)
+            break;
         // Hardware must complete the entry flow first; wake right
         // after. This is the misprediction penalty.
         if (!_wakePending) {
@@ -304,6 +337,8 @@ CoreSim::onArrival(workload::Request req)
         }
         break;
       case Mode::Idle:
+        if (_napping)
+            break; // see above: the nap end wakes the core
         noteIdleObserved(_sim.now() - _idleStart);
         // C0 polling wakes instantly: no episode to publish.
         if (_observer && _idleState != CStateId::C0)
@@ -318,6 +353,13 @@ CoreSim::beginService()
 {
     if (_queue.empty()) {
         beginIdle();
+        return;
+    }
+    // Cap enforcement beyond the ladder floor: a due forced nap
+    // preempts the queue at the service boundary (one predictable
+    // never-taken test while uncapped).
+    if (_napLen > 0 && _sim.now() >= _nextNapAt) {
+        beginForcedNap();
         return;
     }
     _mode = Mode::Active;
@@ -337,9 +379,12 @@ CoreSim::beginService()
     const sim::Tick dur_boost = req.demand.duration(
         _cfg.pstates.turbo);
     _boosting = false;
+    // With ladder tables (governor or cap) boost requires targeting
+    // the top level, so a cap clamp also suppresses turbo; the
+    // legacy static path keeps the runAtPn rule.
     const bool boost_ok =
-        _freqPolicy ? targetLevel() + 1 == _levels.size()
-                    : !_cfg.runAtPn;
+        !_levels.empty() ? targetLevel() + 1 == _levels.size()
+                         : !_cfg.runAtPn;
     if (_turbo.enabled() && boost_ok &&
         _turbo.canBoost(_sim.now(), dur_boost)) {
         _turbo.commitBoost(_sim.now(), dur_boost);
@@ -517,6 +562,81 @@ CoreSim::onWakeDone()
 }
 
 void
+CoreSim::beginForcedNap()
+{
+    // intel_powerclamp semantics: the nap targets the deepest
+    // enabled state directly (no governor selection -- this is an
+    // enforcement action, not a prediction), runs the normal entry
+    // flow, and holds the core down for _napLen measured from the
+    // nap start. The governor still observes the resulting idle
+    // period at the end, like any other.
+    noteBusy(false);
+    _idleStart = _sim.now();
+    _idleState = _deepestEnabled;
+    _napping = true;
+    ++_forcedNaps;
+    if (_observer)
+        _observer->onIdleStart(_id, _sim.now());
+    _sim.scheduleIn(_napLen, [this, stamp = _idleStart]() {
+        onNapEnd(stamp);
+    });
+    if (_idleState == CStateId::C0) {
+        // No idle state enabled: the nap stalls service while
+        // polling at active power (all cost, no savings -- exactly
+        // what forcing idle on such a config deserves).
+        _mode = Mode::Idle;
+        noteStateEnter(CStateId::C0);
+        updatePower();
+        return;
+    }
+    _mode = Mode::EnteringIdle;
+    _wakePending = false;
+    updatePower();
+    const sim::Tick entry = latencyOf(_idleState).entry;
+    if (_idleState == CStateId::C6)
+        _caches.flush();
+    _sim.scheduleIn(entry, [this]() { onIdleEntered(); });
+}
+
+void
+CoreSim::onNapEnd(sim::Tick stamp)
+{
+    if (!_napping || _idleStart != stamp)
+        return; // stale (the nap this event belonged to is over)
+    _napping = false;
+    // Space naps by the window's non-nap remainder measured from
+    // the nap *end*, so the wake cost cannot starve service: the
+    // core gets (period - nap) of nap-free time per window no
+    // matter how expensive its deepest state's exit is.
+    _nextNapAt = _sim.now() + (_napPeriod > _napLen
+                                   ? _napPeriod - _napLen
+                                   : _napPeriod);
+    if (_mode == Mode::EnteringIdle) {
+        // Nap shorter than the entry flow: fall back to the
+        // misprediction path -- finish entering, wake right after.
+        if (!_queue.empty() && !_wakePending) {
+            _wakePending = true;
+            noteIdleObserved(_sim.now() - _idleStart);
+            if (_observer)
+                _observer->onWakeStart(_id, _sim.now(), _idleState);
+        }
+        return;
+    }
+    if (_mode != Mode::Idle)
+        return;
+    if (_queue.empty()) {
+        // Nothing queued up behind the nap: the period simply
+        // continues as a normal governor-owned idle period.
+        maybeSchedulePromotion();
+        return;
+    }
+    noteIdleObserved(_sim.now() - _idleStart);
+    if (_observer && _idleState != CStateId::C0)
+        _observer->onWakeStart(_id, _sim.now(), _idleState);
+    beginWake();
+}
+
+void
 CoreSim::scheduleNextSnoop()
 {
     const sim::Tick next = _snoops.nextArrival(_sim.now());
@@ -630,6 +750,7 @@ CoreSim::resetStats()
         _observer->onCStateEnter(_id, _sim.now(), cur);
     _completed = 0;
     _mispredictedEntries = 0;
+    _forcedNapsAtReset = _forcedNaps;
     _freqTransitionsAtReset = _freqTransitions;
     _rampEnergyAtReset = _freqRampEnergy;
     // Re-announce the operating point (static path included) so

@@ -140,6 +140,26 @@ class CoreSim
         _observer = observer;
     }
 
+    /**
+     * Apply a cap-controller throttle decision (ServerSim's control
+     * loop; see cap::PowerCapController). @p level_cap becomes the
+     * operating-point ceiling -- it overrides the LatencyQoS floor,
+     * which in turn bounds the governor's request -- and a nap of
+     * @p nap_len is injected per @p nap_period of non-nap time at
+     * service boundaries (intel_powerclamp-style forced idle in the
+     * deepest enabled state). Requires the cap subsystem enabled at
+     * construction (cfg.cap.enabled()), which builds the ladder
+     * tables even without a frequency governor.
+     */
+    void setCapState(std::size_t level_cap, sim::Tick nap_len,
+                     sim::Tick nap_period);
+
+    /** Forced-idle naps begun over the statistics window. */
+    std::uint64_t forcedNaps() const
+    {
+        return _forcedNaps - _forcedNapsAtReset;
+    }
+
     /** @{ Statistics access. */
     cstate::ResidencySnapshot residency() const;
     power::Joules energy();
@@ -205,6 +225,17 @@ class CoreSim
     void onIdleEntered();
     void beginWake();
     void onWakeDone();
+    /** @} */
+
+    /** @{ Forced-idle injection (cap enforcement beyond the ladder
+     * floor). A due nap preempts the queue at a service boundary:
+     * the core runs the normal entry flow into its deepest enabled
+     * state, ignores arrivals until the nap elapses (they queue;
+     * no wake-pending misprediction), then pays the normal wake --
+     * which is exactly where legacy C6 bleeds p99 and C6A does
+     * not. */
+    void beginForcedNap();
+    void onNapEnd(sim::Tick stamp);
     /** @} */
 
     /** @{ OS-tick idle promotion (ServerConfig::idlePromotion).
@@ -340,6 +371,12 @@ class CoreSim
     std::size_t _curLevel = 0;
     std::size_t _pendingLevel = 0;
     std::size_t _minLevel = 0; //!< LatencyQoS frequency floor
+    /** Last unclamped level request; re-issued when the cap ceiling
+     *  moves so the point recovers once headroom returns. */
+    std::size_t _wantLevel = 0;
+    /** Cap-controller operating-point ceiling (SIZE_MAX, the
+     *  default, = unclamped; overrides _minLevel). */
+    std::size_t _capLevel = static_cast<std::size_t>(-1);
     bool _rampInFlight = false;
     bool _busyNow = false;
     sim::Tick _loadLast = 0;  //!< busy-accrual cursor
@@ -356,6 +393,17 @@ class CoreSim
     const PackageCStateModel *_package = nullptr;
     TelemetryObserver *_observer = nullptr;
     unsigned _id = 0;
+
+    /** @{ Forced-idle (cap) state. All zero while uncapped: the
+     *  only disabled-path cost is one never-taken test per service
+     *  boundary. */
+    sim::Tick _napLen = 0;    //!< current nap length (0 = off)
+    sim::Tick _napPeriod = 0; //!< nap window
+    sim::Tick _nextNapAt = 0; //!< earliest next nap start
+    bool _napping = false;
+    std::uint64_t _forcedNaps = 0;
+    std::uint64_t _forcedNapsAtReset = 0;
+    /** @} */
 
     Mode _mode = Mode::Active;
     cstate::CStateId _idleState = cstate::CStateId::C0;

@@ -76,6 +76,21 @@ ServerSim::buildCores(double per_core_rate)
         }
     }
 
+    // Power cap + thermal coupling: validated here, armed in run().
+    // The controller and thermal model exist only when enabled, so
+    // the disabled path schedules no control events and every
+    // artifact stays byte-identical.
+    _cfg.cap.validate();
+    if (_cfg.cap.enabled()) {
+        _capCtl = std::make_unique<cap::PowerCapController>(
+            _cfg.cap, freq::PStateLadder(_cfg.pstates).count());
+        _capDecision = _capCtl->decision();
+        if (_cfg.cap.thermalEnabled) {
+            _thermal = std::make_unique<cap::RcThermalModel>(
+                _cfg.cap.thermal, 0);
+        }
+    }
+
     // One prototype per governance axis per server, validated here
     // (bad specs die on construction, not mid-run); each core clones
     // private instances so policy state never leaks across cores.
@@ -115,6 +130,87 @@ ServerSim::setObserver(TelemetryObserver *observer)
     _observer = observer;
     for (auto &core : _cores)
         core->setObserver(observer);
+}
+
+void
+ServerSim::setCapSchedule(std::vector<cap::BudgetSpan> spans)
+{
+    if (!_capCtl)
+        sim::fatal("ServerSim: cap schedule needs cfg.cap enabled");
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+        if (spans[i].start < spans[i - 1].start)
+            sim::fatal("ServerSim: cap schedule spans must be in "
+                       "ascending start order");
+    }
+    _capSchedule = std::move(spans);
+    _capSpan = 0;
+}
+
+void
+ServerSim::scheduleCapControl()
+{
+    _sim.scheduleIn(_cfg.cap.controlInterval,
+                    [this]() { onCapControl(); });
+}
+
+void
+ServerSim::onCapControl()
+{
+    const sim::Tick now = _sim.now();
+
+    // Measured interval power: delta of the summed core meters
+    // (the simulator's RAPL counters) plus the piecewise-constant
+    // uncore draw.
+    power::Joules joules = 0.0;
+    for (auto &core : _cores)
+        joules += core->energy();
+    if (joules < _capLastEnergy)
+        _capLastEnergy = joules; // a stats reset restarted meters
+    const double dt = sim::toSec(now - _capLastTick);
+    const power::Watts uncore = _cfg.packageCStatesEnabled
+                                    ? _package.uncorePower()
+                                    : _cfg.uncorePower;
+    const power::Watts measured =
+        dt > 0.0 ? (joules - _capLastEnergy) / dt + uncore : uncore;
+    _capLastEnergy = joules;
+    _capLastTick = now;
+
+    // Fleet budget redistribution: advance to the span in effect.
+    while (_capSpan < _capSchedule.size() &&
+           _capSchedule[_capSpan].start <= now) {
+        _capCtl->setBudget(_capSchedule[_capSpan].watts);
+        ++_capSpan;
+    }
+
+    double temp = 0.0;
+    if (_thermal) {
+        temp = _thermal->advance(now, measured);
+        if (temp > _maxTempC)
+            _maxTempC = temp;
+        if (_observer)
+            _observer->onTemperature(now, temp);
+    }
+
+    const cap::ThrottleDecision d = _capCtl->step(measured, temp);
+    if (d != _capDecision) {
+        _capDecision = d;
+        const sim::Tick period = _cfg.cap.napPeriod;
+        const sim::Tick nap_len = static_cast<sim::Tick>(
+            d.forcedIdleShare * static_cast<double>(period) + 0.5);
+        for (auto &core : _cores)
+            core->setCapState(d.levelCap, nap_len, period);
+        if (_capThrottledNow != d.throttled) {
+            if (_capThrottledNow)
+                _capThrottledTicks += now - _capThrottleSince;
+            _capThrottleSince = now;
+            _capThrottledNow = d.throttled;
+        }
+        if (_observer) {
+            _observer->onCapThrottle(now, d.levelCap,
+                                     d.forcedIdleShare, d.throttled);
+        }
+    }
+    scheduleCapControl();
 }
 
 std::size_t
@@ -224,6 +320,11 @@ ServerSim::run(sim::Tick duration, sim::Tick warmup)
         core->start();
     if (_dispatchArrivals)
         scheduleNextDispatch();
+    if (_capCtl) {
+        _capLastTick = _sim.now();
+        _capThrottleSince = _sim.now();
+        scheduleCapControl();
+    }
 
     // Warmup: run unmeasured, then reset all statistics. The
     // observer is told first so the per-core resetStats state
@@ -242,6 +343,26 @@ ServerSim::run(sim::Tick duration, sim::Tick warmup)
                                  _cfg.packageCStatesEnabled
                                      ? _package.uncorePower()
                                      : _cfg.uncorePower);
+    }
+    if (_capCtl) {
+        // Re-anchor the cap accounting on the fresh meters and
+        // re-announce the standing decision into the new window
+        // (mirrors the per-core operating-point re-announcement).
+        _capLastEnergy = 0.0;
+        _capLastTick = _sim.now();
+        _capThrottledTicks = 0;
+        _capThrottleSince = _sim.now();
+        _maxTempC = _thermal ? _thermal->temperature() : 0.0;
+        if (_observer) {
+            _observer->onCapThrottle(_sim.now(),
+                                     _capDecision.levelCap,
+                                     _capDecision.forcedIdleShare,
+                                     _capDecision.throttled);
+            if (_thermal) {
+                _observer->onTemperature(_sim.now(),
+                                         _thermal->temperature());
+            }
+        }
     }
     _statsStart = _sim.now();
 
@@ -274,10 +395,23 @@ ServerSim::run(sim::Tick duration, sim::Tick warmup)
         r.avgCorePower += core->averagePower() / _cores.size();
         r.requests += core->requestsCompleted();
         r.mispredictedEntries += core->mispredictedEntries();
+        r.forcedIdleNaps += core->forcedNaps();
         r.freqTransitions += core->freqTransitions();
         r.freqTransitionEnergyJ += core->freqTransitionEnergy();
     }
     r.residency = agg;
+
+    if (_capCtl) {
+        if (_capThrottledNow) {
+            _capThrottledTicks += end - _capThrottleSince;
+            _capThrottleSince = end;
+        }
+        r.capThrottleShare =
+            window > 0 ? static_cast<double>(_capThrottledTicks) /
+                             static_cast<double>(window)
+                       : 0.0;
+        r.maxTempC = _maxTempC;
+    }
 
     if (_cfg.packageCStatesEnabled) {
         r.avgUncorePower =

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cap/powercap.hh"
 #include "core/aw_core.hh"
 #include "cstate/residency.hh"
 #include "server/config.hh"
@@ -68,6 +69,16 @@ struct RunResult
      *  the static operating point on the legacy path. */
     std::uint64_t freqTransitions = 0;
     power::Joules freqTransitionEnergyJ = 0.0;
+    /** @} */
+
+    /** @{ Power-cap / thermal accounting over the measured window
+     *  (all zero while the subsystem is disabled): share of the
+     *  window any throttle was in effect, forced-idle naps across
+     *  all cores, and the peak junction temperature (0 when the
+     *  thermal model is off). */
+    double capThrottleShare = 0.0;
+    std::uint64_t forcedIdleNaps = 0;
+    double maxTempC = 0.0;
     /** @} */
 
     /** Package C-state residency shares (all zero when the package
@@ -136,9 +147,28 @@ class ServerSim
      *  results are byte-identical with or without one. */
     void setObserver(TelemetryObserver *observer);
 
+    /**
+     * Fleet budget redistribution: replace the constant
+     * cfg.cap.capWatts budget with a piecewise-constant schedule
+     * (ascending start times; each span holds until the next). The
+     * balancer computes these at epoch boundaries from its own
+     * routed-demand counts, so they are a pure function of the
+     * serial balancer pass. Call before run(); requires the cap
+     * subsystem enabled.
+     */
+    void setCapSchedule(std::vector<cap::BudgetSpan> spans);
+
   private:
     /** Shared constructor body: validate and build the cores. */
     void buildCores(double per_core_rate);
+
+    /** @{ Power-cap control loop (armed only when cfg.cap is
+     *  enabled): every control interval, read the package meters,
+     *  advance the RC thermal model, step the controller and apply
+     *  its decision to every core. */
+    void scheduleCapControl();
+    void onCapControl();
+    /** @} */
 
     /** Central dispatch: route one request and draw the next. */
     void scheduleNextDispatch();
@@ -182,6 +212,20 @@ class ServerSim
     power::EnergyMeter _uncoreMeter;
     sim::EventId _pkgPromotion = sim::kInvalidEventId;
     sim::Tick _statsStart = 0;
+
+    /** @{ Power-cap / thermal machinery (null while disabled). */
+    std::unique_ptr<cap::PowerCapController> _capCtl;
+    std::unique_ptr<cap::RcThermalModel> _thermal;
+    std::vector<cap::BudgetSpan> _capSchedule;
+    std::size_t _capSpan = 0;
+    cap::ThrottleDecision _capDecision;
+    power::Joules _capLastEnergy = 0.0;
+    sim::Tick _capLastTick = 0;
+    sim::Tick _capThrottledTicks = 0;
+    sim::Tick _capThrottleSince = 0;
+    bool _capThrottledNow = false;
+    double _maxTempC = 0.0;
+    /** @} */
 
     TelemetryObserver *_observer = nullptr;
 };

@@ -91,6 +91,31 @@ class TelemetryObserver
         (void)hz;
     }
 
+    /** The server's junction temperature is @p celsius at @p now
+     *  (published by the cap control loop every control interval;
+     *  never fires while the cap/thermal subsystem is disabled, so
+     *  consumers default the value to 0). */
+    virtual void onTemperature(sim::Tick now, double celsius)
+    {
+        (void)now;
+        (void)celsius;
+    }
+
+    /** The server's cap controller moved to a new throttle decision
+     *  at @p now: ladder ceiling @p level_cap, forced-idle duty
+     *  @p forced_idle_share, any-throttle flag @p throttled. Fires
+     *  only on decision *changes* (piecewise-constant between
+     *  calls) and never while the subsystem is disabled. */
+    virtual void onCapThrottle(sim::Tick now, std::size_t level_cap,
+                               double forced_idle_share,
+                               bool throttled)
+    {
+        (void)now;
+        (void)level_cap;
+        (void)forced_idle_share;
+        (void)throttled;
+    }
+
     /** Core @p core begins an idle period at @p now (CoreSim
      *  beginIdle; promotions continue the same period). */
     virtual void onIdleStart(unsigned core, sim::Tick now)
@@ -237,6 +262,19 @@ class TelemetryFanout final : public TelemetryObserver
     {
         for (auto *s : _sinks)
             s->onFreqChange(core, now, hz);
+    }
+    void onTemperature(sim::Tick now, double celsius) override
+    {
+        for (auto *s : _sinks)
+            s->onTemperature(now, celsius);
+    }
+    void onCapThrottle(sim::Tick now, std::size_t level_cap,
+                       double forced_idle_share,
+                       bool throttled) override
+    {
+        for (auto *s : _sinks)
+            s->onCapThrottle(now, level_cap, forced_idle_share,
+                             throttled);
     }
     void onIdleStart(unsigned core, sim::Tick now) override
     {

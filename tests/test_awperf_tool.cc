@@ -71,14 +71,15 @@ readFile(const std::string &path)
 TEST(PerfRegistry, PinnedScenariosPresentInOrder)
 {
     const auto &scenarios = exp::perfScenarios();
-    ASSERT_EQ(scenarios.size(), 7u);
+    ASSERT_EQ(scenarios.size(), 8u);
     EXPECT_EQ(scenarios[0].name, "single_memcached");
     EXPECT_EQ(scenarios[1].name, "fleet_sweep");
     EXPECT_EQ(scenarios[2].name, "governors_axis");
     EXPECT_EQ(scenarios[3].name, "fleet_sweep_timeline");
     EXPECT_EQ(scenarios[4].name, "fleet_sweep_trace");
     EXPECT_EQ(scenarios[5].name, "fleet_sweep_dvfs");
-    EXPECT_EQ(scenarios[6].name, "fleet_10k");
+    EXPECT_EQ(scenarios[6].name, "fleet_sweep_cap");
+    EXPECT_EQ(scenarios[7].name, "fleet_10k");
     for (const auto &s : scenarios) {
         EXPECT_FALSE(s.description.empty());
         EXPECT_TRUE(static_cast<bool>(s.run));

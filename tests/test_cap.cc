@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Unit tests for the power-capping and thermal-coupling subsystem:
+ * the RC thermal model's closed form, the RAPL-style stepping
+ * controller's escalation order and hysteresis, the fleet budget
+ * planner's conservation law, the cap-aware headroom routing
+ * policy, and the end-to-end identities ServerSim must satisfy
+ * with the subsystem armed (generous caps are invisible, tight
+ * caps throttle, the cap overrides the PM-QoS floor).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "cap/powercap.hh"
+#include "cluster/diurnal.hh"
+#include "cluster/fleet.hh"
+#include "cluster/routing.hh"
+#include "exp/spec.hh"
+#include "server/server_sim.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace aw;
+using namespace aw::cap;
+
+// ----------------------------------------------- RC thermal model
+
+TEST(RcThermal, MatchesTheClosedFormSolution)
+{
+    ThermalParams p;
+    p.ambientC = 45.0;
+    p.resistanceCPerW = 0.6;
+    p.capacitanceJPerC = 1.0; // tau = 0.6 s
+    RcThermalModel model(p, 0);
+    EXPECT_DOUBLE_EQ(model.temperature(), 45.0);
+
+    // One step at constant 20 W: exponential relaxation toward the
+    // 45 + 20 * 0.6 = 57 C steady state.
+    const double watts = 20.0;
+    const double dt = 0.25;
+    const double tau = p.resistanceCPerW * p.capacitanceJPerC;
+    const double tss = p.ambientC + watts * p.resistanceCPerW;
+    const double expect =
+        tss + (p.ambientC - tss) * std::exp(-dt / tau);
+    EXPECT_NEAR(model.advance(sim::fromSec(dt), watts), expect,
+                1e-9);
+    EXPECT_DOUBLE_EQ(model.steadyStateC(watts), tss);
+}
+
+TEST(RcThermal, IsIndependentOfTheSamplingCadence)
+{
+    // The closed-form integration's point: chopping one constant-
+    // power interval into many control samples must not move the
+    // temperature (the trace depends on the power, never on how
+    // often the loop looks).
+    ThermalParams p;
+    RcThermalModel coarse(p, 0);
+    RcThermalModel fine(p, 0);
+    const double watts = 30.0;
+    coarse.advance(sim::fromSec(0.5), watts);
+    for (int i = 1; i <= 500; ++i)
+        fine.advance(sim::fromSec(0.001 * i), watts);
+    EXPECT_NEAR(coarse.temperature(), fine.temperature(), 1e-9);
+}
+
+// ---------------------------------------------- stepping controller
+
+CapConfig
+cappedConfig(double watts)
+{
+    CapConfig cfg;
+    cfg.capWatts = watts;
+    return cfg;
+}
+
+TEST(PowerCapController, EscalatesLadderClampsBeforeForcedIdle)
+{
+    // 8 ladder levels: indices 1..7 walk the level cap down from 6
+    // to 0 with no naps; indices 8..14 hold the floor and add duty
+    // quanta of 1/8 up to 7/8 -- RAPL frequency clipping first,
+    // intel_powerclamp idle injection only beyond the floor.
+    PowerCapController ctl(cappedConfig(10.0), 8);
+    EXPECT_EQ(ctl.maxThrottleIndex(), 14u);
+    EXPECT_FALSE(ctl.decision().throttled);
+    EXPECT_EQ(ctl.decision().levelCap, 7u);
+
+    for (std::size_t i = 1; i <= 7; ++i) {
+        const auto d = ctl.step(12.0, 0.0); // over budget
+        EXPECT_TRUE(d.throttled);
+        EXPECT_EQ(d.levelCap, 7 - i);
+        EXPECT_DOUBLE_EQ(d.forcedIdleShare, 0.0);
+    }
+    for (std::size_t k = 1; k <= 7; ++k) {
+        const auto d = ctl.step(12.0, 0.0);
+        EXPECT_EQ(d.levelCap, 0u);
+        EXPECT_DOUBLE_EQ(d.forcedIdleShare, k / 8.0);
+    }
+    // Saturated: further overshoot cannot escalate past 7/8 duty.
+    EXPECT_EQ(ctl.step(12.0, 0.0), ctl.decision());
+}
+
+TEST(PowerCapController, HysteresisBandHoldsTheIndex)
+{
+    CapConfig cfg = cappedConfig(10.0);
+    cfg.hysteresis = 0.05;
+    PowerCapController ctl(cfg, 8);
+    ctl.step(11.0, 0.0);
+    EXPECT_EQ(ctl.throttleIndex(), 1u);
+    // In the dead band [9.5, 10]: neither over nor comfortably
+    // under, so the controller holds instead of oscillating.
+    ctl.step(9.7, 0.0);
+    EXPECT_EQ(ctl.throttleIndex(), 1u);
+    ctl.step(9.4, 0.0);
+    EXPECT_EQ(ctl.throttleIndex(), 0u);
+}
+
+TEST(PowerCapController, ThermalTripLatchesUntilRelease)
+{
+    CapConfig cfg = cappedConfig(10.0);
+    cfg.thermalEnabled = true; // trip 85 C, release 82 C defaults
+    PowerCapController ctl(cfg, 8);
+    // Under budget but hot: the trip forces escalation anyway.
+    ctl.step(5.0, 86.0);
+    EXPECT_TRUE(ctl.thermalTripped());
+    EXPECT_EQ(ctl.throttleIndex(), 1u);
+    // Between release and trip the latch holds.
+    ctl.step(5.0, 83.0);
+    EXPECT_TRUE(ctl.thermalTripped());
+    EXPECT_EQ(ctl.throttleIndex(), 2u);
+    // At or below the release point it lets go and the under-budget
+    // sample steps back down.
+    ctl.step(5.0, 82.0);
+    EXPECT_FALSE(ctl.thermalTripped());
+    EXPECT_EQ(ctl.throttleIndex(), 1u);
+}
+
+TEST(PowerCapController, ZeroBudgetMeansUncappedUntilThermalTrip)
+{
+    CapConfig cfg;
+    cfg.thermalEnabled = true;
+    PowerCapController ctl(cfg, 8);
+    // No watt budget: any measured power is fine while cool.
+    ctl.step(500.0, 50.0);
+    EXPECT_EQ(ctl.throttleIndex(), 0u);
+    ctl.step(500.0, 86.0);
+    EXPECT_EQ(ctl.throttleIndex(), 1u);
+}
+
+TEST(PowerCapController, SetBudgetRedistributionTakesEffect)
+{
+    PowerCapController ctl(cappedConfig(10.0), 8);
+    ctl.step(12.0, 0.0);
+    EXPECT_EQ(ctl.throttleIndex(), 1u);
+    // The fleet planner hands this server more headroom: the same
+    // measured power is now comfortably under budget.
+    ctl.setBudget(20.0);
+    EXPECT_DOUBLE_EQ(ctl.budget(), 20.0);
+    ctl.step(12.0, 0.0);
+    EXPECT_EQ(ctl.throttleIndex(), 0u);
+}
+
+TEST(CapConfigValidate, RejectsNonPhysicalParameters)
+{
+    CapConfig cfg;
+    cfg.capWatts = -1.0;
+    EXPECT_DEATH(cfg.validate(), "budget");
+
+    cfg = cappedConfig(10.0);
+    cfg.controlInterval = 0;
+    EXPECT_DEATH(cfg.validate(), "control interval");
+
+    cfg = cappedConfig(10.0);
+    cfg.napPeriod = 0;
+    EXPECT_DEATH(cfg.validate(), "nap period");
+
+    cfg = cappedConfig(10.0);
+    cfg.hysteresis = 1.0;
+    EXPECT_DEATH(cfg.validate(), "hysteresis");
+
+    cfg = CapConfig{};
+    cfg.thermalEnabled = true;
+    cfg.thermal.resistanceCPerW = 0.0;
+    EXPECT_DEATH(cfg.validate(), "thermal R and C");
+
+    cfg = CapConfig{};
+    cfg.thermalEnabled = true;
+    cfg.thermal.tripC = cfg.thermal.releaseC;
+    EXPECT_DEATH(cfg.validate(), "release");
+
+    cfg = CapConfig{};
+    cfg.thermalEnabled = true;
+    cfg.thermal.tripC = 50.0;
+    cfg.thermal.releaseC = 48.0;
+    cfg.thermal.ambientC = 60.0;
+    EXPECT_DEATH(cfg.validate(), "ambient");
+}
+
+// --------------------------------------------- fleet budget planner
+
+TEST(FleetBudgetPlanner, ZeroDemandParksEveryServerAtTheBase)
+{
+    const FleetBudgetPlanner planner(20.0, 4);
+    EXPECT_DOUBLE_EQ(planner.nominalWatts(), 20.0);
+    EXPECT_DOUBLE_EQ(planner.baseWatts(),
+                     20.0 * FleetBudgetPlanner::kBaseShare);
+    // All-idle epoch: every server -- including never-routed spares
+    // -- gets the identical base budget, which is what keeps the
+    // homogeneous-idle fast path's slot reuse valid.
+    const auto budgets = planner.epochBudgets({0, 0, 0, 0});
+    for (const auto b : budgets)
+        EXPECT_DOUBLE_EQ(b, planner.baseWatts());
+}
+
+TEST(FleetBudgetPlanner, ConservesTheFleetBudget)
+{
+    const FleetBudgetPlanner planner(20.0, 4);
+    const auto budgets = planner.epochBudgets({3, 1, 0, 0});
+    // Pool = 4 * (20 - 12) = 32 W dealt by demand share.
+    EXPECT_DOUBLE_EQ(budgets[0], 12.0 + 32.0 * 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(budgets[1], 12.0 + 32.0 * 1.0 / 4.0);
+    EXPECT_DOUBLE_EQ(budgets[2], 12.0);
+    EXPECT_DOUBLE_EQ(budgets[3], 12.0);
+    const double total =
+        std::accumulate(budgets.begin(), budgets.end(), 0.0);
+    EXPECT_NEAR(total, 4 * 20.0, 1e-9);
+}
+
+TEST(FleetBudgetPlanner, DiesOnBadConstructionOrMismatchedCounts)
+{
+    EXPECT_DEATH(FleetBudgetPlanner(0.0, 4), "positive");
+    EXPECT_DEATH(FleetBudgetPlanner(20.0, 0), "at least one");
+    const FleetBudgetPlanner planner(20.0, 4);
+    EXPECT_DEATH(planner.epochBudgets({1, 2}), "routed counts");
+}
+
+// ------------------------------------------ route-to-headroom
+
+/** A scripted balancer view for routing-policy unit tests. */
+class FakeView final : public cluster::FleetView
+{
+  public:
+    std::vector<unsigned> out;
+    std::vector<double> head; //!< empty = use the base default
+
+    std::size_t servers() const override { return out.size(); }
+    unsigned outstanding(std::size_t i) const override
+    {
+        return out[i];
+    }
+    double headroomWatts(std::size_t i) const override
+    {
+        return head.empty() ? cluster::FleetView::headroomWatts(i)
+                            : head[i];
+    }
+};
+
+TEST(RouteToHeadroom, PicksTheServerWithTheMostWattHeadroom)
+{
+    auto policy = cluster::makeRoutingPolicy("route-to-headroom", 0);
+    ASSERT_STREQ(policy->name(), "route-to-headroom");
+    sim::Rng rng(1);
+    FakeView view;
+    view.out = {0, 0, 0};
+    view.head = {4.0, 9.5, 2.0};
+    EXPECT_EQ(policy->route(view, rng), 1u);
+    // Ties break to the lowest index (determinism contract).
+    view.head = {7.0, 7.0, 3.0};
+    EXPECT_EQ(policy->route(view, rng), 0u);
+}
+
+TEST(RouteToHeadroom, DegradesToLeastOutstandingWithoutBudgets)
+{
+    // Uncapped views answer -outstanding, so headroom routing is
+    // exactly least-outstanding on them.
+    auto headroom =
+        cluster::makeRoutingPolicy("route-to-headroom", 0);
+    auto least =
+        cluster::makeRoutingPolicy("least-outstanding", 0);
+    sim::Rng rng(1);
+    FakeView view;
+    view.out = {5, 2, 7, 2};
+    EXPECT_EQ(headroom->route(view, rng), least->route(view, rng));
+    EXPECT_EQ(headroom->route(view, rng), 1u);
+}
+
+// ----------------------------------------- ServerSim end to end
+
+server::ServerConfig
+awConfig()
+{
+    auto cfg = exp::configByName("aw");
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(CapServerSim, GenerousCapReproducesTheUncappedRun)
+{
+    // A budget the server never reaches must be invisible: the
+    // control loop samples but never throttles, and sampling draws
+    // no randomness and perturbs no core, so the run's results are
+    // bit-identical to the uncapped reference.
+    const auto profile = exp::profileByName("memcached");
+    server::ServerSim plain(awConfig(), profile, 200e3);
+    const auto base = plain.run(sim::fromSec(0.2), sim::fromSec(0.02));
+
+    auto cfg = awConfig();
+    cfg.cap.capWatts = 1000.0;
+    server::ServerSim capped(cfg, profile, 200e3);
+    const auto r = capped.run(sim::fromSec(0.2), sim::fromSec(0.02));
+
+    EXPECT_EQ(r.requests, base.requests);
+    EXPECT_DOUBLE_EQ(r.packagePower, base.packagePower);
+    EXPECT_DOUBLE_EQ(r.p99LatencyUs, base.p99LatencyUs);
+    EXPECT_DOUBLE_EQ(r.capThrottleShare, 0.0);
+    EXPECT_EQ(r.forcedIdleNaps, 0u);
+}
+
+TEST(CapServerSim, TightCapThrottlesAndForcesNaps)
+{
+    auto cfg = awConfig();
+    cfg.cap.capWatts = 12.0;
+    const auto profile = exp::profileByName("memcached");
+    server::ServerSim srv(cfg, profile, 200e3);
+    const auto r = srv.run(sim::fromSec(0.2), sim::fromSec(0.02));
+
+    server::ServerSim plain(awConfig(), profile, 200e3);
+    const auto base = plain.run(sim::fromSec(0.2), sim::fromSec(0.02));
+
+    EXPECT_GT(r.capThrottleShare, 0.5);
+    EXPECT_GT(r.forcedIdleNaps, 0u);
+    EXPECT_LT(r.packagePower, base.packagePower);
+    EXPECT_GT(r.p99LatencyUs, base.p99LatencyUs);
+}
+
+TEST(CapServerSim, CapOverridesThePmQosFrequencyFloor)
+{
+    // Precedence cap -> QoS -> governor: an 8 us SLO floors the
+    // DVFS ladder at the top, but the cap is a safety limit and
+    // clamps straight through it -- the capped run's power must
+    // fall well below what the floored ladder would draw.
+    const auto profile = exp::profileByName("memcached");
+    auto cfg = awConfig();
+    cfg.freqPolicy = "performance";
+    cfg.sloUs = 8.0;
+    server::ServerSim floored(cfg, profile, 200e3);
+    const auto base =
+        floored.run(sim::fromSec(0.2), sim::fromSec(0.02));
+
+    cfg.cap.capWatts = 12.0;
+    server::ServerSim capped(cfg, profile, 200e3);
+    const auto r = capped.run(sim::fromSec(0.2), sim::fromSec(0.02));
+
+    EXPECT_GT(r.capThrottleShare, 0.5);
+    EXPECT_LT(r.packagePower, 0.8 * base.packagePower);
+}
+
+TEST(CapServerSim, ThermalOnlyModeTripsAndRecordsTheTemperature)
+{
+    // No watt budget at all: a low trip point alone must engage the
+    // same throttle ladder once the RC model crosses it.
+    auto cfg = awConfig();
+    cfg.cap.thermalEnabled = true;
+    cfg.cap.thermal.tripC = 50.0;
+    cfg.cap.thermal.releaseC = 48.0;
+    cfg.cap.thermal.capacitanceJPerC = 0.1; // fast tau: 60 ms
+    const auto profile = exp::profileByName("memcached");
+    server::ServerSim srv(cfg, profile, 200e3);
+    const auto r = srv.run(sim::fromSec(0.2), sim::fromSec(0.02));
+    EXPECT_GE(r.maxTempC, 50.0);
+    EXPECT_GT(r.capThrottleShare, 0.0);
+}
+
+// ------------------------------------------- fleet redistribution
+
+TEST(CapFleet, BudgetSchedulesAreFleetThreadInvariant)
+{
+    // The planner runs in the serial balancer pass, so per-server
+    // budget schedules -- and everything downstream of them -- must
+    // be bit-identical at any fleetThreads.
+    cluster::FleetConfig fc;
+    fc.servers = 4;
+    fc.server = awConfig();
+    fc.server.idlePromotion = true;
+    fc.server.cap.capWatts = 16.0;
+    fc.routing = "route-to-headroom";
+    fc.seed = 42;
+    fc.epochSeconds = 0.05;
+    fc.schedule =
+        cluster::RateSchedule::flashCrowd(sim::fromSec(0.2), 3.0);
+    const auto profile = exp::profileByName("memcached");
+
+    cluster::FleetSim serial(fc, profile, 150e3);
+    const auto a = serial.run(sim::fromSec(0.2), sim::fromSec(0.02));
+    fc.fleetThreads = 8;
+    cluster::FleetSim parallel(fc, profile, 150e3);
+    const auto b =
+        parallel.run(sim::fromSec(0.2), sim::fromSec(0.02));
+
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_DOUBLE_EQ(a.fleetPower, b.fleetPower);
+    EXPECT_DOUBLE_EQ(a.p99LatencyUs, b.p99LatencyUs);
+    EXPECT_DOUBLE_EQ(a.capThrottleShare, b.capThrottleShare);
+    EXPECT_EQ(a.forcedIdleNaps, b.forcedIdleNaps);
+    EXPECT_GT(a.capThrottleShare, 0.0);
+}
+
+TEST(CapFleet, RedistributionShiftsHeadroomTowardTheLoad)
+{
+    // A skew-routed capped flash crowd: with redistribution the
+    // loaded servers run on bigger budgets (paid for by the idle
+    // spares' headroom), so the fleet clears the surge with a
+    // better tail than rigid per-server caps allow.
+    cluster::FleetConfig fc;
+    fc.servers = 4;
+    fc.server = awConfig();
+    fc.server.idlePromotion = true;
+    fc.server.cap.capWatts = 14.0;
+    fc.routing = "pack-first";
+    fc.seed = 42;
+    fc.epochSeconds = 0.02;
+    fc.schedule =
+        cluster::RateSchedule::flashCrowd(sim::fromSec(0.3), 3.0);
+    const auto profile = exp::profileByName("memcached");
+
+    cluster::FleetSim with(fc, profile, 150e3);
+    const auto a = with.run(sim::fromSec(0.3), sim::fromSec(0.03));
+    fc.capRedistribution = false;
+    cluster::FleetSim without(fc, profile, 150e3);
+    const auto b =
+        without.run(sim::fromSec(0.3), sim::fromSec(0.03));
+
+    EXPECT_LT(a.p99LatencyUs, b.p99LatencyUs);
+}
+
+} // namespace

@@ -196,7 +196,7 @@ TEST(FleetKernel, ThreadCountAndEpochAreInvisibleTogether)
 
 TEST(FleetKernel, SweepArtifactsAreByteIdenticalAcrossKernelKnobs)
 {
-    // The full artifact surface -- sweep CSV/JSON, the aw-timeline/2
+    // The full artifact surface -- sweep CSV/JSON, the aw-timeline/3
     // fold and the aw-trace/1 attribution -- rendered from the
     // serial reference and from every kernel configuration must be
     // the same bytes.

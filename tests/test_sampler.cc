@@ -3,7 +3,7 @@
  * Tests for the streaming interval sampler: boundary-exact interval
  * semantics, partial/zero-length final intervals, ring overflow,
  * fleet folding, cross-checks against whole-run results and the
- * thread-count byte-identity of the aw-timeline/2 artifacts.
+ * thread-count byte-identity of the aw-timeline/3 artifacts.
  */
 
 #include <gtest/gtest.h>
@@ -312,10 +312,11 @@ TEST(Sampler, CsvSchemaIsPinned)
     rec.onComplete(0, 0, 100, 5.0);
     rec.onMeasurementEnd(kIv);
     const std::string csv = timelineCsv(rec.series());
-    EXPECT_EQ(csv.rfind("# aw-timeline/2\n", 0), 0u);
+    EXPECT_EQ(csv.rfind("# aw-timeline/3\n", 0), 0u);
     EXPECT_NE(csv.find("interval,t0_s,t1_s,requests,achieved_qps,"
                        "power_w,p99_us,res_c0,res_c1,res_c1e,"
-                       "res_c6a,res_c6ae,res_c6,freq_ghz\n"),
+                       "res_c6a,res_c6ae,res_c6,freq_ghz,temp_c,"
+                       "throttled_share\n"),
               std::string::npos);
     // A lossless series carries no overflow flag line (the pinned
     // goldens depend on that).
@@ -362,7 +363,7 @@ TEST(Sampler, SweepTimelineOverflowIsFlaggedPerPoint)
 {
     // End to end through the sweep emitter: a sampling interval
     // fine enough to wrap the default 4096-interval ring must
-    // surface per-point overflow comments in the aw-timeline/2
+    // surface per-point overflow comments in the aw-timeline/3
     // sweep CSV (and warn), not silently truncate the day.
     exp::ExperimentSpec spec;
     spec.name = "overflow";

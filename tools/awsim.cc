@@ -68,6 +68,14 @@ usage()
         "(PM-QoS):\n"
         "                    disables idle states too slow to wake\n"
         "                    within it and floors the DVFS ladder\n"
+        "  --cap WATTS       RAPL-style package power cap "
+        "(0 = uncapped):\n"
+        "                    clamps the DVFS ladder, then injects\n"
+        "                    forced idle (docs/POWERCAP.md)\n"
+        "  --thermal         couple the RC thermal model; trips "
+        "feed the\n"
+        "                    same throttle ladder as budget "
+        "overshoot\n"
         "  --dispatch NAME   request-to-core mapping: "
         "static|packing\n"
         "  --qps N           offered load, requests/s (default "
@@ -85,7 +93,7 @@ usage()
         "  --trace FILE      replay inter-arrival gaps from FILE\n"
         "                    (CSV, one gap in us per value; loops)\n"
         "  --timeline FILE   write the run's interval telemetry as\n"
-        "                    aw-timeline/2 CSV (docs/TELEMETRY.md)\n"
+        "                    aw-timeline/3 CSV (docs/TELEMETRY.md)\n"
         "  --timeline-json FILE  the same telemetry as JSON, plus "
         "the\n"
         "                    C-state transition map\n"
@@ -104,7 +112,10 @@ usage()
         "\nfleet mode (--fleet):\n"
         "  --fleet N         simulate N servers behind a balancer\n"
         "  --route NAME      round-robin|random|least-outstanding|"
-        "pack-first\n"
+        "pack-first|\n"
+        "                    route-to-headroom (cap-aware: favors "
+        "the\n"
+        "                    server with the most watt headroom)\n"
         "                    (default round-robin)\n"
         "  --pack-cap N      pack-first spill threshold "
         "(default cores/2)\n"
@@ -112,6 +123,13 @@ usage()
         "in [0,1]\n"
         "  --diurnal-period S  length of one simulated \"day\" "
         "(default 1 s)\n"
+        "  --flash SPIKE     flash-crowd load: SPIKE x the base "
+        "rate\n"
+        "                    for the middle quarter of each "
+        "--diurnal-period\n"
+        "                    (extra traffic, not renormalized; "
+        "excludes\n"
+        "                    --diurnal)\n"
         "  --fleet-threads N worker threads for the per-server "
         "phase\n"
         "                    (default 1; results are bit-identical "
@@ -239,7 +257,7 @@ writeRequestTrace(const analysis::TraceSeries &series,
     at.print();
 }
 
-/** Write the requested aw-timeline/2 artifacts for one series. */
+/** Write the requested aw-timeline/3 artifacts for one series. */
 void
 writeTimeline(const analysis::TimelineSeries &series,
               const std::string &label, const TimelineOpts &tl)
@@ -293,6 +311,11 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
     if (fleet_cfg.server.sloUs > 0.0)
         dvfs_note +=
             sim::strprintf(" slo=%gus", fleet_cfg.server.sloUs);
+    if (fleet_cfg.server.cap.capWatts > 0.0)
+        dvfs_note += sim::strprintf(" cap=%gW",
+                                    fleet_cfg.server.cap.capWatts);
+    if (fleet_cfg.server.cap.thermalEnabled)
+        dvfs_note += " thermal";
     std::printf("fleet=%u route=%s workload=%s config=%s "
                 "governor=%s qps=%.0f seed=%llu%s%s\n\n",
                 r.servers, r.routingName.c_str(),
@@ -330,6 +353,18 @@ runFleet(const cluster::FleetConfig &fleet_cfg,
                              100 * r.maxServerDeepShare)});
     t.addRow({"busiest server load share",
               analysis::cell("%.1f%%", 100 * r.busiestShareOfLoad)});
+    if (fleet_cfg.server.cap.enabled()) {
+        t.addRow({"cap throttled",
+                  analysis::cell("%.1f%%",
+                                 100 * r.capThrottleShare)});
+        t.addRow({"forced-idle naps",
+                  analysis::cell("%llu",
+                                 static_cast<unsigned long long>(
+                                     r.forcedIdleNaps))});
+        if (fleet_cfg.server.cap.thermalEnabled)
+            t.addRow({"max temp (C)",
+                      analysis::cell("%.1f", r.maxTempC)});
+    }
     t.print();
 
     std::printf("\nper-server:\n");
@@ -372,6 +407,8 @@ main(int argc, char **argv)
     std::string governor; //!< empty = config default ("menu")
     std::string freq_governor; //!< empty = static operating point
     double slo_us = 0.0;  //!< 0 = unconstrained
+    double cap_watts = 0.0; //!< 0 = uncapped
+    bool thermal = false;
     std::string dispatch; //!< empty = config default ("static")
     double qps = 100e3;
     double seconds = 0.0;
@@ -389,6 +426,7 @@ main(int argc, char **argv)
     unsigned pack_cap = 0;
     double diurnal = 0.0;
     double diurnal_period = 1.0;
+    double flash = 0.0;
     unsigned fleet_threads = 1;
     double epoch_seconds = 0.0;
     TimelineOpts timeline;
@@ -419,6 +457,14 @@ main(int argc, char **argv)
                 sim::fatal("--slo: latency SLO must be a positive "
                            "number of microseconds (got %g)",
                            slo_us);
+        } else if (arg == "--cap") {
+            cap_watts = parseDouble("--cap", next("--cap"));
+            if (cap_watts < 0.0)
+                sim::fatal("--cap: package budget must be >= 0 "
+                           "watts (0 = uncapped; got %g)",
+                           cap_watts);
+        } else if (arg == "--thermal") {
+            thermal = true;
         } else if (arg == "--dispatch") {
             dispatch = next("--dispatch");
         } else if (arg == "--qps") {
@@ -493,6 +539,13 @@ main(int argc, char **argv)
             diurnal_period = parseDouble("--diurnal-period",
                                          next("--diurnal-period"));
             fleet_flag = "--diurnal-period";
+        } else if (arg == "--flash") {
+            flash = parseDouble("--flash", next("--flash"));
+            if (flash <= 0.0)
+                sim::fatal("--flash: spike multiplier must be "
+                           "positive (got %g)",
+                           flash);
+            fleet_flag = "--flash";
         } else if (arg == "--fleet-threads") {
             fleet_threads = parseUnsigned("--fleet-threads",
                                           next("--fleet-threads"));
@@ -526,6 +579,8 @@ main(int argc, char **argv)
     if (!freq_governor.empty())
         cfg.freqPolicy = freq_governor;
     cfg.sloUs = slo_us;
+    cfg.cap.capWatts = cap_watts;
+    cfg.cap.thermalEnabled = thermal;
     if (packing && !dispatch.empty() && dispatch != "packing")
         sim::fatal("--packing conflicts with --dispatch %s",
                    dispatch.c_str());
@@ -543,8 +598,11 @@ main(int argc, char **argv)
                    "--timeline-json");
     if (diurnal < 0.0 || diurnal > 1.0)
         sim::fatal("--diurnal: amplitude must be in [0, 1]");
-    if (diurnal > 0.0 && diurnal_period <= 0.0)
+    if ((diurnal > 0.0 || flash > 0.0) && diurnal_period <= 0.0)
         sim::fatal("--diurnal-period: must be positive");
+    if (diurnal > 0.0 && flash > 0.0)
+        sim::fatal("--flash conflicts with --diurnal (pick one "
+                   "load shape)");
     if (fleet > 0) {
         cluster::FleetConfig fc;
         fc.servers = fleet;
@@ -560,6 +618,9 @@ main(int argc, char **argv)
         if (diurnal > 0.0)
             fc.schedule = cluster::RateSchedule::sinusoidal(
                 sim::fromSec(diurnal_period), diurnal);
+        else if (flash > 0.0)
+            fc.schedule = cluster::RateSchedule::flashCrowd(
+                sim::fromSec(diurnal_period), flash);
         runFleet(fc, profile, qps, seconds, warmup, trace_path,
                  timeline, reqtrace);
         return 0;
@@ -606,6 +667,10 @@ main(int argc, char **argv)
         dvfs_note += " freq=" + cfg.freqPolicy;
     if (cfg.sloUs > 0.0)
         dvfs_note += sim::strprintf(" slo=%gus", cfg.sloUs);
+    if (cfg.cap.capWatts > 0.0)
+        dvfs_note += sim::strprintf(" cap=%gW", cfg.cap.capWatts);
+    if (cfg.cap.thermalEnabled)
+        dvfs_note += " thermal";
     std::printf("workload=%s config=%s governor=%s dispatch=%s "
                 "qps=%.0f cores=%u seed=%llu%s%s%s\n\n",
                 r.workloadName.c_str(), r.configName.c_str(),
@@ -650,6 +715,18 @@ main(int argc, char **argv)
                                      r.freqTransitions))});
         t.addRow({"ramp energy (J)",
                   analysis::cell("%.4f", r.freqTransitionEnergyJ)});
+    }
+    if (cfg.cap.enabled()) {
+        t.addRow({"cap throttled",
+                  analysis::cell("%.1f%%",
+                                 100 * r.capThrottleShare)});
+        t.addRow({"forced-idle naps",
+                  analysis::cell("%llu",
+                                 static_cast<unsigned long long>(
+                                     r.forcedIdleNaps))});
+        if (cfg.cap.thermalEnabled)
+            t.addRow({"max temp (C)",
+                      analysis::cell("%.1f", r.maxTempC)});
     }
     t.print();
 

@@ -58,6 +58,8 @@ usage()
         "                    default: the static operating point)\n"
         "  --slo N,M         per-request latency-SLO levels in us\n"
         "                    (PM-QoS; 0 = unconstrained)\n"
+        "  --caps N,M        package power-cap levels in watts\n"
+        "                    (0 = uncapped; docs/POWERCAP.md)\n"
         "  --policies A,B    routing policies (fleet mode only;\n"
         "                    default round-robin)\n"
         "  --fleet N,M       fleet sizes; omit for single-server\n"
@@ -71,6 +73,9 @@ usage()
         "  --dispatch NAME   request-to-core mapping for every "
         "point\n"
         "                    (static|packing; default: config)\n"
+        "  --thermal         couple the RC thermal model on every "
+        "point\n"
+        "                    (a machine knob, not an axis)\n"
         "  --seed N          top-level seed (default 42)\n"
         "  --fleet-threads N worker threads WITHIN each fleet "
         "point\n"
@@ -88,7 +93,7 @@ usage()
         "  --json FILE       write the sweep as JSON\n"
         "  --name NAME       spec name recorded in the artifacts\n"
         "  --quiet           no summary table, just artifacts\n"
-        "\nstreaming telemetry (aw-timeline/2, see "
+        "\nstreaming telemetry (aw-timeline/3, see "
         "docs/TELEMETRY.md):\n"
         "  --timeline FILE   write every point's interval timeline "
         "as CSV\n"
@@ -207,6 +212,18 @@ main(int argc, char **argv)
                                s);
                 spec.sloUs.push_back(s);
             }
+        } else if (arg == "--caps") {
+            spec.capWatts.clear();
+            for (const auto &v : splitList(next("--caps"))) {
+                const double w = parseDouble("--caps", v.c_str());
+                if (w < 0.0)
+                    sim::fatal("--caps: package budget must be "
+                               ">= 0 watts (0 = uncapped; got %g)",
+                               w);
+                spec.capWatts.push_back(w);
+            }
+        } else if (arg == "--thermal") {
+            spec.thermal = true;
         } else if (arg == "--dispatch") {
             spec.dispatch = next("--dispatch");
         } else if (arg == "--policies") {
@@ -336,12 +353,15 @@ main(int argc, char **argv)
         // mirroring the artifact emitters.
         const bool freq_axis = !spec.freqPolicies.empty();
         const bool slo_axis = !spec.sloUs.empty();
+        const bool cap_axis = !spec.capWatts.empty();
         std::vector<std::string> headers = {"workload", "config",
                                             "governor"};
         if (freq_axis)
             headers.push_back("freq");
         if (slo_axis)
             headers.push_back("slo us");
+        if (cap_axis)
+            headers.push_back("cap W");
         for (const char *h :
              {"policy", "K", "qps", "rep", "power W", "mJ/req",
               "avg us", "p99 us", "deep idle"})
@@ -358,6 +378,10 @@ main(int argc, char **argv)
             if (slo_axis)
                 row.push_back(pt.sloUs > 0.0
                                   ? analysis::cell("%g", pt.sloUs)
+                                  : std::string("-"));
+            if (cap_axis)
+                row.push_back(pt.capWatts > 0.0
+                                  ? analysis::cell("%g", pt.capWatts)
                                   : std::string("-"));
             for (std::string &cell : std::vector<std::string>{
                      pt.policy.empty() ? "-" : pt.policy,
